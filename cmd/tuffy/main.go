@@ -1,0 +1,157 @@
+// Command tuffy runs MLN inference from the command line, mirroring the
+// original Tuffy's interface:
+//
+//	tuffy -i prog.mln -e evidence.db -q cat -o out.txt
+//
+// Flags select MAP (default) or marginal inference, the grounding strategy,
+// partitioning, memory budget and parallelism. With -explain the compiled
+// grounding SQL is printed instead of running inference.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tuffy"
+	"tuffy/internal/grounding"
+	"tuffy/internal/mln"
+)
+
+func main() {
+	var (
+		progPath  = flag.String("i", "", "MLN program file (required)")
+		evPath    = flag.String("e", "", "evidence file (required)")
+		queryStr  = flag.String("q", "", "comma-separated query predicates (informational)")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+		marginal  = flag.Bool("marginal", false, "run MC-SAT marginal inference instead of MAP")
+		samples   = flag.Int("samples", 200, "MC-SAT samples (with -marginal)")
+		topdown   = flag.Bool("topdown", false, "use the Alchemy-style top-down grounder")
+		noPart    = flag.Bool("nopart", false, "disable partitioning (Tuffy-p behaviour)")
+		indb      = flag.Bool("indb", false, "run search inside the RDBMS (Tuffy-mm)")
+		budget    = flag.Int64("memory", 0, "memory budget in bytes for MRF partitioning (0 = components only)")
+		flips     = flag.Int64("flips", 1_000_000, "WalkSAT flip budget")
+		threads   = flag.Int("threads", 1, "parallel component-search workers")
+		seed      = flag.Int64("seed", 0, "random seed")
+		useClose  = flag.Bool("closure", false, "apply the lazy-inference active closure")
+		explain   = flag.Bool("explain", false, "print the grounding SQL for each clause and exit")
+		showStats = flag.Bool("stats", false, "print grounding and MRF statistics")
+	)
+	flag.Parse()
+	if *progPath == "" || *evPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := loadProgram(*progPath)
+	fatalIf(err)
+	ev, err := loadEvidence(prog, *evPath)
+	fatalIf(err)
+
+	if *queryStr != "" {
+		for _, name := range strings.Split(*queryStr, ",") {
+			if _, ok := prog.Predicate(strings.TrimSpace(name)); !ok {
+				fatalIf(fmt.Errorf("unknown query predicate %q", name))
+			}
+		}
+	}
+
+	cfg := tuffy.Config{
+		UseClosure:        *useClose,
+		MemoryBudgetBytes: *budget,
+		MaxFlips:          *flips,
+		Parallelism:       *threads,
+		Seed:              *seed,
+	}
+	if *topdown {
+		cfg.Grounder = tuffy.TopDown
+	}
+	switch {
+	case *indb:
+		cfg.Mode = tuffy.InDatabase
+	case *noPart:
+		cfg.Mode = tuffy.InMemoryMonolithic
+	}
+
+	sys := tuffy.New(prog, ev, cfg)
+
+	if *explain {
+		fatalIf(sys.Ground())
+		for _, c := range prog.Clauses {
+			comp, err := grounding.CompileClauseSQL(sys.Tables, c)
+			if err != nil {
+				fmt.Printf("-- clause %d (%s): %v\n", c.ID, c.Source, err)
+				continue
+			}
+			fmt.Printf("-- clause %d: %s\n%s\n\n", c.ID, c.Format(prog.Syms), comp.SQL)
+		}
+		return
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		fatalIf(err)
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	start := time.Now()
+	if *marginal {
+		res, err := sys.InferMarginal(*samples)
+		fatalIf(err)
+		sort.Slice(res.Probs, func(i, j int) bool { return res.Probs[i].P > res.Probs[j].P })
+		for _, ap := range res.Probs {
+			fmt.Fprintf(w, "%.4f\t%s\n", ap.P, sys.FormatAtom(ap.Atom))
+		}
+	} else {
+		res, err := sys.InferMAP()
+		fatalIf(err)
+		for _, a := range res.TrueAtoms {
+			fmt.Fprintln(w, sys.FormatAtom(a))
+		}
+		fmt.Fprintf(os.Stderr, "tuffy: cost=%.2f ground=%v search=%v flips=%d partitions=%d cut=%d\n",
+			res.Cost, res.GroundTime.Round(time.Millisecond), res.SearchTime.Round(time.Millisecond),
+			res.Flips, res.Partitions, res.CutClauses)
+	}
+	if *showStats {
+		gs, err := sys.Stats()
+		fatalIf(err)
+		ms, err := sys.MRFStats()
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "tuffy: atoms=%d used=%d clauses=%d fixed=%d clauseBytes=%d searchBytes=%d total=%v\n",
+			gs.NumAtoms, gs.NumUsedAtoms, gs.NumClauses, gs.FixedCostCount,
+			ms.ClauseBytes, ms.SearchBytes, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func loadProgram(path string) (*mln.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tuffy.LoadProgram(f)
+}
+
+func loadEvidence(prog *mln.Program, path string) (*mln.Evidence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tuffy.LoadEvidence(prog, f)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tuffy:", err)
+		os.Exit(1)
+	}
+}

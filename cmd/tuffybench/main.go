@@ -1,0 +1,76 @@
+// Command tuffybench regenerates the tables and figures of the Tuffy paper
+// (VLDB 2011) on the synthetic workloads described in DESIGN.md.
+//
+// Usage:
+//
+//	tuffybench -exp table2          # one experiment
+//	tuffybench -exp all             # everything
+//	tuffybench -exp figure6 -full   # paper-closer scale (slower)
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7 figure3
+// figure4 figure5 figure6 figure8 theorem31 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tuffy/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1..table7, figure3..figure8, theorem31, all)")
+	full := flag.Bool("full", false, "run at larger, paper-closer scale")
+	flag.Parse()
+
+	scale := bench.DefaultScale()
+	if *full {
+		scale = bench.FullScale()
+	}
+
+	type driver struct {
+		name string
+		run  func(bench.Scale) (*bench.Table, error)
+	}
+	drivers := []driver{
+		{"table1", bench.Table1},
+		{"table2", bench.Table2},
+		{"table3", bench.Table3},
+		{"table4", bench.Table4},
+		{"table5", bench.Table5},
+		{"table6", bench.Table6},
+		{"table7", bench.Table7},
+		{"figure3", bench.Figure3},
+		{"figure4", bench.Figure4},
+		{"figure5", bench.Figure5},
+		{"figure6", bench.Figure6},
+		{"figure8", bench.Figure8},
+		{"theorem31", bench.Theorem31},
+		{"erplus", bench.ERPlus},
+		{"closure", bench.ClosureAblation},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, d := range drivers {
+		if want != "all" && want != d.name {
+			continue
+		}
+		start := time.Now()
+		t, err := d.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuffybench: %s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("(%s finished in %v)\n", d.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "tuffybench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

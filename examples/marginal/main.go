@@ -1,0 +1,48 @@
+// Marginal inference with MC-SAT (Appendix A.5): instead of one most
+// likely world, estimate per-atom probabilities for the Figure 1 paper-
+// classification program.
+//
+//	go run ./examples/marginal
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"tuffy"
+	"tuffy/internal/mln"
+)
+
+func main() {
+	prog, err := tuffy.LoadProgramString(mln.Figure1Program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := tuffy.LoadEvidenceString(prog, mln.Figure1Evidence)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys := tuffy.New(prog, ev, tuffy.Config{Seed: 11})
+	res, err := sys.InferMarginal(800)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show category marginals, highest first.
+	cat := prog.MustPredicate("cat")
+	var rows []tuffy.AtomProb
+	for _, ap := range res.Probs {
+		if ap.Atom.Pred == cat {
+			rows = append(rows, ap)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].P > rows[j].P })
+	fmt.Println("Pr[cat(paper, category)] estimates (MC-SAT, 800 samples):")
+	for _, ap := range rows {
+		fmt.Printf("  %.3f  %s\n", ap.P, sys.FormatAtom(ap.Atom))
+	}
+	fmt.Println("\nhigh-probability labels follow the citation/co-author structure;")
+	fmt.Println("the negative-weight rule keeps Networking improbable (F5).")
+}

@@ -1,0 +1,514 @@
+// Package datagen generates the synthetic workloads the benchmark harness
+// uses in place of the paper's datasets (LP, IE, RC, ER are not
+// redistributable; see DESIGN.md "Substitutions"). Each generator matches
+// the structural statistics the paper's phenomena depend on: RC is sparse
+// with hundreds of connected components, IE is thousands of tiny cliques,
+// ER is one dense component with a cubic transitivity rule, LP is one
+// medium component. Example1 and Example2 are the paper's analytical
+// examples (Section 3.3/3.4).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tuffy/internal/mln"
+	"tuffy/internal/mrf"
+)
+
+// Dataset bundles a generated MLN instance.
+type Dataset struct {
+	Name  string
+	Prog  *mln.Program
+	Ev    *mln.Evidence
+	Query *mln.QueryDecl
+}
+
+// Stats summarizes a dataset for the paper's Table 1.
+type Stats struct {
+	Relations      int
+	Rules          int
+	Entities       int
+	EvidenceTuples int
+}
+
+// Table1Stats computes the dataset-statistics row.
+func (d *Dataset) Table1Stats() Stats {
+	ents := map[int32]struct{}{}
+	for _, dom := range d.Prog.Domains {
+		for _, c := range dom.Consts {
+			ents[c] = struct{}{}
+		}
+	}
+	return Stats{
+		Relations:      len(d.Prog.Preds),
+		Rules:          len(d.Prog.Clauses),
+		Entities:       len(ents),
+		EvidenceTuples: d.Ev.Total(),
+	}
+}
+
+// Example1 builds the MRF of the paper's Example 1: n independent
+// components, each with atoms {X_i, Y_i} and clauses
+// {(X_i, 1), (Y_i, 1), (X_i ∨ Y_i, -1)}. The optimum sets every atom true
+// (cost n); monolithic WalkSAT needs exponentially many steps in n to reach
+// it, component-aware search needs O(n) (Theorem 3.1 / Appendix B.5).
+func Example1(n int) *mrf.MRF {
+	m := mrf.New(2 * n)
+	for i := 0; i < n; i++ {
+		x := mrf.AtomID(2*i + 1)
+		y := mrf.AtomID(2*i + 2)
+		must(m.AddClause(1, x))
+		must(m.AddClause(1, y))
+		must(m.AddClause(-1, x, y))
+	}
+	return m
+}
+
+// Example2 builds the paper's Example 2 shape: two chain subgraphs of the
+// given size joined by a single bridge clause — a weakly connected MRF
+// where splitting at the bridge costs one cut clause but halves the search
+// space (Section 3.4).
+func Example2(sideSize int) *mrf.MRF {
+	m := mrf.New(2 * sideSize)
+	chain := func(base int) {
+		for i := 0; i < sideSize; i++ {
+			a := mrf.AtomID(base + i)
+			must(m.AddClause(1, a))
+			if i > 0 {
+				// prefer equal neighbours
+				prev := mrf.AtomID(base + i - 1)
+				must(m.AddClause(2, -prev, a))
+				must(m.AddClause(2, prev, -a))
+			}
+		}
+	}
+	chain(1)
+	chain(1 + sideSize)
+	// the bridge edge e = (a, b)
+	must(m.AddClause(0.5, mrf.AtomID(sideSize), mrf.AtomID(sideSize+1)))
+	return m
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// RCConfig sizes the Relational Classification generator.
+type RCConfig struct {
+	Papers     int // default 600
+	Authors    int // default 250
+	Categories int // default 6
+	Clusters   int // default 120: target number of components
+	LabelFrac  float64
+	Seed       int64
+}
+
+func (c RCConfig) withDefaults() RCConfig {
+	if c.Papers == 0 {
+		c.Papers = 600
+	}
+	if c.Authors == 0 {
+		c.Authors = 250
+	}
+	if c.Categories == 0 {
+		c.Categories = 6
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 120
+	}
+	if c.LabelFrac == 0 {
+		c.LabelFrac = 0.3
+	}
+	return c
+}
+
+// RC generates the Relational Classification dataset: the paper-Figure-1
+// program over a citation graph clustered into many weakly interacting
+// groups, giving an MRF with hundreds of components (paper: 489 on Cora).
+func RC(cfg RCConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	prog := mln.NewProgram()
+	paper, _ := prog.DeclarePredicate("paper", []string{"paperid", "url"}, true)
+	wrote, _ := prog.DeclarePredicate("wrote", []string{"author", "paperid"}, true)
+	refers, _ := prog.DeclarePredicate("refers", []string{"paperid", "paperid"}, true)
+	cat, _ := prog.DeclarePredicate("cat", []string{"paperid", "category"}, false)
+
+	cats := make([]int32, cfg.Categories)
+	for i := range cats {
+		cats[i] = prog.Constant("category", fmt.Sprintf("Cat%d", i))
+	}
+	net := cats[len(cats)-1] // plays "Networking" in F5
+
+	// Rules F1..F5 of Figure 1.
+	addRC := func(c *mln.Clause) {
+		if err := prog.AddClause(c); err != nil {
+			panic(err)
+		}
+	}
+	addRC(&mln.Clause{Weight: 5, Lits: []mln.Literal{
+		{Pred: cat, Negated: true, Args: []mln.Term{mln.V("p"), mln.V("c1")}},
+		{Pred: cat, Negated: true, Args: []mln.Term{mln.V("p"), mln.V("c2")}},
+		{Args: []mln.Term{mln.V("c1"), mln.V("c2")}},
+	}, Source: "F1"})
+	addRC(&mln.Clause{Weight: 1, Lits: []mln.Literal{
+		{Pred: wrote, Negated: true, Args: []mln.Term{mln.V("x"), mln.V("p1")}},
+		{Pred: wrote, Negated: true, Args: []mln.Term{mln.V("x"), mln.V("p2")}},
+		{Pred: cat, Negated: true, Args: []mln.Term{mln.V("p1"), mln.V("c")}},
+		{Pred: cat, Args: []mln.Term{mln.V("p2"), mln.V("c")}},
+	}, Source: "F2"})
+	addRC(&mln.Clause{Weight: 2, Lits: []mln.Literal{
+		{Pred: cat, Negated: true, Args: []mln.Term{mln.V("p1"), mln.V("c")}},
+		{Pred: refers, Negated: true, Args: []mln.Term{mln.V("p1"), mln.V("p2")}},
+		{Pred: cat, Args: []mln.Term{mln.V("p2"), mln.V("c")}},
+	}, Source: "F3"})
+	addRC(&mln.Clause{Weight: 1, Exist: []string{"x"}, Lits: []mln.Literal{
+		{Pred: paper, Negated: true, Args: []mln.Term{mln.V("p"), mln.V("u")}},
+		{Pred: wrote, Args: []mln.Term{mln.V("x"), mln.V("p")}},
+	}, Source: "F4"})
+	addRC(&mln.Clause{Weight: -0.5, Lits: []mln.Literal{
+		{Pred: cat, Args: []mln.Term{mln.V("p"), mln.C(net)}},
+	}, Source: "F5"})
+
+	ev := mln.NewEvidence(prog)
+	paperIDs := make([]int32, cfg.Papers)
+	for i := range paperIDs {
+		paperIDs[i] = prog.Constant("paperid", fmt.Sprintf("P%d", i))
+		u := prog.Constant("url", fmt.Sprintf("u%d", i))
+		must(ev.Assert(paper, []int32{paperIDs[i], u}, false))
+	}
+	authorIDs := make([]int32, cfg.Authors)
+	for i := range authorIDs {
+		authorIDs[i] = prog.Constant("author", fmt.Sprintf("A%d", i))
+	}
+
+	// Cluster structure: papers and authors are confined to clusters so the
+	// cat-MRF decomposes into ~Clusters components.
+	clusterOf := make([]int, cfg.Papers)
+	for i := range clusterOf {
+		clusterOf[i] = i % cfg.Clusters
+	}
+	authorCluster := make([]int, cfg.Authors)
+	for i := range authorCluster {
+		authorCluster[i] = i % cfg.Clusters
+	}
+	authorsInCluster := make([][]int32, cfg.Clusters)
+	for i, a := range authorIDs {
+		c := authorCluster[i]
+		authorsInCluster[c] = append(authorsInCluster[c], a)
+	}
+	papersInCluster := make([][]int32, cfg.Clusters)
+	for i, p := range paperIDs {
+		c := clusterOf[i]
+		papersInCluster[c] = append(papersInCluster[c], p)
+	}
+
+	for i, p := range paperIDs {
+		c := clusterOf[i]
+		as := authorsInCluster[c]
+		if len(as) == 0 {
+			as = authorIDs
+		}
+		// 1-2 authors from the paper's cluster.
+		na := 1 + rng.Intn(2)
+		for k := 0; k < na; k++ {
+			must(ev.Assert(wrote, []int32{as[rng.Intn(len(as))], p}, false))
+		}
+		// citations within the cluster
+		peers := papersInCluster[c]
+		if len(peers) > 1 && rng.Float64() < 0.8 {
+			q := peers[rng.Intn(len(peers))]
+			if q != p {
+				must(ev.Assert(refers, []int32{p, q}, false))
+			}
+		}
+	}
+	// Labels on a fraction of papers.
+	for i, p := range paperIDs {
+		if rng.Float64() < cfg.LabelFrac {
+			must(ev.Assert(cat, []int32{p, cats[(i+clusterOf[i])%len(cats)]}, false))
+		}
+	}
+
+	q := mln.NewQueryDecl()
+	q.Add(cat)
+	return &Dataset{Name: "RC", Prog: prog, Ev: ev, Query: q}
+}
+
+// IEConfig sizes the Information Extraction generator.
+type IEConfig struct {
+	Chains   int // default 1500 tiny candidate chains
+	MaxChain int // default 3 tokens
+	Fields   int // default 4 field types
+	Seed     int64
+}
+
+func (c IEConfig) withDefaults() IEConfig {
+	if c.Chains == 0 {
+		c.Chains = 1500
+	}
+	if c.MaxChain == 0 {
+		c.MaxChain = 3
+	}
+	if c.Fields == 0 {
+		c.Fields = 4
+	}
+	return c
+}
+
+// IE generates the Information Extraction dataset: segmentation of
+// citation-like token chains into fields. Each chain is independent, so
+// the MRF consists of thousands of 2- and 3-cliques (paper: 5341
+// components on the Citeseer task).
+func IE(cfg IEConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	prog := mln.NewProgram()
+	next, _ := prog.DeclarePredicate("next", []string{"token", "token"}, true)
+	hint, _ := prog.DeclarePredicate("hint", []string{"token", "field"}, true)
+	field, _ := prog.DeclarePredicate("field", []string{"token", "field"}, false)
+
+	add := func(c *mln.Clause) {
+		if err := prog.AddClause(c); err != nil {
+			panic(err)
+		}
+	}
+	// A token has at most one field.
+	add(&mln.Clause{Weight: 4, Lits: []mln.Literal{
+		{Pred: field, Negated: true, Args: []mln.Term{mln.V("t"), mln.V("f1")}},
+		{Pred: field, Negated: true, Args: []mln.Term{mln.V("t"), mln.V("f2")}},
+		{Args: []mln.Term{mln.V("f1"), mln.V("f2")}},
+	}, Source: "one-field"})
+	// Adjacent tokens tend to share a field.
+	add(&mln.Clause{Weight: 1, Lits: []mln.Literal{
+		{Pred: next, Negated: true, Args: []mln.Term{mln.V("t1"), mln.V("t2")}},
+		{Pred: field, Negated: true, Args: []mln.Term{mln.V("t1"), mln.V("f")}},
+		{Pred: field, Args: []mln.Term{mln.V("t2"), mln.V("f")}},
+	}, Source: "continuity"})
+	// Lexicon hints suggest fields.
+	add(&mln.Clause{Weight: 2, Lits: []mln.Literal{
+		{Pred: hint, Negated: true, Args: []mln.Term{mln.V("t"), mln.V("f")}},
+		{Pred: field, Args: []mln.Term{mln.V("t"), mln.V("f")}},
+	}, Source: "hint"})
+	// Weak prior against labelling: most candidate tokens are spurious.
+	// This gives every component a positive-cost optimum, which is what
+	// makes monolithic WalkSAT wander (the r(H) > 0 condition of
+	// Theorem 3.1; the paper reports r(H)=0.5 with |H|=1196 on IE).
+	add(&mln.Clause{Weight: -0.3, Lits: []mln.Literal{
+		{Pred: field, Args: []mln.Term{mln.V("t"), mln.V("f")}},
+	}, Source: "prior"})
+
+	ev := mln.NewEvidence(prog)
+	fields := make([]int32, cfg.Fields)
+	for i := range fields {
+		fields[i] = prog.Constant("field", fmt.Sprintf("F%d", i))
+	}
+	tok := 0
+	for c := 0; c < cfg.Chains; c++ {
+		n := 2 + rng.Intn(cfg.MaxChain-1)
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = prog.Constant("token", fmt.Sprintf("T%d", tok))
+			tok++
+		}
+		for i := 0; i+1 < n; i++ {
+			must(ev.Assert(next, []int32{ids[i], ids[i+1]}, false))
+		}
+		// one hint per chain
+		must(ev.Assert(hint, []int32{ids[rng.Intn(n)], fields[rng.Intn(len(fields))]}, false))
+	}
+
+	q := mln.NewQueryDecl()
+	q.Add(field)
+	return &Dataset{Name: "IE", Prog: prog, Ev: ev, Query: q}
+}
+
+// LPConfig sizes the Link Prediction generator.
+type LPConfig struct {
+	Profs    int // default 12
+	Students int // default 60
+	Courses  int // default 30
+	Seed     int64
+}
+
+func (c LPConfig) withDefaults() LPConfig {
+	if c.Profs == 0 {
+		c.Profs = 12
+	}
+	if c.Students == 0 {
+		c.Students = 60
+	}
+	if c.Courses == 0 {
+		c.Courses = 30
+	}
+	return c
+}
+
+// LP generates the Link Prediction dataset: predict student-adviser pairs
+// from a departmental database. Shared courses connect everything, so the
+// MRF is a single component (paper: 1 component, 4.6K query atoms).
+func LP(cfg LPConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	prog := mln.NewProgram()
+	taught, _ := prog.DeclarePredicate("taught", []string{"prof", "course"}, true)
+	ta, _ := prog.DeclarePredicate("ta", []string{"course", "student"}, true)
+	pub, _ := prog.DeclarePredicate("publishedWith", []string{"prof", "student"}, true)
+	sameGroup, _ := prog.DeclarePredicate("sameGroup", []string{"student", "student"}, true)
+	advisedBy, _ := prog.DeclarePredicate("advisedBy", []string{"student", "prof"}, false)
+
+	add := func(c *mln.Clause) {
+		if err := prog.AddClause(c); err != nil {
+			panic(err)
+		}
+	}
+	// TAing a professor's course suggests advising.
+	add(&mln.Clause{Weight: 1.5, Lits: []mln.Literal{
+		{Pred: taught, Negated: true, Args: []mln.Term{mln.V("p"), mln.V("c")}},
+		{Pred: ta, Negated: true, Args: []mln.Term{mln.V("c"), mln.V("s")}},
+		{Pred: advisedBy, Args: []mln.Term{mln.V("s"), mln.V("p")}},
+	}, Source: "ta-advise"})
+	// Co-publication strongly suggests advising.
+	add(&mln.Clause{Weight: 3, Lits: []mln.Literal{
+		{Pred: pub, Negated: true, Args: []mln.Term{mln.V("p"), mln.V("s")}},
+		{Pred: advisedBy, Args: []mln.Term{mln.V("s"), mln.V("p")}},
+	}, Source: "pub-advise"})
+	// A student has at most one adviser.
+	add(&mln.Clause{Weight: 6, Lits: []mln.Literal{
+		{Pred: advisedBy, Negated: true, Args: []mln.Term{mln.V("s"), mln.V("p1")}},
+		{Pred: advisedBy, Negated: true, Args: []mln.Term{mln.V("s"), mln.V("p2")}},
+		{Args: []mln.Term{mln.V("p1"), mln.V("p2")}},
+	}, Source: "one-adviser"})
+	// Lab mates tend to share an adviser — the rule that welds the MRF
+	// into one component (the paper's LP is a single component).
+	add(&mln.Clause{Weight: 0.8, Lits: []mln.Literal{
+		{Pred: sameGroup, Negated: true, Args: []mln.Term{mln.V("s1"), mln.V("s2")}},
+		{Pred: advisedBy, Negated: true, Args: []mln.Term{mln.V("s1"), mln.V("p")}},
+		{Pred: advisedBy, Args: []mln.Term{mln.V("s2"), mln.V("p")}},
+	}, Source: "labmates"})
+	// Few students are advised by nobody... modelled as a weak prior
+	// against advising (keeps most pairs false).
+	add(&mln.Clause{Weight: -0.2, Lits: []mln.Literal{
+		{Pred: advisedBy, Args: []mln.Term{mln.V("s"), mln.V("p")}},
+	}, Source: "prior"})
+
+	ev := mln.NewEvidence(prog)
+	profs := make([]int32, cfg.Profs)
+	for i := range profs {
+		profs[i] = prog.Constant("prof", fmt.Sprintf("Prof%d", i))
+	}
+	students := make([]int32, cfg.Students)
+	for i := range students {
+		students[i] = prog.Constant("student", fmt.Sprintf("S%d", i))
+	}
+	for i := 0; i < cfg.Courses; i++ {
+		c := prog.Constant("course", fmt.Sprintf("C%d", i))
+		must(ev.Assert(taught, []int32{profs[rng.Intn(len(profs))], c}, false))
+		// 1-3 TAs per course
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			must(ev.Assert(ta, []int32{c, students[rng.Intn(len(students))]}, false))
+		}
+	}
+	for i := range students {
+		if rng.Float64() < 0.4 {
+			must(ev.Assert(pub, []int32{profs[rng.Intn(len(profs))], students[i]}, false))
+		}
+	}
+	// A chain of lab-mate pairs connects all students into one component.
+	for i := 0; i+1 < len(students); i++ {
+		must(ev.Assert(sameGroup, []int32{students[i], students[i+1]}, false))
+	}
+
+	q := mln.NewQueryDecl()
+	q.Add(advisedBy)
+	return &Dataset{Name: "LP", Prog: prog, Ev: ev, Query: q}
+}
+
+// ERConfig sizes the Entity Resolution generator.
+type ERConfig struct {
+	Records int // default 70
+	Groups  int // default 20 true entities
+	Seed    int64
+}
+
+func (c ERConfig) withDefaults() ERConfig {
+	if c.Records == 0 {
+		c.Records = 70
+	}
+	if c.Groups == 0 {
+		c.Groups = 20
+	}
+	return c
+}
+
+// ER generates the Entity Resolution dataset: deduplicate citation records.
+// The transitivity rule over sameBib makes the MRF one dense component
+// whose clause count is cubic in the records (paper: ER is a single
+// component and even a 2-way partition cuts most clauses — Figure 6).
+func ER(cfg ERConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	prog := mln.NewProgram()
+	sim, _ := prog.DeclarePredicate("simHigh", []string{"rec", "rec"}, true)
+	same, _ := prog.DeclarePredicate("sameBib", []string{"rec", "rec"}, false)
+
+	add := func(c *mln.Clause) {
+		if err := prog.AddClause(c); err != nil {
+			panic(err)
+		}
+	}
+	// High similarity suggests identity.
+	add(&mln.Clause{Weight: 4, Lits: []mln.Literal{
+		{Pred: sim, Negated: true, Args: []mln.Term{mln.V("r1"), mln.V("r2")}},
+		{Pred: same, Args: []mln.Term{mln.V("r1"), mln.V("r2")}},
+	}, Source: "sim-same"})
+	// Symmetry.
+	add(&mln.Clause{Weight: 8, Lits: []mln.Literal{
+		{Pred: same, Negated: true, Args: []mln.Term{mln.V("r1"), mln.V("r2")}},
+		{Pred: same, Args: []mln.Term{mln.V("r2"), mln.V("r1")}},
+	}, Source: "symmetry"})
+	// Transitivity: the cubic rule that densifies the MRF.
+	add(&mln.Clause{Weight: 5, Lits: []mln.Literal{
+		{Pred: same, Negated: true, Args: []mln.Term{mln.V("r1"), mln.V("r2")}},
+		{Pred: same, Negated: true, Args: []mln.Term{mln.V("r2"), mln.V("r3")}},
+		{Pred: same, Args: []mln.Term{mln.V("r1"), mln.V("r3")}},
+	}, Source: "transitivity"})
+	// Prior against merging.
+	add(&mln.Clause{Weight: -1, Lits: []mln.Literal{
+		{Pred: same, Args: []mln.Term{mln.V("r1"), mln.V("r2")}},
+	}, Source: "prior"})
+
+	ev := mln.NewEvidence(prog)
+	recs := make([]int32, cfg.Records)
+	group := make([]int, cfg.Records)
+	for i := range recs {
+		recs[i] = prog.Constant("rec", fmt.Sprintf("R%d", i))
+		group[i] = rng.Intn(cfg.Groups)
+	}
+	// Similarity evidence: mostly within true groups, some noise.
+	for i := 0; i < cfg.Records; i++ {
+		for j := 0; j < cfg.Records; j++ {
+			if i == j {
+				continue
+			}
+			p := 0.02
+			if group[i] == group[j] {
+				p = 0.7
+			}
+			if rng.Float64() < p {
+				must(ev.Assert(sim, []int32{recs[i], recs[j]}, false))
+			}
+		}
+	}
+
+	q := mln.NewQueryDecl()
+	q.Add(same)
+	return &Dataset{Name: "ER", Prog: prog, Ev: ev, Query: q}
+}

@@ -1,0 +1,529 @@
+// Package db is the embedded relational engine ("minidb") that plays the
+// role PostgreSQL plays in the Tuffy paper: it stores the predicate and
+// clause tables, executes the grounding SQL produced by the bottom-up
+// grounder, and hosts the in-database search variant (Tuffy-mm). It wires
+// together the storage, index, exec, plan and sqlparse packages and exposes
+// Exec/Query plus a direct bulk-load path.
+package db
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tuffy/internal/db/exec"
+	"tuffy/internal/db/index"
+	"tuffy/internal/db/plan"
+	"tuffy/internal/db/sqlparse"
+	"tuffy/internal/db/storage"
+	"tuffy/internal/db/tuple"
+)
+
+// Config controls engine construction.
+type Config struct {
+	// BufferPoolPages caps the buffer pool (default 4096 pages = 32 MB).
+	BufferPoolPages int
+	// Plan holds the optimizer knobs (lesion-study switches).
+	Plan plan.Options
+	// Disk overrides the default in-memory disk (e.g. one with injected
+	// latency for I/O-cost experiments).
+	Disk storage.Disk
+}
+
+// DB is one engine instance.
+type DB struct {
+	mu       sync.Mutex
+	disk     storage.Disk
+	pool     *storage.BufferPool
+	tables   map[string]*Table
+	nextFile int32
+	planOpts plan.Options
+}
+
+// Open creates an engine.
+func Open(cfg Config) *DB {
+	if cfg.BufferPoolPages == 0 {
+		cfg.BufferPoolPages = 4096
+	}
+	d := cfg.Disk
+	if d == nil {
+		d = storage.NewMemDisk()
+	}
+	return &DB{
+		disk:     d,
+		pool:     storage.NewBufferPool(d, cfg.BufferPoolPages),
+		tables:   make(map[string]*Table),
+		nextFile: 1,
+		planOpts: cfg.Plan,
+	}
+}
+
+// Disk exposes the underlying disk (for I/O stats in experiments).
+func (db *DB) Disk() storage.Disk { return db.disk }
+
+// Pool exposes the buffer pool (for hit/miss stats in experiments).
+func (db *DB) Pool() *storage.BufferPool { return db.pool }
+
+// SetPlanOptions swaps the optimizer knobs (lesion study).
+func (db *DB) SetPlanOptions(o plan.Options) { db.planOpts = o }
+
+// PlanOptions returns the current optimizer knobs.
+func (db *DB) PlanOptions() plan.Options { return db.planOpts }
+
+// Table is one base table: heap storage, schema, statistics and optional
+// secondary indexes.
+type Table struct {
+	db   *DB
+	name string
+	sch  tuple.Schema
+	heap *storage.HeapFile
+
+	distinct []map[string]struct{} // per-column distinct tracking
+	hashIdx  map[string]*index.HashIndex
+	btreeIdx map[string]*index.BTree
+}
+
+// CreateTable creates a table; it fails if the name exists.
+func (db *DB) CreateTable(name string, sch tuple.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := db.tables[key]; dup {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	t := &Table{
+		db:       db,
+		name:     name,
+		sch:      sch,
+		heap:     storage.NewHeapFile(db.pool, db.nextFile),
+		distinct: make([]map[string]struct{}, sch.Arity()),
+		hashIdx:  make(map[string]*index.HashIndex),
+		btreeIdx: make(map[string]*index.BTree),
+	}
+	for i := range t.distinct {
+		t.distinct[i] = make(map[string]struct{})
+	}
+	db.nextFile++
+	db.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table from the catalog (storage is not reclaimed).
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("db: no table %q", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableMeta implements plan.Catalog.
+func (db *DB) TableMeta(name string) (plan.TableMeta, bool) {
+	t, ok := db.Table(name)
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema implements plan.TableMeta.
+func (t *Table) Schema() tuple.Schema { return t.sch }
+
+// RowCount implements plan.TableMeta.
+func (t *Table) RowCount() int64 { return t.heap.NumRecords() }
+
+// DistinctCount implements plan.TableMeta.
+func (t *Table) DistinctCount(col int) int64 {
+	if col < 0 || col >= len(t.distinct) {
+		return 0
+	}
+	return int64(len(t.distinct[col]))
+}
+
+// NewScan implements plan.TableMeta.
+func (t *Table) NewScan() exec.Iterator { return exec.NewSeqScan(t.heap, t.sch) }
+
+// Heap exposes the underlying heap file (used by the in-database search).
+func (t *Table) Heap() *storage.HeapFile { return t.heap }
+
+// Insert appends one row.
+func (t *Table) Insert(row tuple.Row) error {
+	rec, err := tuple.Encode(t.sch, row)
+	if err != nil {
+		return fmt.Errorf("db: insert into %s: %w", t.name, err)
+	}
+	rid, err := t.heap.Insert(rec)
+	if err != nil {
+		return err
+	}
+	for i := range t.sch.Cols {
+		t.distinct[i][tuple.EncodeKey(row, []int{i})] = struct{}{}
+	}
+	for cols, idx := range t.hashIdx {
+		idx.Insert(tuple.EncodeKey(row, parseColsKey(cols)), rid)
+	}
+	for cols, idx := range t.btreeIdx {
+		idx.Insert(tuple.EncodeKey(row, parseColsKey(cols)), rid)
+	}
+	return nil
+}
+
+// InsertMany bulk-loads rows.
+func (t *Table) InsertMany(rows []tuple.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// colsKey canonicalizes an index column list.
+func colsKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseColsKey(s string) []int {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		fmt.Sscan(p, &out[i])
+	}
+	return out
+}
+
+// BuildHashIndex builds (or rebuilds) a hash index on the column positions.
+func (t *Table) BuildHashIndex(cols []int) (*index.HashIndex, error) {
+	idx := index.NewHashIndex()
+	err := t.heap.Scan(func(rid storage.RecordID, rec []byte) error {
+		row, err := tuple.Decode(t.sch, rec)
+		if err != nil {
+			return err
+		}
+		idx.Insert(tuple.EncodeKey(row, cols), rid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.hashIdx[colsKey(cols)] = idx
+	return idx, nil
+}
+
+// BuildBTreeIndex builds (or rebuilds) a B-tree index on the column
+// positions.
+func (t *Table) BuildBTreeIndex(cols []int) (*index.BTree, error) {
+	idx := index.NewBTree()
+	err := t.heap.Scan(func(rid storage.RecordID, rec []byte) error {
+		row, err := tuple.Decode(t.sch, rec)
+		if err != nil {
+			return err
+		}
+		idx.Insert(tuple.EncodeKey(row, cols), rid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.btreeIdx[colsKey(cols)] = idx
+	return idx, nil
+}
+
+// HashIndexOn returns the hash index on cols if built.
+func (t *Table) HashIndexOn(cols []int) (*index.HashIndex, bool) {
+	idx, ok := t.hashIdx[colsKey(cols)]
+	return idx, ok
+}
+
+// Get decodes the row at rid; nil row if deleted.
+func (t *Table) Get(rid storage.RecordID) (tuple.Row, error) {
+	rec, err := t.heap.Get(rid)
+	if err != nil || rec == nil {
+		return nil, err
+	}
+	return tuple.Decode(t.sch, rec)
+}
+
+// UpdateAt overwrites the row at rid. The encoded size must match (true for
+// fixed-width schemas, which all engine-internal tables use).
+func (t *Table) UpdateAt(rid storage.RecordID, row tuple.Row) error {
+	rec, err := tuple.Encode(t.sch, row)
+	if err != nil {
+		return err
+	}
+	return t.heap.Update(rid, rec)
+}
+
+// ScanRows calls fn for each row with its record id.
+func (t *Table) ScanRows(fn func(rid storage.RecordID, row tuple.Row) error) error {
+	return t.heap.Scan(func(rid storage.RecordID, rec []byte) error {
+		row, err := tuple.Decode(t.sch, rec)
+		if err != nil {
+			return err
+		}
+		return fn(rid, row)
+	})
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	Schema tuple.Schema
+	Data   []tuple.Row
+}
+
+// Query parses, plans and executes a SELECT, materializing the result.
+func (db *DB) Query(sql string) (*Rows, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*plan.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("db: Query expects SELECT")
+	}
+	return db.runSelect(sel)
+}
+
+func (db *DB) runSelect(sel *plan.SelectStmt) (*Rows, error) {
+	p := plan.NewPlanner(db, db.planOpts)
+	it, err := p.Plan(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Schema: it.Schema(), Data: rows}, nil
+}
+
+// QueryIter plans a SELECT and returns the iterator without materializing;
+// the caller Opens/Closes it.
+func (db *DB) QueryIter(sql string) (exec.Iterator, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*plan.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("db: QueryIter expects SELECT")
+	}
+	p := plan.NewPlanner(db, db.planOpts)
+	return p.Plan(sel)
+}
+
+// Exec runs a DDL/DML statement and returns the number of affected rows.
+func (db *DB) Exec(sql string) (int64, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch s := stmt.(type) {
+	case *plan.CreateTableStmt:
+		_, err := db.CreateTable(s.Table, s.Sch)
+		return 0, err
+	case *plan.InsertStmt:
+		return db.execInsert(s)
+	case *plan.UpdateStmt:
+		return db.execUpdate(s)
+	case *plan.DeleteStmt:
+		return db.execDelete(s)
+	case *plan.SelectStmt:
+		rows, err := db.runSelect(s)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(rows.Data)), nil
+	default:
+		return 0, fmt.Errorf("db: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execInsert(s *plan.InsertStmt) (int64, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("db: no table %q", s.Table)
+	}
+	if s.Select != nil {
+		res, err := db.runSelect(s.Select)
+		if err != nil {
+			return 0, err
+		}
+		if res.Schema.Arity() != t.sch.Arity() {
+			return 0, fmt.Errorf("db: INSERT SELECT arity %d != table arity %d", res.Schema.Arity(), t.sch.Arity())
+		}
+		for _, row := range res.Data {
+			coerced, err := coerceRow(t.sch, row)
+			if err != nil {
+				return 0, err
+			}
+			if err := t.Insert(coerced); err != nil {
+				return 0, err
+			}
+		}
+		return int64(len(res.Data)), nil
+	}
+	var n int64
+	for _, row := range s.Rows {
+		coerced, err := coerceRow(t.sch, row)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.Insert(coerced); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// coerceRow checks kinds against the schema (no implicit conversions beyond
+// identical kinds).
+func coerceRow(sch tuple.Schema, row tuple.Row) (tuple.Row, error) {
+	if len(row) != sch.Arity() {
+		return nil, fmt.Errorf("db: row arity %d != %d", len(row), sch.Arity())
+	}
+	for i, c := range sch.Cols {
+		if row[i].Kind != c.Type {
+			return nil, fmt.Errorf("db: column %s expects %v, got %v", c.Name, c.Type, row[i].Kind)
+		}
+	}
+	return row, nil
+}
+
+// wherePred compiles conjunctive conditions against a single table schema.
+func wherePred(t *Table, where []plan.Cond) (exec.Expr, error) {
+	if len(where) == 0 {
+		return nil, nil
+	}
+	var preds []exec.Expr
+	for _, c := range where {
+		l, err := operandExpr(t, c.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := operandExpr(t, c.R)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, exec.Cmp{Op: c.Op, L: l, R: r})
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return exec.And{Kids: preds}, nil
+}
+
+func operandExpr(t *Table, o plan.Operand) (exec.Expr, error) {
+	if !o.IsCol {
+		return exec.Const{Val: o.Val}, nil
+	}
+	idx := t.sch.ColIndex(o.Col)
+	if idx < 0 {
+		return nil, fmt.Errorf("db: no column %q in %s", o.Col, t.name)
+	}
+	return exec.ColRef{Idx: idx, Name: o.Col}, nil
+}
+
+func (db *DB) execUpdate(s *plan.UpdateStmt) (int64, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("db: no table %q", s.Table)
+	}
+	col := t.sch.ColIndex(s.Col)
+	if col < 0 {
+		return 0, fmt.Errorf("db: no column %q in %s", s.Col, s.Table)
+	}
+	if t.sch.Cols[col].Type != s.Val.Kind {
+		return 0, fmt.Errorf("db: SET type mismatch on %s", s.Col)
+	}
+	pred, err := wherePred(t, s.Where)
+	if err != nil {
+		return 0, err
+	}
+	type match struct {
+		rid storage.RecordID
+		row tuple.Row
+	}
+	var matches []match
+	err = t.ScanRows(func(rid storage.RecordID, row tuple.Row) error {
+		ok, err := exec.EvalPred(pred, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			matches = append(matches, match{rid, row.Clone()})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range matches {
+		m.row[col] = s.Val
+		if err := t.UpdateAt(m.rid, m.row); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(matches)), nil
+}
+
+func (db *DB) execDelete(s *plan.DeleteStmt) (int64, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("db: no table %q", s.Table)
+	}
+	pred, err := wherePred(t, s.Where)
+	if err != nil {
+		return 0, err
+	}
+	var rids []storage.RecordID
+	err = t.ScanRows(func(rid storage.RecordID, row tuple.Row) error {
+		ok, err := exec.EvalPred(pred, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			rids = append(rids, rid)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, rid := range rids {
+		if err := t.heap.Delete(rid); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(rids)), nil
+}
+
+// TableNames lists the catalog (sorted order not guaranteed).
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.name)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tuffy/internal/db/tuple"
+)
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc int
+
+const (
+	AggCount AggFunc = iota // COUNT(*)
+	AggSum
+	AggMin
+	AggMax
+	AggArray // ARRAY_AGG over an integer expression
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggArray:
+		return "ARRAY_AGG"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate in the output list.
+type AggSpec struct {
+	Func AggFunc
+	Arg  Expr // nil for COUNT(*)
+	Name string
+}
+
+// HashAggregate groups the child's rows by GroupCols and computes Aggs per
+// group. Output schema: group columns (in GroupCols order) followed by one
+// column per aggregate. ARRAY_AGG output lists are sorted ascending for
+// determinism (the grounding layer relies on this when it builds existential
+// clauses).
+type HashAggregate struct {
+	Child     Iterator
+	GroupCols []int
+	Aggs      []AggSpec
+
+	sch    tuple.Schema
+	groups []tuple.Row
+	idx    int
+}
+
+type aggState struct {
+	count int64
+	sum   int64
+	min   tuple.Value
+	max   tuple.Value
+	has   bool
+	list  []int64
+}
+
+// NewHashAggregate builds a grouped aggregation.
+func NewHashAggregate(child Iterator, groupCols []int, aggs []AggSpec) *HashAggregate {
+	childSch := child.Schema()
+	var cols []tuple.Column
+	for _, g := range groupCols {
+		cols = append(cols, childSch.Cols[g])
+	}
+	for _, a := range aggs {
+		t := tuple.TInt
+		if a.Func == AggArray {
+			t = tuple.TIntList
+		}
+		name := a.Name
+		if name == "" {
+			name = a.Func.String()
+		}
+		cols = append(cols, tuple.Column{Name: name, Type: t})
+	}
+	return &HashAggregate{Child: child, GroupCols: groupCols, Aggs: aggs,
+		sch: tuple.Schema{Cols: cols}}
+}
+
+// Open implements Iterator: it consumes the child and materializes groups.
+func (h *HashAggregate) Open() error {
+	if err := h.Child.Open(); err != nil {
+		return err
+	}
+	type group struct {
+		key    tuple.Row
+		states []aggState
+	}
+	table := make(map[string]*group)
+	var order []string // deterministic output: first-seen order, then sorted
+	for {
+		row, ok, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := tuple.EncodeKey(row, h.GroupCols)
+		g := table[k]
+		if g == nil {
+			keyRow := make(tuple.Row, len(h.GroupCols))
+			for i, c := range h.GroupCols {
+				keyRow[i] = row[c]
+			}
+			g = &group{key: keyRow, states: make([]aggState, len(h.Aggs))}
+			table[k] = g
+			order = append(order, k)
+		}
+		for i, spec := range h.Aggs {
+			st := &g.states[i]
+			st.count++
+			if spec.Arg == nil {
+				continue
+			}
+			v, err := spec.Arg.Eval(row)
+			if err != nil {
+				return err
+			}
+			switch spec.Func {
+			case AggSum:
+				if v.Kind != tuple.TInt {
+					return fmt.Errorf("exec: SUM over non-integer")
+				}
+				st.sum += v.I
+			case AggMin:
+				if !st.has || v.Compare(st.min) < 0 {
+					st.min = v
+				}
+			case AggMax:
+				if !st.has || v.Compare(st.max) > 0 {
+					st.max = v
+				}
+			case AggArray:
+				if v.Kind != tuple.TInt {
+					return fmt.Errorf("exec: ARRAY_AGG over non-integer")
+				}
+				st.list = append(st.list, v.I)
+			}
+			st.has = true
+		}
+	}
+	if err := h.Child.Close(); err != nil {
+		return err
+	}
+	sort.Strings(order)
+	h.groups = h.groups[:0]
+	for _, k := range order {
+		g := table[k]
+		out := make(tuple.Row, 0, len(g.key)+len(h.Aggs))
+		out = append(out, g.key...)
+		for i, spec := range h.Aggs {
+			st := &g.states[i]
+			switch spec.Func {
+			case AggCount:
+				out = append(out, tuple.I64(st.count))
+			case AggSum:
+				out = append(out, tuple.I64(st.sum))
+			case AggMin:
+				out = append(out, st.min)
+			case AggMax:
+				out = append(out, st.max)
+			case AggArray:
+				sort.Slice(st.list, func(a, b int) bool { return st.list[a] < st.list[b] })
+				out = append(out, tuple.IntList(st.list))
+			}
+		}
+		h.groups = append(h.groups, out)
+	}
+	h.idx = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (h *HashAggregate) Next() (tuple.Row, bool, error) {
+	if h.idx >= len(h.groups) {
+		return nil, false, nil
+	}
+	r := h.groups[h.idx]
+	h.idx++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (h *HashAggregate) Close() error {
+	h.groups = nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (h *HashAggregate) Schema() tuple.Schema { return h.sch }

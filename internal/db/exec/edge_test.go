@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"testing"
+
+	"tuffy/internal/db/tuple"
+)
+
+func TestSeqScanNextBeforeOpen(t *testing.T) {
+	s := NewSeqScan(nil, intSchema("a"))
+	if _, _, err := s.Next(); err == nil {
+		t.Fatal("Next before Open accepted")
+	}
+}
+
+func TestValuesReopenRewinds(t *testing.T) {
+	v := NewValues(intSchema("a"), intRows([]int64{1}, []int64{2}))
+	for pass := 0; pass < 3; pass++ {
+		rows, err := Collect(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("pass %d: rows = %v", pass, rows)
+		}
+	}
+}
+
+func TestNestedLoopJoinReopensInner(t *testing.T) {
+	// NLJ must re-Open the inner side per outer row; Values rewinds on
+	// Open, so a 3x2 cross join sees the inner twice.
+	l := NewValues(intSchema("a"), intRows([]int64{1}, []int64{2}, []int64{3}))
+	r := NewValues(intSchema("b"), intRows([]int64{10}, []int64{20}))
+	rows, err := Collect(NewNestedLoopJoin(l, r, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("cross join = %d rows, want 6", len(rows))
+	}
+}
+
+func TestProjectArityMismatch(t *testing.T) {
+	v := NewValues(intSchema("a"), nil)
+	if _, err := NewProject(v, []Expr{ColRef{Idx: 0}}, []string{"x", "y"}); err == nil {
+		t.Fatal("name/expr count mismatch accepted")
+	}
+}
+
+func TestProjectColumnOutOfRange(t *testing.T) {
+	v := NewValues(intSchema("a"), intRows([]int64{1}))
+	p, err := NewProject(v, []Expr{ColRef{Idx: 5}}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Next(); err == nil {
+		t.Fatal("out-of-range column access accepted")
+	}
+	p.Close()
+}
+
+func TestSortMultiColumn(t *testing.T) {
+	v := NewValues(intSchema("a", "b"), intRows(
+		[]int64{2, 1}, []int64{1, 2}, []int64{1, 1}, []int64{2, 0}))
+	rows, err := Collect(NewSort(v, []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{1, 1}, {1, 2}, {2, 0}, {2, 1}}
+	for i, w := range want {
+		if rows[i][0].I != w[0] || rows[i][1].I != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, rows[i], w)
+		}
+	}
+}
+
+func TestHashJoinEmptyBuildSide(t *testing.T) {
+	l := NewValues(intSchema("a"), intRows([]int64{1}))
+	r := NewValues(intSchema("b"), nil)
+	rows, err := Collect(NewHashJoin(l, r, []int{0}, []int{0}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	v := NewValues(intSchema("a"), intRows([]int64{1}))
+	rows, err := Collect(NewLimit(v, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggMinMaxStrings(t *testing.T) {
+	sch := tuple.NewSchema(tuple.Col("g", tuple.TInt), tuple.Col("s", tuple.TString))
+	v := NewValues(sch, []tuple.Row{
+		{tuple.I64(1), tuple.Str("banana")},
+		{tuple.I64(1), tuple.Str("apple")},
+		{tuple.I64(1), tuple.Str("cherry")},
+	})
+	agg := NewHashAggregate(v, []int{0}, []AggSpec{
+		{Func: AggMin, Arg: ColRef{Idx: 1}, Name: "lo"},
+		{Func: AggMax, Arg: ColRef{Idx: 1}, Name: "hi"},
+	})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][1].S != "apple" || rows[0][2].S != "cherry" {
+		t.Fatalf("min/max = %v", rows[0])
+	}
+}
+
+func TestAggSumNonIntegerRejected(t *testing.T) {
+	sch := tuple.NewSchema(tuple.Col("s", tuple.TString))
+	v := NewValues(sch, []tuple.Row{{tuple.Str("x")}})
+	agg := NewHashAggregate(v, nil, []AggSpec{{Func: AggSum, Arg: ColRef{Idx: 0}}})
+	if err := agg.Open(); err == nil {
+		t.Fatal("SUM over string accepted")
+	}
+}
+
+func TestMergeJoinUnsortedInputsMissMatches(t *testing.T) {
+	// MergeJoin documents the sorted-input requirement; this pins the
+	// contract: unsorted inputs produce incomplete (not erroneous) output,
+	// which is why the planner always wraps inputs in Sort.
+	l := NewValues(intSchema("k"), intRows([]int64{2}, []int64{1}))
+	r := NewValues(intSchema("k"), intRows([]int64{1}, []int64{2}))
+	rows, err := Collect(NewMergeJoin(l, r, []int{0}, []int{0}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) > 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,361 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tuffy/internal/db/storage"
+	"tuffy/internal/db/tuple"
+)
+
+func intSchema(names ...string) tuple.Schema {
+	cols := make([]tuple.Column, len(names))
+	for i, n := range names {
+		cols[i] = tuple.Col(n, tuple.TInt)
+	}
+	return tuple.Schema{Cols: cols}
+}
+
+func intRows(vals ...[]int64) []tuple.Row {
+	rows := make([]tuple.Row, len(vals))
+	for i, v := range vals {
+		r := make(tuple.Row, len(v))
+		for j, x := range v {
+			r[j] = tuple.I64(x)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func TestSeqScanRoundTrip(t *testing.T) {
+	disk := storage.NewMemDisk()
+	pool := storage.NewBufferPool(disk, 16)
+	heap := storage.NewHeapFile(pool, 1)
+	sch := tuple.NewSchema(tuple.Col("id", tuple.TInt), tuple.Col("name", tuple.TString))
+	for i := 0; i < 1000; i++ {
+		rec, err := tuple.Encode(sch, tuple.Row{tuple.I64(int64(i)), tuple.Str(fmt.Sprintf("n%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := heap.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := Collect(NewSeqScan(heap, sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1000 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[7][0].I != 7 || rows[7][1].S != "n7" {
+		t.Fatalf("row 7 = %v", rows[7])
+	}
+}
+
+func TestFilterAndProject(t *testing.T) {
+	sch := intSchema("a", "b")
+	vals := NewValues(sch, intRows([]int64{1, 10}, []int64{2, 20}, []int64{3, 30}))
+	f := NewFilter(vals, Cmp{Op: CmpGt, L: ColRef{Idx: 0}, R: Const{tuple.I64(1)}})
+	p, err := NewProject(f, []Expr{ColRef{Idx: 1, Name: "b"}}, []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].I != 20 || rows[1][0].I != 30 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if p.Schema().Cols[0].Name != "b" {
+		t.Fatalf("schema = %v", p.Schema())
+	}
+}
+
+func TestExprBooleans(t *testing.T) {
+	row := tuple.Row{tuple.I64(5), tuple.Str("x")}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Cmp{CmpEq, ColRef{Idx: 0}, Const{tuple.I64(5)}}, true},
+		{Cmp{CmpNe, ColRef{Idx: 0}, Const{tuple.I64(5)}}, false},
+		{Cmp{CmpLt, ColRef{Idx: 0}, Const{tuple.I64(6)}}, true},
+		{Cmp{CmpGe, ColRef{Idx: 0}, Const{tuple.I64(6)}}, false},
+		{Cmp{CmpEq, ColRef{Idx: 1}, Const{tuple.Str("x")}}, true},
+		{And{[]Expr{Cmp{CmpEq, ColRef{Idx: 0}, Const{tuple.I64(5)}}, Cmp{CmpEq, ColRef{Idx: 1}, Const{tuple.Str("x")}}}}, true},
+		{And{[]Expr{Cmp{CmpEq, ColRef{Idx: 0}, Const{tuple.I64(5)}}, Cmp{CmpEq, ColRef{Idx: 1}, Const{tuple.Str("y")}}}}, false},
+		{Or{[]Expr{Cmp{CmpEq, ColRef{Idx: 0}, Const{tuple.I64(4)}}, Cmp{CmpEq, ColRef{Idx: 1}, Const{tuple.Str("x")}}}}, true},
+		{Not{Cmp{CmpEq, ColRef{Idx: 0}, Const{tuple.I64(5)}}}, false},
+	}
+	for i, c := range cases {
+		got, err := EvalPred(c.e, row)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d (%s): got %v want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprTypeMismatch(t *testing.T) {
+	row := tuple.Row{tuple.I64(5)}
+	_, err := Cmp{CmpEq, ColRef{Idx: 0}, Const{tuple.Str("5")}}.Eval(row)
+	if err == nil {
+		t.Fatal("comparing int with string should fail")
+	}
+}
+
+func joinInputs() (*Values, *Values) {
+	left := NewValues(intSchema("l1", "l2"), intRows(
+		[]int64{1, 100}, []int64{2, 200}, []int64{2, 201}, []int64{3, 300}))
+	right := NewValues(intSchema("r1", "r2"), intRows(
+		[]int64{2, 9000}, []int64{3, 9001}, []int64{3, 9002}, []int64{4, 9003}))
+	return left, right
+}
+
+// want: l1=r1 matches: (2,200,2,9000),(2,201,2,9000),(3,300,3,9001),(3,300,3,9002)
+func checkJoinResult(t *testing.T, rows []tuple.Row) {
+	t.Helper()
+	if len(rows) != 4 {
+		t.Fatalf("join produced %d rows: %v", len(rows), rows)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i][1].I != rows[j][1].I {
+			return rows[i][1].I < rows[j][1].I
+		}
+		return rows[i][3].I < rows[j][3].I
+	})
+	want := [][4]int64{
+		{2, 200, 2, 9000},
+		{2, 201, 2, 9000},
+		{3, 300, 3, 9001},
+		{3, 300, 3, 9002},
+	}
+	for i, w := range want {
+		for c := 0; c < 4; c++ {
+			if rows[i][c].I != w[c] {
+				t.Fatalf("row %d = %v, want %v", i, rows[i], w)
+			}
+		}
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	l, r := joinInputs()
+	j := NewNestedLoopJoin(l, r, Cmp{CmpEq, ColRef{Idx: 0}, ColRef{Idx: 2}})
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJoinResult(t, rows)
+}
+
+func TestHashJoin(t *testing.T) {
+	l, r := joinInputs()
+	j := NewHashJoin(l, r, []int{0}, []int{0}, nil)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJoinResult(t, rows)
+}
+
+func TestMergeJoin(t *testing.T) {
+	l, r := joinInputs()
+	j := NewMergeJoin(NewSort(l, []int{0}), NewSort(r, []int{0}), []int{0}, []int{0}, nil)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJoinResult(t, rows)
+}
+
+func TestJoinAlgorithmsAgreeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		nl, nr := r.Intn(30), r.Intn(30)
+		lrows := make([]tuple.Row, nl)
+		for i := range lrows {
+			lrows[i] = tuple.Row{tuple.I64(int64(r.Intn(8))), tuple.I64(int64(i))}
+		}
+		rrows := make([]tuple.Row, nr)
+		for i := range rrows {
+			rrows[i] = tuple.Row{tuple.I64(int64(r.Intn(8))), tuple.I64(int64(1000 + i))}
+		}
+		mk := func() (Iterator, Iterator) {
+			return NewValues(intSchema("lk", "lv"), lrows), NewValues(intSchema("rk", "rv"), rrows)
+		}
+		canon := func(rows []tuple.Row) []string {
+			out := make([]string, len(rows))
+			for i, row := range rows {
+				out[i] = fmt.Sprint(row)
+			}
+			sort.Strings(out)
+			return out
+		}
+		l1, r1 := mk()
+		nlRows, err := Collect(NewNestedLoopJoin(l1, r1, Cmp{CmpEq, ColRef{Idx: 0}, ColRef{Idx: 2}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, r2 := mk()
+		hjRows, err := Collect(NewHashJoin(l2, r2, []int{0}, []int{0}, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l3, r3 := mk()
+		mjRows, err := Collect(NewMergeJoin(NewSort(l3, []int{0}), NewSort(r3, []int{0}), []int{0}, []int{0}, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, c := canon(nlRows), canon(hjRows), canon(mjRows)
+		if fmt.Sprint(a) != fmt.Sprint(b) || fmt.Sprint(b) != fmt.Sprint(c) {
+			t.Fatalf("trial %d: joins disagree:\nNL=%v\nHJ=%v\nMJ=%v", trial, a, b, c)
+		}
+	}
+}
+
+func TestSortStableAndOrdered(t *testing.T) {
+	vals := NewValues(intSchema("k", "v"), intRows(
+		[]int64{3, 1}, []int64{1, 2}, []int64{2, 3}, []int64{1, 4}))
+	rows, err := Collect(NewSort(vals, []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []int64{rows[0][0].I, rows[1][0].I, rows[2][0].I, rows[3][0].I}
+	if fmt.Sprint(keys) != "[1 1 2 3]" {
+		t.Fatalf("keys = %v", keys)
+	}
+	// stability: (1,2) before (1,4)
+	if rows[0][1].I != 2 || rows[1][1].I != 4 {
+		t.Fatalf("sort not stable: %v", rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	vals := NewValues(intSchema("a"), intRows([]int64{1}, []int64{2}, []int64{1}, []int64{3}, []int64{2}))
+	rows, err := Collect(NewDistinct(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("distinct = %v", rows)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	vals := NewValues(intSchema("a"), intRows([]int64{1}, []int64{2}, []int64{3}))
+	rows, err := Collect(NewLimit(vals, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("limit = %v", rows)
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	vals := NewValues(intSchema("g", "x"), intRows(
+		[]int64{1, 10}, []int64{2, 5}, []int64{1, 20}, []int64{2, 7}, []int64{1, 30}))
+	agg := NewHashAggregate(vals, []int{0}, []AggSpec{
+		{Func: AggCount, Name: "cnt"},
+		{Func: AggSum, Arg: ColRef{Idx: 1}, Name: "total"},
+		{Func: AggMin, Arg: ColRef{Idx: 1}, Name: "lo"},
+		{Func: AggMax, Arg: ColRef{Idx: 1}, Name: "hi"},
+		{Func: AggArray, Arg: ColRef{Idx: 1}, Name: "all"},
+	})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups = %v", rows)
+	}
+	// Groups come out key-sorted.
+	g1 := rows[0]
+	if g1[0].I != 1 || g1[1].I != 3 || g1[2].I != 60 || g1[3].I != 10 || g1[4].I != 30 {
+		t.Fatalf("group 1 = %v", g1)
+	}
+	if fmt.Sprint(g1[5].List) != "[10 20 30]" {
+		t.Fatalf("array_agg = %v", g1[5].List)
+	}
+	g2 := rows[1]
+	if g2[0].I != 2 || g2[1].I != 2 || g2[2].I != 12 {
+		t.Fatalf("group 2 = %v", g2)
+	}
+}
+
+func TestHashAggregateNoGroups(t *testing.T) {
+	vals := NewValues(intSchema("x"), intRows([]int64{1}, []int64{2}, []int64{3}))
+	agg := NewHashAggregate(vals, nil, []AggSpec{{Func: AggCount, Name: "n"}})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].I != 3 {
+		t.Fatalf("count(*) = %v", rows)
+	}
+}
+
+func TestHashAggregateEmptyInput(t *testing.T) {
+	vals := NewValues(intSchema("g", "x"), nil)
+	agg := NewHashAggregate(vals, []int{0}, []AggSpec{{Func: AggCount}})
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestMergeJoinDuplicateHeavy(t *testing.T) {
+	// All-equal keys: output is the full cross product.
+	l := NewValues(intSchema("k", "v"), intRows([]int64{7, 1}, []int64{7, 2}, []int64{7, 3}))
+	r := NewValues(intSchema("k", "v"), intRows([]int64{7, 4}, []int64{7, 5}))
+	rows, err := Collect(NewMergeJoin(l, r, []int{0}, []int{0}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("cross join size = %d, want 6", len(rows))
+	}
+}
+
+func TestMergeJoinEmptySides(t *testing.T) {
+	empty := func() Iterator { return NewValues(intSchema("k"), nil) }
+	one := func() Iterator { return NewValues(intSchema("k"), intRows([]int64{1})) }
+	for name, pair := range map[string][2]Iterator{
+		"both-empty":  {empty(), empty()},
+		"left-empty":  {empty(), one()},
+		"right-empty": {one(), empty()},
+	} {
+		rows, err := Collect(NewMergeJoin(pair[0], pair[1], []int{0}, []int{0}, nil))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) != 0 {
+			t.Fatalf("%s: rows = %v", name, rows)
+		}
+	}
+}
+
+func TestHashJoinResidualPredicate(t *testing.T) {
+	l, r := joinInputs()
+	// keep only pairs where r2 is even
+	j := NewHashJoin(l, r, []int{0}, []int{0},
+		Cmp{CmpEq, ColRef{Idx: 3}, Const{tuple.I64(9000)}})
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("residual filter rows = %v", rows)
+	}
+}

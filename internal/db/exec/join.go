@@ -1,0 +1,337 @@
+package exec
+
+import (
+	"tuffy/internal/db/tuple"
+)
+
+// The three join algorithms of the engine. The paper's lesion study
+// (Table 6) shows that hash and sort-merge joins — not the optimizer's join
+// ordering — account for Tuffy's grounding speed-up over Alchemy's nested
+// loops, so all three are first-class and the planner can be pinned to any
+// of them.
+
+// NestedLoopJoin joins by re-scanning the inner (right) input per outer row.
+// The right child must support repeated Open/Close cycles. On is an optional
+// residual predicate over the concatenated row; nil means cross product.
+type NestedLoopJoin struct {
+	Left, Right Iterator
+	On          Expr
+
+	sch      tuple.Schema
+	leftRow  tuple.Row
+	haveLeft bool
+	out      tuple.Row
+}
+
+// NewNestedLoopJoin builds a nested-loop join.
+func NewNestedLoopJoin(left, right Iterator, on Expr) *NestedLoopJoin {
+	return &NestedLoopJoin{Left: left, Right: right, On: on,
+		sch: left.Schema().Concat(right.Schema())}
+}
+
+// Open implements Iterator.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.haveLeft = false
+	j.out = make(tuple.Row, j.sch.Arity())
+	return nil
+}
+
+// Next implements Iterator.
+func (j *NestedLoopJoin) Next() (tuple.Row, bool, error) {
+	for {
+		if !j.haveLeft {
+			lrow, ok, err := j.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.leftRow = lrow.Clone()
+			j.haveLeft = true
+			if err := j.Right.Open(); err != nil {
+				return nil, false, err
+			}
+		}
+		rrow, ok, err := j.Right.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if err := j.Right.Close(); err != nil {
+				return nil, false, err
+			}
+			j.haveLeft = false
+			continue
+		}
+		copy(j.out, j.leftRow)
+		copy(j.out[len(j.leftRow):], rrow)
+		pass, err := EvalPred(j.On, j.out)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return j.out, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *NestedLoopJoin) Close() error {
+	if j.haveLeft {
+		j.Right.Close()
+		j.haveLeft = false
+	}
+	return j.Left.Close()
+}
+
+// Schema implements Iterator.
+func (j *NestedLoopJoin) Schema() tuple.Schema { return j.sch }
+
+// HashJoin is an equi-join: it builds a hash table on the right input keyed
+// by RightKeys, then probes with LeftKeys. Residual is an optional extra
+// predicate over the concatenated row.
+type HashJoin struct {
+	Left, Right Iterator
+	LeftKeys    []int
+	RightKeys   []int
+	Residual    Expr
+
+	sch     tuple.Schema
+	table   map[string][]tuple.Row
+	matches []tuple.Row
+	midx    int
+	leftRow tuple.Row
+	out     tuple.Row
+}
+
+// NewHashJoin builds a hash join on the given key column positions.
+func NewHashJoin(left, right Iterator, leftKeys, rightKeys []int, residual Expr) *HashJoin {
+	return &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys,
+		Residual: residual, sch: left.Schema().Concat(right.Schema())}
+}
+
+// Open implements Iterator; it materializes the build side.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]tuple.Row)
+	for {
+		row, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := tuple.EncodeKey(row, j.RightKeys)
+		j.table[k] = append(j.table[k], row.Clone())
+	}
+	if err := j.Right.Close(); err != nil {
+		return err
+	}
+	j.matches = nil
+	j.midx = 0
+	j.out = make(tuple.Row, j.sch.Arity())
+	return nil
+}
+
+// Next implements Iterator.
+func (j *HashJoin) Next() (tuple.Row, bool, error) {
+	for {
+		for j.midx < len(j.matches) {
+			m := j.matches[j.midx]
+			j.midx++
+			copy(j.out, j.leftRow)
+			copy(j.out[len(j.leftRow):], m)
+			pass, err := EvalPred(j.Residual, j.out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return j.out, true, nil
+			}
+		}
+		lrow, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.leftRow = lrow.Clone()
+		j.matches = j.table[tuple.EncodeKey(lrow, j.LeftKeys)]
+		j.midx = 0
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.matches = nil
+	return j.Left.Close()
+}
+
+// Schema implements Iterator.
+func (j *HashJoin) Schema() tuple.Schema { return j.sch }
+
+// BuildSize returns the number of buckets in the build table (after Open);
+// used by tests.
+func (j *HashJoin) BuildSize() int { return len(j.table) }
+
+// MergeJoin is an equi-join over inputs sorted on the key columns. Both
+// inputs must already be ordered by their key columns ascending (wrap in a
+// Sort otherwise). Residual is an optional extra predicate.
+type MergeJoin struct {
+	Left, Right Iterator
+	LeftKeys    []int
+	RightKeys   []int
+	Residual    Expr
+
+	sch   tuple.Schema
+	lrow  tuple.Row
+	lok   bool
+	group []tuple.Row // current right-side group with equal key
+	gidx  int
+	gkey  string
+	rbuf  tuple.Row // lookahead right row
+	rok   bool
+	out   tuple.Row
+	init  bool
+}
+
+// NewMergeJoin builds a sort-merge join; inputs must be key-sorted.
+func NewMergeJoin(left, right Iterator, leftKeys, rightKeys []int, residual Expr) *MergeJoin {
+	return &MergeJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys,
+		Residual: residual, sch: left.Schema().Concat(right.Schema())}
+}
+
+// Open implements Iterator.
+func (j *MergeJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.out = make(tuple.Row, j.sch.Arity())
+	j.group = nil
+	j.gidx = 0
+	j.init = false
+	return nil
+}
+
+func (j *MergeJoin) advanceLeft() error {
+	row, ok, err := j.Left.Next()
+	if err != nil {
+		return err
+	}
+	j.lok = ok
+	if ok {
+		j.lrow = row.Clone()
+	}
+	return nil
+}
+
+func (j *MergeJoin) advanceRight() error {
+	row, ok, err := j.Right.Next()
+	if err != nil {
+		return err
+	}
+	j.rok = ok
+	if ok {
+		j.rbuf = row.Clone()
+	}
+	return nil
+}
+
+// loadGroup gathers all right rows whose key equals j.rbuf's key.
+func (j *MergeJoin) loadGroup() error {
+	j.group = j.group[:0]
+	j.gkey = tuple.EncodeKey(j.rbuf, j.RightKeys)
+	for j.rok && tuple.EncodeKey(j.rbuf, j.RightKeys) == j.gkey {
+		j.group = append(j.group, j.rbuf)
+		if err := j.advanceRight(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Iterator.
+func (j *MergeJoin) Next() (tuple.Row, bool, error) {
+	if !j.init {
+		j.init = true
+		if err := j.advanceLeft(); err != nil {
+			return nil, false, err
+		}
+		if err := j.advanceRight(); err != nil {
+			return nil, false, err
+		}
+		if j.rok {
+			if err := j.loadGroup(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	for {
+		if !j.lok {
+			return nil, false, nil
+		}
+		lkey := tuple.EncodeKey(j.lrow, j.LeftKeys)
+		// Position the right group at or above the left key.
+		for len(j.group) > 0 && j.gkey < lkey {
+			if !j.rok {
+				j.group = j.group[:0]
+				break
+			}
+			if err := j.loadGroup(); err != nil {
+				return nil, false, err
+			}
+		}
+		if len(j.group) == 0 || j.gkey > lkey {
+			// No match for this left row.
+			if len(j.group) == 0 && !j.rok {
+				return nil, false, nil
+			}
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			j.gidx = 0
+			continue
+		}
+		// gkey == lkey: emit pairs.
+		for j.gidx < len(j.group) {
+			m := j.group[j.gidx]
+			j.gidx++
+			copy(j.out, j.lrow)
+			copy(j.out[len(j.lrow):], m)
+			pass, err := EvalPred(j.Residual, j.out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return j.out, true, nil
+			}
+		}
+		j.gidx = 0
+		if err := j.advanceLeft(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *MergeJoin) Close() error {
+	j.group = nil
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator.
+func (j *MergeJoin) Schema() tuple.Schema { return j.sch }

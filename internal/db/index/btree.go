@@ -1,0 +1,166 @@
+package index
+
+import (
+	"sort"
+
+	"tuffy/internal/db/storage"
+)
+
+// BTree is an in-memory B-tree keyed by order-preserving byte strings
+// (tuple.EncodeKey). It supports point lookups, ordered iteration, and
+// range scans — what the engine needs for index-nested-loop joins and
+// sort-avoidance in merge joins.
+type BTree struct {
+	root    *btNode
+	degree  int // max children per interior node
+	entries int
+}
+
+type btItem struct {
+	key  string
+	rids []storage.RecordID
+}
+
+type btNode struct {
+	items    []btItem
+	children []*btNode // nil for leaves
+}
+
+func (n *btNode) leaf() bool { return n.children == nil }
+
+// NewBTree returns an empty B-tree with a branching factor suited to
+// in-memory use.
+func NewBTree() *BTree {
+	return &BTree{degree: 64, root: &btNode{}}
+}
+
+// Len returns the number of (key, rid) entries.
+func (t *BTree) Len() int { return t.entries }
+
+// Insert adds a key -> rid mapping. Duplicate keys accumulate rids on one
+// item.
+func (t *BTree) Insert(key string, rid storage.RecordID) {
+	t.entries++
+	if len(t.root.items) >= 2*t.degree-1 {
+		old := t.root
+		t.root = &btNode{children: []*btNode{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key, rid)
+}
+
+func (t *BTree) insertNonFull(n *btNode, key string, rid storage.RecordID) {
+	i := sort.Search(len(n.items), func(j int) bool { return n.items[j].key >= key })
+	if i < len(n.items) && n.items[i].key == key {
+		n.items[i].rids = append(n.items[i].rids, rid)
+		return
+	}
+	if n.leaf() {
+		n.items = append(n.items, btItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = btItem{key: key, rids: []storage.RecordID{rid}}
+		return
+	}
+	if len(n.children[i].items) >= 2*t.degree-1 {
+		t.splitChild(n, i)
+		if key > n.items[i].key {
+			i++
+		} else if key == n.items[i].key {
+			n.items[i].rids = append(n.items[i].rids, rid)
+			return
+		}
+	}
+	t.insertNonFull(n.children[i], key, rid)
+}
+
+func (t *BTree) splitChild(parent *btNode, i int) {
+	child := parent.children[i]
+	mid := t.degree - 1
+	midItem := child.items[mid]
+
+	right := &btNode{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	parent.items = append(parent.items, btItem{})
+	copy(parent.items[i+1:], parent.items[i:])
+	parent.items[i] = midItem
+
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+// Lookup returns all rids stored under key.
+func (t *BTree) Lookup(key string) []storage.RecordID {
+	n := t.root
+	for {
+		i := sort.Search(len(n.items), func(j int) bool { return n.items[j].key >= key })
+		if i < len(n.items) && n.items[i].key == key {
+			return n.items[i].rids
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+}
+
+// Ascend calls fn for every (key, rids) pair in ascending key order until fn
+// returns false.
+func (t *BTree) Ascend(fn func(key string, rids []storage.RecordID) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *BTree) ascend(n *btNode, fn func(string, []storage.RecordID) bool) bool {
+	for i, it := range n.items {
+		if !n.leaf() {
+			if !t.ascend(n.children[i], fn) {
+				return false
+			}
+		}
+		if !fn(it.key, it.rids) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascend(n.children[len(n.items)], fn)
+	}
+	return true
+}
+
+// AscendRange calls fn for keys in [lo, hi) in ascending order until fn
+// returns false. An empty hi means "no upper bound".
+func (t *BTree) AscendRange(lo, hi string, fn func(key string, rids []storage.RecordID) bool) {
+	t.Ascend(func(key string, rids []storage.RecordID) bool {
+		if key < lo {
+			return true
+		}
+		if hi != "" && key >= hi {
+			return false
+		}
+		return fn(key, rids)
+	})
+}
+
+// DistinctKeys returns the number of distinct keys.
+func (t *BTree) DistinctKeys() int {
+	n := 0
+	t.Ascend(func(string, []storage.RecordID) bool { n++; return true })
+	return n
+}
+
+// Height returns the tree height (1 for a lone leaf); used in tests.
+func (t *BTree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf() {
+		h++
+		n = n.children[0]
+	}
+	return h
+}

@@ -1,0 +1,55 @@
+// Package index provides the two secondary-index structures the optimizer
+// can choose between: an equality hash index and an ordered B-tree index.
+// Both map encoded key bytes (tuple.EncodeKey) to heap-file record ids.
+package index
+
+import (
+	"tuffy/internal/db/storage"
+)
+
+// HashIndex is an in-memory equality index: key bytes -> record ids.
+type HashIndex struct {
+	buckets map[string][]storage.RecordID
+	entries int
+}
+
+// NewHashIndex returns an empty hash index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{buckets: make(map[string][]storage.RecordID)}
+}
+
+// Insert adds one key -> rid mapping. Duplicate keys accumulate.
+func (h *HashIndex) Insert(key string, rid storage.RecordID) {
+	h.buckets[key] = append(h.buckets[key], rid)
+	h.entries++
+}
+
+// Lookup returns all record ids with the key.
+func (h *HashIndex) Lookup(key string) []storage.RecordID {
+	return h.buckets[key]
+}
+
+// Delete removes one mapping (key, rid); it is a no-op if absent.
+func (h *HashIndex) Delete(key string, rid storage.RecordID) {
+	ids := h.buckets[key]
+	for i, id := range ids {
+		if id == rid {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			h.entries--
+			if len(ids) == 0 {
+				delete(h.buckets, key)
+			} else {
+				h.buckets[key] = ids
+			}
+			return
+		}
+	}
+}
+
+// Len returns the number of (key, rid) entries.
+func (h *HashIndex) Len() int { return h.entries }
+
+// DistinctKeys returns the number of distinct keys (used by the optimizer's
+// cardinality estimates).
+func (h *HashIndex) DistinctKeys() int { return len(h.buckets) }

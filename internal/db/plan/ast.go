@@ -1,0 +1,130 @@
+// Package plan turns parsed SQL statements into executable operator trees.
+// It implements the relational-optimizer features the Tuffy paper credits
+// for its grounding speed-up (Section 4.2 and Appendix C.2): predicate
+// pushdown, cost-based join ordering, and join-algorithm selection between
+// hash, sort-merge and nested-loop joins. The paper's lesion study (Table 6)
+// is reproduced through the Options knobs: ForceJoinOrder pins the FROM
+// order, NestedLoopOnly disables hash/merge joins.
+package plan
+
+import (
+	"fmt"
+
+	"tuffy/internal/db/exec"
+	"tuffy/internal/db/tuple"
+)
+
+// Operand is one side of a condition: a column reference or a literal.
+type Operand struct {
+	IsCol bool
+	Table string // alias (may be empty if unambiguous)
+	Col   string
+	Val   tuple.Value
+}
+
+// ColOp makes a column operand.
+func ColOp(table, col string) Operand { return Operand{IsCol: true, Table: table, Col: col} }
+
+// ValOp makes a literal operand.
+func ValOp(v tuple.Value) Operand { return Operand{Val: v} }
+
+func (o Operand) String() string {
+	if o.IsCol {
+		if o.Table != "" {
+			return o.Table + "." + o.Col
+		}
+		return o.Col
+	}
+	return o.Val.String()
+}
+
+// Cond is a binary comparison in a WHERE conjunction.
+type Cond struct {
+	Op   exec.CmpOp
+	L, R Operand
+}
+
+func (c Cond) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// ProjKind enumerates projection item kinds.
+type ProjKind int
+
+const (
+	ProjCol ProjKind = iota
+	ProjConst
+	ProjAgg
+	ProjStar
+)
+
+// ProjItem is one item of a SELECT list.
+type ProjItem struct {
+	Kind  ProjKind
+	Col   Operand      // for ProjCol
+	Val   tuple.Value  // for ProjConst
+	Agg   exec.AggFunc // for ProjAgg
+	Arg   *Operand     // aggregate argument; nil for COUNT(*)
+	Alias string
+}
+
+// FromItem names a base table with an optional alias.
+type FromItem struct {
+	Table string
+	Alias string
+}
+
+// Name returns the effective range-variable name.
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Table
+}
+
+// SelectStmt is the supported SELECT shape: conjunctive filters over a join
+// of base tables with optional grouping, ordering and limit.
+type SelectStmt struct {
+	Distinct bool
+	Proj     []ProjItem
+	From     []FromItem
+	Where    []Cond
+	GroupBy  []Operand
+	OrderBy  []Operand
+	Limit    int64 // -1 = no limit
+}
+
+// InsertStmt inserts literal rows or a SELECT result.
+type InsertStmt struct {
+	Table  string
+	Rows   []tuple.Row // literal form
+	Select *SelectStmt // SELECT form (exactly one of Rows/Select set)
+}
+
+// UpdateStmt sets one column to a constant on rows matching conjunctive
+// conditions (enough for in-database search state updates).
+type UpdateStmt struct {
+	Table string
+	Col   string
+	Val   tuple.Value
+	Where []Cond
+}
+
+// DeleteStmt removes rows matching conjunctive conditions.
+type DeleteStmt struct {
+	Table string
+	Where []Cond
+}
+
+// CreateTableStmt declares a new table.
+type CreateTableStmt struct {
+	Table string
+	Sch   tuple.Schema
+}
+
+// Statement is a parsed SQL statement (one of the concrete types above).
+type Statement interface{ stmt() }
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}

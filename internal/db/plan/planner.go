@@ -1,0 +1,678 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tuffy/internal/db/exec"
+	"tuffy/internal/db/tuple"
+)
+
+// Catalog resolves table names for the planner.
+type Catalog interface {
+	TableMeta(name string) (TableMeta, bool)
+}
+
+// TableMeta is what the planner needs to know about a base table: its
+// schema, statistics for cardinality estimation, and a way to scan it.
+type TableMeta interface {
+	Schema() tuple.Schema
+	RowCount() int64
+	// DistinctCount estimates the number of distinct values in a column.
+	DistinctCount(col int) int64
+	// NewScan returns a fresh full-table scan iterator.
+	NewScan() exec.Iterator
+}
+
+// JoinAlgorithm selects the physical join operator.
+type JoinAlgorithm int
+
+const (
+	JoinAuto JoinAlgorithm = iota // hash for equi-joins, NLJ otherwise
+	JoinHashOnly
+	JoinMergeOnly
+	JoinNestedLoopOnly
+)
+
+// Options are the optimizer knobs. The zero value is the full optimizer.
+// The Table 6 lesion study sets ForceJoinOrder and JoinNestedLoopOnly.
+type Options struct {
+	// ForceJoinOrder pins the join order to the FROM-clause order
+	// (left-deep), disabling cost-based reordering.
+	ForceJoinOrder bool
+	// Algorithm restricts physical join selection.
+	Algorithm JoinAlgorithm
+	// DisablePushdown keeps single-table predicates above joins. (Not used
+	// by the paper's lesion study but exposed for ablations.)
+	DisablePushdown bool
+}
+
+// Planner compiles SelectStmts to executable iterators.
+type Planner struct {
+	Cat  Catalog
+	Opts Options
+}
+
+// NewPlanner returns a planner over cat with opts.
+func NewPlanner(cat Catalog, opts Options) *Planner {
+	return &Planner{Cat: cat, Opts: opts}
+}
+
+// relation is one input of the join search.
+type relation struct {
+	item    FromItem
+	meta    TableMeta
+	sch     tuple.Schema // alias-qualified column names
+	filters []Cond
+	card    float64 // estimated cardinality after filters
+}
+
+// Plan compiles a SELECT into an iterator tree. The result's schema has the
+// projection aliases as column names.
+func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("plan: SELECT requires FROM")
+	}
+	rels := make([]*relation, len(stmt.From))
+	seen := map[string]bool{}
+	for i, f := range stmt.From {
+		meta, ok := p.Cat.TableMeta(f.Table)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %q", f.Table)
+		}
+		name := f.Name()
+		if seen[strings.ToLower(name)] {
+			return nil, fmt.Errorf("plan: duplicate range variable %q", name)
+		}
+		seen[strings.ToLower(name)] = true
+		base := meta.Schema()
+		cols := make([]tuple.Column, len(base.Cols))
+		for j, c := range base.Cols {
+			cols[j] = tuple.Column{Name: name + "." + c.Name, Type: c.Type}
+		}
+		rels[i] = &relation{item: f, meta: meta, sch: tuple.Schema{Cols: cols}}
+	}
+
+	// Split WHERE into single-relation filters and join conditions.
+	var joinConds []Cond
+	for _, c := range stmt.Where {
+		lRel, err := p.condRelation(rels, c.L)
+		if err != nil {
+			return nil, err
+		}
+		rRel, err := p.condRelation(rels, c.R)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case lRel == nil && rRel == nil:
+			// constant condition: keep as global filter on first relation
+			rels[0].filters = append(rels[0].filters, c)
+		case lRel != nil && (rRel == nil || rRel == lRel):
+			lRel.filters = append(lRel.filters, c)
+		case lRel == nil && rRel != nil:
+			rRel.filters = append(rRel.filters, c)
+		default:
+			joinConds = append(joinConds, c)
+		}
+	}
+
+	for _, r := range rels {
+		r.card = p.estimateFiltered(r)
+	}
+
+	order, err := p.joinOrder(rels, joinConds)
+	if err != nil {
+		return nil, err
+	}
+
+	// With pushdown disabled, single-relation filters are held back and
+	// applied above the join instead (same semantics, worse plan — the
+	// ablation knob must not change results).
+	var heldBack []Cond
+	if p.Opts.DisablePushdown {
+		for _, r := range rels {
+			for _, c := range r.filters {
+				// Qualify column operands so they stay unambiguous when
+				// resolved against the joined schema.
+				if c.L.IsCol && c.L.Table == "" {
+					c.L.Table = r.item.Name()
+				}
+				if c.R.IsCol && c.R.Table == "" {
+					c.R.Table = r.item.Name()
+				}
+				heldBack = append(heldBack, c)
+			}
+		}
+	}
+
+	// Build the left-deep tree following order.
+	cur, err := p.scanWithFilters(order[0])
+	if err != nil {
+		return nil, err
+	}
+	curSch := cur.Schema()
+	remaining := append([]Cond(nil), joinConds...)
+	for _, r := range order[1:] {
+		right, err := p.scanWithFilters(r)
+		if err != nil {
+			return nil, err
+		}
+		nextSch := curSch.Concat(right.Schema())
+		// Find applicable join conditions: both sides resolvable, one in
+		// cur, one in right.
+		var eqL, eqR []int
+		var residual []exec.Expr
+		var rest []Cond
+		for _, c := range remaining {
+			le, lok := resolveOperand(c.L, nextSch)
+			re, rok := resolveOperand(c.R, nextSch)
+			if !lok || !rok {
+				rest = append(rest, c)
+				continue
+			}
+			lIdx, lIsCol := colIndex(le)
+			rIdx, rIsCol := colIndex(re)
+			if c.Op == exec.CmpEq && lIsCol && rIsCol {
+				switch {
+				case lIdx < curSch.Arity() && rIdx >= curSch.Arity():
+					eqL = append(eqL, lIdx)
+					eqR = append(eqR, rIdx-curSch.Arity())
+					continue
+				case rIdx < curSch.Arity() && lIdx >= curSch.Arity():
+					eqL = append(eqL, rIdx)
+					eqR = append(eqR, lIdx-curSch.Arity())
+					continue
+				}
+			}
+			residual = append(residual, exec.Cmp{Op: c.Op, L: le, R: re})
+		}
+		remaining = rest
+		var res exec.Expr
+		if len(residual) == 1 {
+			res = residual[0]
+		} else if len(residual) > 1 {
+			res = exec.And{Kids: residual}
+		}
+		cur = p.physicalJoin(cur, right, eqL, eqR, res)
+		curSch = cur.Schema()
+	}
+	if len(remaining) > 0 {
+		// Conditions referencing unknown columns.
+		return nil, fmt.Errorf("plan: unresolved condition %v", remaining[0])
+	}
+	if len(heldBack) > 0 {
+		var preds []exec.Expr
+		for _, c := range heldBack {
+			le, lok := resolveOperand(c.L, curSch)
+			re, rok := resolveOperand(c.R, curSch)
+			if !lok || !rok {
+				return nil, fmt.Errorf("plan: cannot resolve held-back filter %v", c)
+			}
+			preds = append(preds, exec.Cmp{Op: c.Op, L: le, R: re})
+		}
+		var pred exec.Expr
+		if len(preds) == 1 {
+			pred = preds[0]
+		} else {
+			pred = exec.And{Kids: preds}
+		}
+		cur = exec.NewFilter(cur, pred)
+	}
+
+	// Grouping / aggregation.
+	hasAgg := false
+	for _, it := range stmt.Proj {
+		if it.Kind == ProjAgg {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(stmt.GroupBy) > 0 {
+		it, sch, err := p.buildAggregate(cur, curSch, stmt)
+		if err != nil {
+			return nil, err
+		}
+		cur, curSch = it, sch
+	} else {
+		it, sch, err := p.buildProject(cur, curSch, stmt.Proj)
+		if err != nil {
+			return nil, err
+		}
+		cur, curSch = it, sch
+	}
+
+	if stmt.Distinct {
+		cur = exec.NewDistinct(cur)
+	}
+	if len(stmt.OrderBy) > 0 {
+		var cols []int
+		for _, o := range stmt.OrderBy {
+			idx := curSch.ColIndex(qualName(o))
+			if idx < 0 {
+				idx = curSch.ColIndex(o.Col)
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("plan: ORDER BY column %s not in output", o)
+			}
+			cols = append(cols, idx)
+		}
+		cur = exec.NewSort(cur, cols)
+	}
+	if stmt.Limit >= 0 {
+		cur = exec.NewLimit(cur, stmt.Limit)
+	}
+	return cur, nil
+}
+
+func qualName(o Operand) string {
+	if o.Table != "" {
+		return o.Table + "." + o.Col
+	}
+	return o.Col
+}
+
+// condRelation finds which relation an operand's column belongs to (nil for
+// literals). Ambiguous unqualified names are an error.
+func (p *Planner) condRelation(rels []*relation, o Operand) (*relation, error) {
+	if !o.IsCol {
+		return nil, nil
+	}
+	var found *relation
+	for _, r := range rels {
+		if o.Table != "" && !strings.EqualFold(o.Table, r.item.Name()) {
+			continue
+		}
+		if r.sch.ColIndex(r.item.Name()+"."+o.Col) >= 0 {
+			if found != nil {
+				return nil, fmt.Errorf("plan: ambiguous column %q", o.Col)
+			}
+			found = r
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("plan: unknown column %s", o)
+	}
+	return found, nil
+}
+
+// resolveOperand turns an operand into an expression over sch.
+func resolveOperand(o Operand, sch tuple.Schema) (exec.Expr, bool) {
+	if !o.IsCol {
+		return exec.Const{Val: o.Val}, true
+	}
+	if o.Table != "" {
+		idx := sch.ColIndex(o.Table + "." + o.Col)
+		if idx < 0 {
+			return nil, false
+		}
+		return exec.ColRef{Idx: idx, Name: o.Table + "." + o.Col}, true
+	}
+	// Unqualified: match by suffix.
+	idx := -1
+	for i, c := range sch.Cols {
+		if strings.EqualFold(c.Name, o.Col) || strings.HasSuffix(strings.ToLower(c.Name), "."+strings.ToLower(o.Col)) {
+			if idx >= 0 {
+				return nil, false // ambiguous
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	return exec.ColRef{Idx: idx, Name: sch.Cols[idx].Name}, true
+}
+
+func colIndex(e exec.Expr) (int, bool) {
+	if c, ok := e.(exec.ColRef); ok {
+		return c.Idx, true
+	}
+	return 0, false
+}
+
+// scanWithFilters builds the scan for one relation, renaming columns to
+// alias-qualified form and applying pushed-down filters.
+func (p *Planner) scanWithFilters(r *relation) (exec.Iterator, error) {
+	var it exec.Iterator = &renameIter{Iterator: r.meta.NewScan(), sch: r.sch}
+	if p.Opts.DisablePushdown || len(r.filters) == 0 {
+		return it, nil
+	}
+	var preds []exec.Expr
+	for _, c := range r.filters {
+		le, lok := resolveOperand(c.L, r.sch)
+		re, rok := resolveOperand(c.R, r.sch)
+		if !lok || !rok {
+			return nil, fmt.Errorf("plan: cannot resolve filter %v on %s", c, r.item.Name())
+		}
+		preds = append(preds, exec.Cmp{Op: c.Op, L: le, R: re})
+	}
+	var pred exec.Expr
+	if len(preds) == 1 {
+		pred = preds[0]
+	} else {
+		pred = exec.And{Kids: preds}
+	}
+	return exec.NewFilter(it, pred), nil
+}
+
+// renameIter overrides the child's schema with alias-qualified names.
+type renameIter struct {
+	exec.Iterator
+	sch tuple.Schema
+}
+
+func (r *renameIter) Schema() tuple.Schema { return r.sch }
+
+// estimateFiltered estimates a relation's cardinality after its pushed-down
+// filters, using 1/distinct selectivity for equality with a constant and 1/3
+// for other comparisons.
+func (p *Planner) estimateFiltered(r *relation) float64 {
+	card := float64(r.meta.RowCount())
+	base := r.meta.Schema()
+	for _, c := range r.filters {
+		sel := 1.0 / 3.0
+		if c.Op == exec.CmpEq {
+			var colOp *Operand
+			switch {
+			case c.L.IsCol && !c.R.IsCol:
+				colOp = &c.L
+			case c.R.IsCol && !c.L.IsCol:
+				colOp = &c.R
+			}
+			if colOp != nil {
+				if idx := base.ColIndex(colOp.Col); idx >= 0 {
+					if d := r.meta.DistinctCount(idx); d > 0 {
+						sel = 1.0 / float64(d)
+					}
+				}
+			}
+		} else if c.Op == exec.CmpNe {
+			sel = 0.9
+		}
+		card *= sel
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+// joinOrder picks the join order. ForceJoinOrder keeps FROM order; otherwise
+// a greedy heuristic starts from the smallest filtered relation and extends
+// with the relation that minimizes the estimated intermediate size,
+// preferring relations connected by an equi-join edge (avoiding cartesian
+// products until forced).
+func (p *Planner) joinOrder(rels []*relation, joinConds []Cond) ([]*relation, error) {
+	if p.Opts.ForceJoinOrder || len(rels) <= 1 {
+		return rels, nil
+	}
+	// Build the join graph: edges between relations constrained by a
+	// condition, with the distinct counts of the join columns.
+	type edge struct{ a, b int }
+	connected := map[edge][]Cond{}
+	relIdx := func(r *relation) int {
+		for i := range rels {
+			if rels[i] == r {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, c := range joinConds {
+		lr, err := p.condRelation(rels, c.L)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := p.condRelation(rels, c.R)
+		if err != nil {
+			return nil, err
+		}
+		if lr == nil || rr == nil || lr == rr {
+			continue
+		}
+		a, b := relIdx(lr), relIdx(rr)
+		if a > b {
+			a, b = b, a
+		}
+		connected[edge{a, b}] = append(connected[edge{a, b}], c)
+	}
+
+	used := make([]bool, len(rels))
+	// Start from the smallest relation.
+	start := 0
+	for i, r := range rels {
+		if r.card < rels[start].card {
+			start = i
+		}
+	}
+	order := []*relation{rels[start]}
+	used[start] = true
+	curCard := rels[start].card
+	inSet := map[int]bool{start: true}
+
+	for len(order) < len(rels) {
+		bestIdx, bestCard := -1, math.Inf(1)
+		bestConnected := false
+		for i, r := range rels {
+			if used[i] {
+				continue
+			}
+			// Estimate join size with the current set.
+			conn := false
+			est := curCard * r.card
+			for e, conds := range connected {
+				var other int
+				switch {
+				case e.a == i && inSet[e.b]:
+					other = e.b
+				case e.b == i && inSet[e.a]:
+					other = e.a
+				default:
+					continue
+				}
+				_ = other
+				conn = true
+				for _, c := range conds {
+					if c.Op != exec.CmpEq {
+						est /= 3
+						continue
+					}
+					d := p.joinColDistinct(rels, c)
+					if d > 1 {
+						est /= float64(d)
+					}
+				}
+			}
+			// Prefer connected joins; among candidates minimize est size.
+			if conn && !bestConnected {
+				bestIdx, bestCard, bestConnected = i, est, true
+				continue
+			}
+			if conn == bestConnected && est < bestCard {
+				bestIdx, bestCard = i, est
+			}
+		}
+		order = append(order, rels[bestIdx])
+		used[bestIdx] = true
+		inSet[bestIdx] = true
+		curCard = math.Max(bestCard, 1)
+	}
+	return order, nil
+}
+
+// joinColDistinct returns max distinct count across the two join columns of
+// an equality condition.
+func (p *Planner) joinColDistinct(rels []*relation, c Cond) int64 {
+	var d int64 = 1
+	for _, op := range []Operand{c.L, c.R} {
+		if !op.IsCol {
+			continue
+		}
+		r, err := p.condRelation(rels, op)
+		if err != nil || r == nil {
+			continue
+		}
+		if idx := r.meta.Schema().ColIndex(op.Col); idx >= 0 {
+			if dd := r.meta.DistinctCount(idx); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+// physicalJoin picks the join operator per Options.
+func (p *Planner) physicalJoin(left, right exec.Iterator, eqL, eqR []int, residual exec.Expr) exec.Iterator {
+	alg := p.Opts.Algorithm
+	if len(eqL) == 0 || alg == JoinNestedLoopOnly {
+		// Fold equi keys back into the residual for NLJ correctness.
+		var preds []exec.Expr
+		for i := range eqL {
+			preds = append(preds, exec.Cmp{Op: exec.CmpEq,
+				L: exec.ColRef{Idx: eqL[i]},
+				R: exec.ColRef{Idx: left.Schema().Arity() + eqR[i]}})
+		}
+		if residual != nil {
+			preds = append(preds, residual)
+		}
+		var on exec.Expr
+		if len(preds) == 1 {
+			on = preds[0]
+		} else if len(preds) > 1 {
+			on = exec.And{Kids: preds}
+		}
+		return exec.NewNestedLoopJoin(left, right, on)
+	}
+	if alg == JoinMergeOnly {
+		return exec.NewMergeJoin(exec.NewSort(left, eqL), exec.NewSort(right, eqR), eqL, eqR, residual)
+	}
+	return exec.NewHashJoin(left, right, eqL, eqR, residual)
+}
+
+// buildProject compiles the SELECT list (no aggregates).
+func (p *Planner) buildProject(cur exec.Iterator, sch tuple.Schema, items []ProjItem) (exec.Iterator, tuple.Schema, error) {
+	var exprs []exec.Expr
+	var names []string
+	for _, it := range items {
+		switch it.Kind {
+		case ProjStar:
+			for i, c := range sch.Cols {
+				exprs = append(exprs, exec.ColRef{Idx: i, Name: c.Name})
+				names = append(names, c.Name)
+			}
+		case ProjCol:
+			e, ok := resolveOperand(it.Col, sch)
+			if !ok {
+				return nil, tuple.Schema{}, fmt.Errorf("plan: unknown column %s", it.Col)
+			}
+			name := it.Alias
+			if name == "" {
+				name = it.Col.Col
+			}
+			exprs = append(exprs, e)
+			names = append(names, name)
+		case ProjConst:
+			name := it.Alias
+			if name == "" {
+				name = it.Val.String()
+			}
+			exprs = append(exprs, exec.Const{Val: it.Val})
+			names = append(names, name)
+		default:
+			return nil, tuple.Schema{}, fmt.Errorf("plan: aggregate outside GROUP BY path")
+		}
+	}
+	proj, err := exec.NewProject(cur, exprs, names)
+	if err != nil {
+		return nil, tuple.Schema{}, err
+	}
+	return proj, proj.Schema(), nil
+}
+
+// buildAggregate compiles GROUP BY + aggregate SELECT lists.
+func (p *Planner) buildAggregate(cur exec.Iterator, sch tuple.Schema, stmt *SelectStmt) (exec.Iterator, tuple.Schema, error) {
+	var groupCols []int
+	for _, g := range stmt.GroupBy {
+		e, ok := resolveOperand(g, sch)
+		if !ok {
+			return nil, tuple.Schema{}, fmt.Errorf("plan: unknown GROUP BY column %s", g)
+		}
+		idx, isCol := colIndex(e)
+		if !isCol {
+			return nil, tuple.Schema{}, fmt.Errorf("plan: GROUP BY must reference columns")
+		}
+		groupCols = append(groupCols, idx)
+	}
+	var aggs []exec.AggSpec
+	// Map projection items to the aggregate output layout.
+	type outItem struct {
+		fromGroup int // >=0: group column position
+		fromAgg   int // >=0: aggregate position
+		name      string
+	}
+	var layout []outItem
+	for _, it := range stmt.Proj {
+		switch it.Kind {
+		case ProjCol:
+			e, ok := resolveOperand(it.Col, sch)
+			if !ok {
+				return nil, tuple.Schema{}, fmt.Errorf("plan: unknown column %s", it.Col)
+			}
+			idx, _ := colIndex(e)
+			pos := -1
+			for gi, g := range groupCols {
+				if g == idx {
+					pos = gi
+				}
+			}
+			if pos < 0 {
+				return nil, tuple.Schema{}, fmt.Errorf("plan: column %s not in GROUP BY", it.Col)
+			}
+			name := it.Alias
+			if name == "" {
+				name = it.Col.Col
+			}
+			layout = append(layout, outItem{fromGroup: pos, fromAgg: -1, name: name})
+		case ProjAgg:
+			var arg exec.Expr
+			if it.Arg != nil {
+				e, ok := resolveOperand(*it.Arg, sch)
+				if !ok {
+					return nil, tuple.Schema{}, fmt.Errorf("plan: unknown column %s", *it.Arg)
+				}
+				arg = e
+			}
+			name := it.Alias
+			if name == "" {
+				name = it.Agg.String()
+			}
+			aggs = append(aggs, exec.AggSpec{Func: it.Agg, Arg: arg, Name: name})
+			layout = append(layout, outItem{fromGroup: -1, fromAgg: len(aggs) - 1, name: name})
+		case ProjConst:
+			return nil, tuple.Schema{}, fmt.Errorf("plan: constants in aggregate SELECT unsupported")
+		case ProjStar:
+			return nil, tuple.Schema{}, fmt.Errorf("plan: SELECT * with GROUP BY unsupported")
+		}
+	}
+	agg := exec.NewHashAggregate(cur, groupCols, aggs)
+	aggSch := agg.Schema()
+	// Reorder aggregate output to the projection order.
+	var exprs []exec.Expr
+	var names []string
+	for _, li := range layout {
+		var idx int
+		if li.fromGroup >= 0 {
+			idx = li.fromGroup
+		} else {
+			idx = len(groupCols) + li.fromAgg
+		}
+		exprs = append(exprs, exec.ColRef{Idx: idx, Name: aggSch.Cols[idx].Name})
+		names = append(names, li.name)
+	}
+	proj, err := exec.NewProject(agg, exprs, names)
+	if err != nil {
+		return nil, tuple.Schema{}, err
+	}
+	return proj, proj.Schema(), nil
+}

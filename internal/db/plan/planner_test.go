@@ -1,0 +1,295 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"tuffy/internal/db/exec"
+	"tuffy/internal/db/tuple"
+)
+
+// memTable is an in-memory TableMeta for planner tests.
+type memTable struct {
+	sch      tuple.Schema
+	rows     []tuple.Row
+	distinct []int64
+}
+
+func (m *memTable) Schema() tuple.Schema { return m.sch }
+func (m *memTable) RowCount() int64      { return int64(len(m.rows)) }
+func (m *memTable) DistinctCount(col int) int64 {
+	if col < len(m.distinct) {
+		return m.distinct[col]
+	}
+	return int64(len(m.rows))
+}
+func (m *memTable) NewScan() exec.Iterator { return exec.NewValues(m.sch, m.rows) }
+
+type memCatalog map[string]*memTable
+
+func (c memCatalog) TableMeta(name string) (TableMeta, bool) {
+	t, ok := c[name]
+	return t, ok
+}
+
+func intRows(vals ...[]int64) []tuple.Row {
+	rows := make([]tuple.Row, len(vals))
+	for i, v := range vals {
+		r := make(tuple.Row, len(v))
+		for j, x := range v {
+			r[j] = tuple.I64(x)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func testCatalog() memCatalog {
+	return memCatalog{
+		"small": &memTable{
+			sch:      tuple.NewSchema(tuple.Col("k", tuple.TInt), tuple.Col("v", tuple.TInt)),
+			rows:     intRows([]int64{1, 10}, []int64{2, 20}),
+			distinct: []int64{2, 2},
+		},
+		"big": &memTable{
+			sch: tuple.NewSchema(tuple.Col("k", tuple.TInt), tuple.Col("w", tuple.TInt)),
+			rows: intRows([]int64{1, 100}, []int64{1, 101}, []int64{2, 102},
+				[]int64{3, 103}, []int64{4, 104}, []int64{5, 105}),
+			distinct: []int64{5, 6},
+		},
+	}
+}
+
+func runStmt(t *testing.T, opts Options, stmt *SelectStmt) []tuple.Row {
+	t.Helper()
+	p := NewPlanner(testCatalog(), opts)
+	it, err := p.Plan(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func selectJoin() *SelectStmt {
+	return &SelectStmt{
+		Proj: []ProjItem{
+			{Kind: ProjCol, Col: ColOp("small", "v")},
+			{Kind: ProjCol, Col: ColOp("big", "w")},
+		},
+		From: []FromItem{{Table: "big"}, {Table: "small"}},
+		Where: []Cond{
+			{Op: exec.CmpEq, L: ColOp("small", "k"), R: ColOp("big", "k")},
+		},
+		OrderBy: []Operand{ColOp("", "w")},
+		Limit:   -1,
+	}
+}
+
+func TestPlanJoinAllAlgorithmsAgree(t *testing.T) {
+	var want string
+	for _, alg := range []JoinAlgorithm{JoinAuto, JoinHashOnly, JoinMergeOnly, JoinNestedLoopOnly} {
+		rows := runStmt(t, Options{Algorithm: alg}, selectJoin())
+		got := fmt.Sprint(rows)
+		if want == "" {
+			want = got
+			// k=1 matches twice, k=2 once.
+			if len(rows) != 3 {
+				t.Fatalf("rows = %v", rows)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("alg %v: %s != %s", alg, got, want)
+		}
+	}
+}
+
+func TestPlanForceJoinOrderAgrees(t *testing.T) {
+	a := runStmt(t, Options{}, selectJoin())
+	b := runStmt(t, Options{ForceJoinOrder: true}, selectJoin())
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("force order changed results: %v vs %v", a, b)
+	}
+}
+
+func TestPlanJoinOrderPicksSmallFirst(t *testing.T) {
+	// The greedy order starts from the smallest filtered relation. We
+	// can't observe the order directly through results, but DisablePushdown
+	// + ForceJoinOrder must still be correct, and the cost-based path must
+	// produce identical output.
+	a := runStmt(t, Options{DisablePushdown: true}, selectJoin())
+	if len(a) != 3 {
+		t.Fatalf("rows = %v", a)
+	}
+}
+
+func TestPlanPushdownFilter(t *testing.T) {
+	stmt := &SelectStmt{
+		Proj:  []ProjItem{{Kind: ProjCol, Col: ColOp("", "w")}},
+		From:  []FromItem{{Table: "big"}},
+		Where: []Cond{{Op: exec.CmpGt, L: ColOp("", "w"), R: ValOp(tuple.I64(103))}},
+		Limit: -1,
+	}
+	rows := runStmt(t, Options{}, stmt)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPlanUnknownTableAndColumn(t *testing.T) {
+	p := NewPlanner(testCatalog(), Options{})
+	_, err := p.Plan(&SelectStmt{
+		Proj:  []ProjItem{{Kind: ProjStar}},
+		From:  []FromItem{{Table: "absent"}},
+		Limit: -1,
+	})
+	if err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	_, err = p.Plan(&SelectStmt{
+		Proj:  []ProjItem{{Kind: ProjCol, Col: ColOp("", "nocol")}},
+		From:  []FromItem{{Table: "small"}},
+		Limit: -1,
+	})
+	if err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestPlanAmbiguousColumn(t *testing.T) {
+	p := NewPlanner(testCatalog(), Options{})
+	// "k" exists in both tables: unqualified use in WHERE must error.
+	_, err := p.Plan(&SelectStmt{
+		Proj: []ProjItem{{Kind: ProjStar}},
+		From: []FromItem{{Table: "small"}, {Table: "big"}},
+		Where: []Cond{
+			{Op: exec.CmpEq, L: ColOp("", "k"), R: ValOp(tuple.I64(1))},
+		},
+		Limit: -1,
+	})
+	if err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+}
+
+func TestPlanDuplicateAlias(t *testing.T) {
+	p := NewPlanner(testCatalog(), Options{})
+	_, err := p.Plan(&SelectStmt{
+		Proj:  []ProjItem{{Kind: ProjStar}},
+		From:  []FromItem{{Table: "small"}, {Table: "small"}},
+		Limit: -1,
+	})
+	if err == nil {
+		t.Fatal("duplicate range variable accepted")
+	}
+}
+
+func TestPlanCrossProductWhenNoCondition(t *testing.T) {
+	stmt := &SelectStmt{
+		Proj:  []ProjItem{{Kind: ProjStar}},
+		From:  []FromItem{{Table: "small"}, {Table: "big"}},
+		Limit: -1,
+	}
+	rows := runStmt(t, Options{}, stmt)
+	if len(rows) != 12 {
+		t.Fatalf("cross product = %d rows, want 12", len(rows))
+	}
+}
+
+func TestPlanGroupByAggregate(t *testing.T) {
+	stmt := &SelectStmt{
+		Proj: []ProjItem{
+			{Kind: ProjCol, Col: ColOp("", "k")},
+			{Kind: ProjAgg, Agg: exec.AggCount, Alias: "n"},
+			{Kind: ProjAgg, Agg: exec.AggMax, Arg: &Operand{IsCol: true, Col: "w"}, Alias: "hi"},
+		},
+		From:    []FromItem{{Table: "big"}},
+		GroupBy: []Operand{ColOp("", "k")},
+		OrderBy: []Operand{ColOp("", "k")},
+		Limit:   -1,
+	}
+	rows := runStmt(t, Options{}, stmt)
+	if len(rows) != 5 {
+		t.Fatalf("groups = %v", rows)
+	}
+	if rows[0][1].I != 2 || rows[0][2].I != 101 {
+		t.Fatalf("k=1 group = %v", rows[0])
+	}
+}
+
+func TestPlanAggregateRequiresGrouping(t *testing.T) {
+	p := NewPlanner(testCatalog(), Options{})
+	// Selecting a non-grouped column alongside an aggregate must error.
+	_, err := p.Plan(&SelectStmt{
+		Proj: []ProjItem{
+			{Kind: ProjCol, Col: ColOp("", "w")},
+			{Kind: ProjAgg, Agg: exec.AggCount},
+		},
+		From:    []FromItem{{Table: "big"}},
+		GroupBy: []Operand{ColOp("", "k")},
+		Limit:   -1,
+	})
+	if err == nil {
+		t.Fatal("non-grouped column accepted")
+	}
+}
+
+func TestPlanSelfJoinQualifiedColumns(t *testing.T) {
+	cat := testCatalog()
+	p := NewPlanner(cat, Options{})
+	it, err := p.Plan(&SelectStmt{
+		Proj: []ProjItem{
+			{Kind: ProjCol, Col: ColOp("a", "k")},
+			{Kind: ProjCol, Col: ColOp("b", "w")},
+		},
+		From: []FromItem{{Table: "big", Alias: "a"}, {Table: "big", Alias: "b"}},
+		Where: []Cond{
+			{Op: exec.CmpEq, L: ColOp("a", "k"), R: ColOp("b", "k")},
+			{Op: exec.CmpLt, L: ColOp("a", "w"), R: ColOp("b", "w")},
+		},
+		Limit: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 pair (100,101) with w strictly increasing -> exactly 1 row.
+	if len(rows) != 1 || rows[0][1].I != 101 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPlanConstantCondition(t *testing.T) {
+	stmt := &SelectStmt{
+		Proj:  []ProjItem{{Kind: ProjStar}},
+		From:  []FromItem{{Table: "small"}},
+		Where: []Cond{{Op: exec.CmpEq, L: ValOp(tuple.I64(1)), R: ValOp(tuple.I64(2))}},
+		Limit: -1,
+	}
+	rows := runStmt(t, Options{}, stmt)
+	if len(rows) != 0 {
+		t.Fatalf("1=2 should filter everything: %v", rows)
+	}
+}
+
+func TestPlanProjConstant(t *testing.T) {
+	stmt := &SelectStmt{
+		Proj: []ProjItem{
+			{Kind: ProjConst, Val: tuple.I64(7), Alias: "seven"},
+			{Kind: ProjCol, Col: ColOp("", "k")},
+		},
+		From:  []FromItem{{Table: "small"}},
+		Limit: -1,
+	}
+	rows := runStmt(t, Options{}, stmt)
+	if len(rows) != 2 || rows[0][0].I != 7 {
+		t.Fatalf("rows = %v", rows)
+	}
+}

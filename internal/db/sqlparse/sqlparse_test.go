@@ -1,0 +1,225 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"tuffy/internal/db/exec"
+	"tuffy/internal/db/plan"
+	"tuffy/internal/db/tuple"
+)
+
+func parseSelect(t *testing.T, sql string) *plan.SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	sel, ok := stmt.(*plan.SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want SelectStmt", sql, stmt)
+	}
+	return sel
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE r_cat (aid BIGINT, a0 BIGINT, truth BIGINT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*plan.CreateTableStmt)
+	if ct.Table != "r_cat" || ct.Sch.Arity() != 3 {
+		t.Fatalf("%+v", ct)
+	}
+	if ct.Sch.Cols[0].Type != tuple.TInt {
+		t.Fatal("column type wrong")
+	}
+}
+
+func TestParseCreateTableTypes(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE t (a INTEGER, b TEXT, c VARCHAR)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*plan.CreateTableStmt)
+	if ct.Sch.Cols[1].Type != tuple.TString || ct.Sch.Cols[2].Type != tuple.TString {
+		t.Fatal("string types wrong")
+	}
+	if _, err := Parse("CREATE TABLE t (a BLOB)"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestParseInsertValues(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t VALUES (1, 'x'), (2, 'it''s')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*plan.InsertStmt)
+	if len(ins.Rows) != 2 {
+		t.Fatalf("rows = %d", len(ins.Rows))
+	}
+	if ins.Rows[1][1].S != "it's" {
+		t.Fatalf("escaped quote = %q", ins.Rows[1][1].S)
+	}
+	if ins.Rows[0][0].I != 1 {
+		t.Fatalf("int literal = %v", ins.Rows[0][0])
+	}
+}
+
+func TestParseInsertSelect(t *testing.T) {
+	stmt, err := Parse("INSERT INTO dst SELECT a, b FROM src WHERE a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*plan.InsertStmt)
+	if ins.Select == nil || len(ins.Select.Proj) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	sel := parseSelect(t, `
+		SELECT DISTINCT t1.aid AS a, t2.truth
+		FROM r_cat t1, r_refers AS t2
+		WHERE t1.a0 = t2.a0 AND t1.truth <> 1 AND t2.aid >= 10
+		ORDER BY a LIMIT 5`)
+	if !sel.Distinct {
+		t.Fatal("DISTINCT lost")
+	}
+	if len(sel.Proj) != 2 || sel.Proj[0].Alias != "a" {
+		t.Fatalf("proj = %+v", sel.Proj)
+	}
+	if len(sel.From) != 2 || sel.From[0].Alias != "t1" || sel.From[1].Alias != "t2" {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	if len(sel.Where) != 3 {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if sel.Where[0].Op != exec.CmpEq || sel.Where[1].Op != exec.CmpNe || sel.Where[2].Op != exec.CmpGe {
+		t.Fatalf("ops = %+v", sel.Where)
+	}
+	if sel.Limit != 5 {
+		t.Fatalf("limit = %d", sel.Limit)
+	}
+	if len(sel.OrderBy) != 1 || sel.OrderBy[0].Col != "a" {
+		t.Fatalf("order = %+v", sel.OrderBy)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t")
+	if len(sel.Proj) != 1 || sel.Proj[0].Kind != plan.ProjStar {
+		t.Fatalf("proj = %+v", sel.Proj)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := parseSelect(t, `
+		SELECT g, COUNT(*) AS n, SUM(v), MIN(v), MAX(v), ARRAY_AGG(v) vs
+		FROM t GROUP BY g`)
+	if len(sel.GroupBy) != 1 {
+		t.Fatalf("group by = %+v", sel.GroupBy)
+	}
+	wantAgg := []exec.AggFunc{exec.AggCount, exec.AggSum, exec.AggMin, exec.AggMax, exec.AggArray}
+	ai := 0
+	for _, p := range sel.Proj {
+		if p.Kind != plan.ProjAgg {
+			continue
+		}
+		if p.Agg != wantAgg[ai] {
+			t.Fatalf("agg %d = %v, want %v", ai, p.Agg, wantAgg[ai])
+		}
+		ai++
+	}
+	if ai != 5 {
+		t.Fatalf("found %d aggregates", ai)
+	}
+	if sel.Proj[5].Alias != "vs" {
+		t.Fatal("bare alias lost")
+	}
+	if _, err := Parse("SELECT SUM(*) FROM t"); err == nil {
+		t.Fatal("SUM(*) accepted")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	stmt, err := Parse("UPDATE atoms SET truth = 1 WHERE aid = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(*plan.UpdateStmt)
+	if up.Table != "atoms" || up.Col != "truth" || up.Val.I != 1 || len(up.Where) != 1 {
+		t.Fatalf("%+v", up)
+	}
+	stmt, err = Parse("DELETE FROM atoms WHERE aid <> 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(*plan.DeleteStmt)
+	if del.Table != "atoms" || len(del.Where) != 1 {
+		t.Fatalf("%+v", del)
+	}
+	// WHERE-less forms.
+	if _, err := Parse("DELETE FROM atoms"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNegativeNumbersAndComments(t *testing.T) {
+	sel := parseSelect(t, "SELECT a FROM t WHERE a = -5 -- trailing comment")
+	if sel.Where[0].R.Val.I != -5 {
+		t.Fatalf("negative literal = %+v", sel.Where[0].R)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT a FROM t;"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a ~ 1",
+		"SELECT a FROM t WHERE a = ",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t GROUP BY",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES 1",
+		"INSERT INTO t VALUES (1",
+		"UPDATE t SET",
+		"UPDATE t SET a",
+		"UPDATE t SET a = ",
+		"DELETE t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (",
+		"SELECT a FROM t extra garbage ~",
+		"SELECT 'unterminated FROM t",
+		"SELECT a! FROM t",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestParseKeywordCaseInsensitive(t *testing.T) {
+	sel := parseSelect(t, "select a from t where a = 1 order by a limit 1")
+	if len(sel.Where) != 1 || sel.Limit != 1 {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestParseQualifiedStarNotSupported(t *testing.T) {
+	// t.* is not in the grammar; document via error.
+	if _, err := Parse("SELECT t.* FROM t"); err == nil {
+		t.Fatal("qualified star accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages in memory with an LRU eviction policy and pin
+// counts. All heap-file access goes through the pool, so the pool's hit/miss
+// counters measure the "physical" I/O an operation causes — the quantity the
+// paper's hybrid-architecture argument (Section 3.2) is about.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     Disk
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // *frame, front = most recent
+
+	hits   int64
+	misses int64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// NewBufferPool creates a pool holding up to capacity pages.
+func NewBufferPool(disk Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// PoolStats reports cache behaviour.
+type PoolStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Stats returns cumulative hit/miss counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return PoolStats{Hits: bp.hits, Misses: bp.misses}
+}
+
+// ResetStats zeroes the counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.hits, bp.misses = 0, 0
+}
+
+// Fetch pins the page and returns its in-memory bytes. Callers must Unpin
+// (with dirty=true if they wrote to the bytes).
+func (bp *BufferPool) Fetch(id PageID) (Page, error) {
+	bp.mu.Lock()
+	if f, ok := bp.frames[id]; ok {
+		f.pins++
+		bp.hits++
+		bp.lru.MoveToFront(f.elem)
+		bp.mu.Unlock()
+		return Page{Data: f.data}, nil
+	}
+	bp.misses++
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		bp.mu.Unlock()
+		return Page{}, err
+	}
+	// Read outside the lock would race with eviction; the read is cheap for
+	// MemDisk and correctness matters more here than concurrency.
+	if err := bp.disk.ReadPage(id, f.data); err != nil {
+		bp.evictFrameLocked(f)
+		bp.mu.Unlock()
+		return Page{}, err
+	}
+	f.pins = 1
+	bp.mu.Unlock()
+	return Page{Data: f.data}, nil
+}
+
+// Allocate creates a fresh page in the file, pinned and initialized as an
+// empty slotted page.
+func (bp *BufferPool) Allocate(file int32) (PageID, Page, error) {
+	id, err := bp.disk.AllocatePage(file)
+	if err != nil {
+		return PageID{}, Page{}, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return PageID{}, Page{}, err
+	}
+	f.pins = 1
+	f.dirty = true
+	p := InitPage(f.data)
+	return id, p, nil
+}
+
+// Unpin releases a pin. dirty marks the page as modified so eviction writes
+// it back.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok {
+		return
+	}
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins > 0 {
+		f.pins--
+	}
+}
+
+// FlushAll writes every dirty page back to disk (keeps them cached).
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.disk.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// allocFrameLocked finds a free frame, evicting the LRU unpinned page if the
+// pool is full.
+func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLRULocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, PageSize)}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *BufferPool) evictLRULocked() error {
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := bp.disk.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+		}
+		bp.evictFrameLocked(f)
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+}
+
+func (bp *BufferPool) evictFrameLocked(f *frame) {
+	bp.lru.Remove(f.elem)
+	delete(bp.frames, f.id)
+}
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// CachedPages returns the number of resident pages.
+func (bp *BufferPool) CachedPages() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

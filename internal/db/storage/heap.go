@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// RecordID locates a record: page and slot.
+type RecordID struct {
+	Page PageID
+	Slot int
+}
+
+func (r RecordID) String() string { return fmt.Sprintf("%s/%d", r.Page, r.Slot) }
+
+// HeapFile is an unordered collection of records in slotted pages, the
+// storage for one table. Inserts append to the last page, allocating as
+// needed; scans walk pages in order through the buffer pool.
+type HeapFile struct {
+	pool    *BufferPool
+	file    int32
+	lastPg  int32 // page currently receiving inserts, -1 if none
+	records int64
+}
+
+// NewHeapFile creates (or reopens) the heap file with the given file id.
+func NewHeapFile(pool *BufferPool, file int32) *HeapFile {
+	h := &HeapFile{pool: pool, file: file, lastPg: -1}
+	if n := pool.disk.NumPages(file); n > 0 {
+		h.lastPg = n - 1
+		// Recount records for reopened files.
+		_ = h.Scan(func(RecordID, []byte) error {
+			h.records++
+			return nil
+		})
+	}
+	return h
+}
+
+// FileID returns the underlying file id.
+func (h *HeapFile) FileID() int32 { return h.file }
+
+// NumRecords returns the live record count.
+func (h *HeapFile) NumRecords() int64 { return h.records }
+
+// NumPages returns the number of allocated pages.
+func (h *HeapFile) NumPages() int32 { return h.pool.disk.NumPages(h.file) }
+
+// Insert appends a record and returns its id.
+func (h *HeapFile) Insert(rec []byte) (RecordID, error) {
+	if len(rec) > MaxRecordSize {
+		return RecordID{}, fmt.Errorf("storage: record of %d bytes exceeds page size", len(rec))
+	}
+	if h.lastPg >= 0 {
+		id := PageID{File: h.file, Num: h.lastPg}
+		pg, err := h.pool.Fetch(id)
+		if err != nil {
+			return RecordID{}, err
+		}
+		if slot, err := pg.Insert(rec); err == nil {
+			h.pool.Unpin(id, true)
+			h.records++
+			return RecordID{Page: id, Slot: slot}, nil
+		}
+		h.pool.Unpin(id, false)
+	}
+	id, pg, err := h.pool.Allocate(h.file)
+	if err != nil {
+		return RecordID{}, err
+	}
+	slot, err := pg.Insert(rec)
+	h.pool.Unpin(id, true)
+	if err != nil {
+		return RecordID{}, err
+	}
+	h.lastPg = id.Num
+	h.records++
+	return RecordID{Page: id, Slot: slot}, nil
+}
+
+// Get copies the record bytes at rid.
+func (h *HeapFile) Get(rid RecordID) ([]byte, error) {
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	rec, err := pg.Get(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		return nil, nil
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Update overwrites a record in place (same length).
+func (h *HeapFile) Update(rid RecordID, rec []byte) error {
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = pg.Update(rid.Slot, rec)
+	h.pool.Unpin(rid.Page, err == nil)
+	return err
+}
+
+// Delete tombstones a record.
+func (h *HeapFile) Delete(rid RecordID) error {
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = pg.Delete(rid.Slot)
+	h.pool.Unpin(rid.Page, err == nil)
+	if err == nil {
+		h.records--
+	}
+	return err
+}
+
+// Scan calls fn for every live record in file order. The byte slice passed
+// to fn aliases the page buffer and is only valid during the call. Returning
+// a non-nil error stops the scan (ErrStopScan stops without error).
+func (h *HeapFile) Scan(fn func(rid RecordID, rec []byte) error) error {
+	n := h.pool.disk.NumPages(h.file)
+	for num := int32(0); num < n; num++ {
+		id := PageID{File: h.file, Num: num}
+		pg, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		slots := pg.NumRecords()
+		for s := 0; s < slots; s++ {
+			rec, err := pg.Get(s)
+			if err != nil {
+				h.pool.Unpin(id, false)
+				return err
+			}
+			if rec == nil {
+				continue // tombstone
+			}
+			if err := fn(RecordID{Page: id, Slot: s}, rec); err != nil {
+				h.pool.Unpin(id, false)
+				if err == ErrStopScan {
+					return nil
+				}
+				return err
+			}
+		}
+		h.pool.Unpin(id, false)
+	}
+	return nil
+}
+
+// ErrStopScan halts Scan early without reporting an error.
+var ErrStopScan = fmt.Errorf("storage: stop scan")

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// A slotted page lays out variable-length records with a slot directory:
+//
+//	+-----------------------------------------------------------+
+//	| nSlots | freeStart |  records... ->       <- ...slot dir   |
+//	+-----------------------------------------------------------+
+//
+// Record bytes grow from the front; 4-byte slot entries (offset, length)
+// grow from the back. A slot with length 0xFFFF is a tombstone.
+const (
+	pageHeaderSize = 4
+	slotSize       = 4
+	tombstoneLen   = 0xFFFF
+	// MaxRecordSize is the largest record a page can hold.
+	MaxRecordSize = PageSize - pageHeaderSize - slotSize
+)
+
+// Page wraps the raw bytes of one slotted page.
+type Page struct {
+	Data []byte
+}
+
+// InitPage formats raw bytes as an empty slotted page.
+func InitPage(data []byte) Page {
+	p := Page{Data: data}
+	p.setNumSlots(0)
+	p.setFreeStart(pageHeaderSize)
+	return p
+}
+
+func (p Page) numSlots() int     { return int(binary.LittleEndian.Uint16(p.Data[0:])) }
+func (p Page) setNumSlots(n int) { binary.LittleEndian.PutUint16(p.Data[0:], uint16(n)) }
+
+func (p Page) freeStart() int     { return int(binary.LittleEndian.Uint16(p.Data[2:])) }
+func (p Page) setFreeStart(n int) { binary.LittleEndian.PutUint16(p.Data[2:], uint16(n)) }
+
+func (p Page) slotOffset(i int) int {
+	base := PageSize - (i+1)*slotSize
+	return base
+}
+
+func (p Page) slot(i int) (off, length int) {
+	b := p.slotOffset(i)
+	return int(binary.LittleEndian.Uint16(p.Data[b:])), int(binary.LittleEndian.Uint16(p.Data[b+2:]))
+}
+
+func (p Page) setSlot(i, off, length int) {
+	b := p.slotOffset(i)
+	binary.LittleEndian.PutUint16(p.Data[b:], uint16(off))
+	binary.LittleEndian.PutUint16(p.Data[b+2:], uint16(length))
+}
+
+// NumRecords returns the number of slots (including tombstones).
+func (p Page) NumRecords() int { return p.numSlots() }
+
+// FreeSpace returns the bytes available for one more record (including its
+// slot entry).
+func (p Page) FreeSpace() int {
+	free := PageSize - p.numSlots()*slotSize - p.freeStart() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores rec and returns its slot number. It fails when the page
+// lacks space.
+func (p Page) Insert(rec []byte) (int, error) {
+	if len(rec) > tombstoneLen-1 {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds slot limit", len(rec))
+	}
+	if len(rec) > p.FreeSpace() {
+		return 0, fmt.Errorf("storage: page full (%d bytes free, need %d)", p.FreeSpace(), len(rec))
+	}
+	slot := p.numSlots()
+	off := p.freeStart()
+	copy(p.Data[off:], rec)
+	p.setSlot(slot, off, len(rec))
+	p.setNumSlots(slot + 1)
+	p.setFreeStart(off + len(rec))
+	return slot, nil
+}
+
+// Get returns the record bytes in the given slot. The slice aliases the page
+// buffer; callers must copy if they retain it.
+func (p Page) Get(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.numSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range [0,%d)", slot, p.numSlots())
+	}
+	off, length := p.slot(slot)
+	if length == tombstoneLen {
+		return nil, nil
+	}
+	return p.Data[off : off+length], nil
+}
+
+// Update overwrites the record in place. The new record must be the same
+// length as the old one (fixed-length updates are all the engine needs: the
+// truth column of atom tables).
+func (p Page) Update(slot int, rec []byte) error {
+	if slot < 0 || slot >= p.numSlots() {
+		return fmt.Errorf("storage: slot %d out of range", slot)
+	}
+	off, length := p.slot(slot)
+	if length == tombstoneLen {
+		return fmt.Errorf("storage: update of deleted slot %d", slot)
+	}
+	if len(rec) != length {
+		return fmt.Errorf("storage: in-place update size %d != %d", len(rec), length)
+	}
+	copy(p.Data[off:], rec)
+	return nil
+}
+
+// Delete tombstones a slot. The space is not reclaimed (no compaction).
+func (p Page) Delete(slot int) error {
+	if slot < 0 || slot >= p.numSlots() {
+		return fmt.Errorf("storage: slot %d out of range", slot)
+	}
+	off, _ := p.slot(slot)
+	p.setSlot(slot, off, tombstoneLen)
+	return nil
+}

@@ -1,0 +1,551 @@
+package grounding
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tuffy/internal/mln"
+)
+
+// Options controls grounding for both strategies.
+type Options struct {
+	// UseClosure applies the lazy-inference active closure of Appendix A.3
+	// after evidence pruning, as Tuffy and Alchemy both do. Atoms outside
+	// the closure are pinned false and their clauses dropped.
+	UseClosure bool
+}
+
+// rawClause is a ground clause before MRF atom renumbering: parallel slices
+// of table aids and literal signs.
+type rawClause struct {
+	weight float64
+	aids   []int64
+	pos    []bool
+}
+
+// GroundBottomUp grounds the program by compiling one SQL query per clause
+// and executing it on the RDBMS (the paper's Section 3.1). The join order
+// and algorithms are chosen by the engine's optimizer, subject to the
+// engine's plan.Options (which the Table 6 lesion study manipulates).
+func GroundBottomUp(ts *TableSet, opts Options) (*Result, error) {
+	var raws []rawClause
+	stats := Stats{}
+	for _, clause := range ts.Prog.Clauses {
+		cr, err := groundClauseSQL(ts, clause, &stats)
+		if err != nil {
+			return nil, fmt.Errorf("grounding clause %d (%s): %w", clause.ID, clause.Source, err)
+		}
+		raws = append(raws, cr...)
+	}
+	if opts.UseClosure {
+		raws = activeClosure(raws)
+	}
+	ca := newClauseAccumulator(ts)
+	for _, r := range raws {
+		ca.add(r.weight, r.aids, r.pos)
+	}
+	return ca.finish(stats), nil
+}
+
+// Compiled describes the SQL compilation of one first-order clause.
+type Compiled struct {
+	SQL string
+	// ULits[i] is the universal clause literal behind columns
+	// uaid<i>/utruth<i> of the query output.
+	ULits []mln.Literal
+	// ELits[j] is the existential literal behind columns eaid<j>/etruth<j>.
+	ELits []mln.Literal
+	// PostClosed are positive literals on closed predicates, checked
+	// against evidence after the join (anti-join semantics under the CWA).
+	PostClosed []PostClosedCheck
+	// Skip means the clause is statically satisfied (e.g. "c = c") and
+	// grounds to nothing.
+	Skip bool
+}
+
+// PostClosedCheck rebuilds the arguments of a closed positive literal from a
+// query output row so the grounder can consult the evidence directly.
+type PostClosedCheck struct {
+	Lit mln.Literal
+	// ConstVal[k] holds constant argument values.
+	ConstVal []int32
+	// VarIdx[n] is the argument position filled by the n-th pc column.
+	VarIdx []int
+	// varSrc[n] is the SQL expression selected for that column.
+	varSrc []string
+}
+
+// CompileClauseSQL compiles an MLN clause to the SQL query that enumerates
+// its non-pruned groundings (paper Algorithm 2 plus the pruning of Appendix
+// A.3). Exposed for tests and the CLI's -explain mode.
+func CompileClauseSQL(ts *TableSet, c *mln.Clause) (*Compiled, error) {
+	if err := validateExistSafety(c); err != nil {
+		return nil, err
+	}
+	out := &Compiled{}
+	exist := make(map[string]bool, len(c.Exist))
+	for _, v := range c.Exist {
+		exist[v] = true
+	}
+
+	type tableLit struct {
+		lit   mln.Literal
+		alias string
+		exist bool
+	}
+	var tlits []tableLit
+	var builtins []mln.Literal
+	for _, l := range c.Lits {
+		if l.IsBuiltinEq() {
+			builtins = append(builtins, l)
+			continue
+		}
+		isExist := false
+		for _, a := range l.Args {
+			if a.IsVar && exist[a.Var] {
+				isExist = true
+			}
+		}
+		if !l.Negated && l.Pred.Closed && !isExist {
+			out.PostClosed = append(out.PostClosed, PostClosedCheck{Lit: l})
+			continue
+		}
+		alias := fmt.Sprintf("t%d", len(tlits))
+		tlits = append(tlits, tableLit{lit: l, alias: alias, exist: isExist})
+	}
+	if len(tlits) == 0 {
+		return nil, fmt.Errorf("no groundable literals (all closed-positive or builtin)")
+	}
+
+	// varCol maps each variable to the first table column binding it.
+	type colRef struct{ alias, col string }
+	varCol := make(map[string]colRef)
+	var conds []string
+	for _, tl := range tlits {
+		for i, a := range tl.lit.Args {
+			col := fmt.Sprintf("a%d", i)
+			if !a.IsVar {
+				conds = append(conds, fmt.Sprintf("%s.%s = %d", tl.alias, col, a.Const))
+				continue
+			}
+			if first, ok := varCol[a.Var]; ok {
+				conds = append(conds, fmt.Sprintf("%s.%s = %s.%s", first.alias, first.col, tl.alias, col))
+			} else {
+				varCol[a.Var] = colRef{tl.alias, col}
+			}
+		}
+		// Evidence pruning: a grounding is discarded when any literal is
+		// satisfied by evidence (positive & true, or negative & false).
+		// Existential literals are exempt: the fold needs to SEE evidence-
+		// true witnesses, because one true witness satisfies (prunes) the
+		// whole clause.
+		if tl.exist {
+			continue
+		}
+		if tl.lit.Negated {
+			conds = append(conds, fmt.Sprintf("%s.truth <> %d", tl.alias, TruthFalse))
+		} else {
+			conds = append(conds, fmt.Sprintf("%s.truth <> %d", tl.alias, TruthTrue))
+		}
+	}
+
+	// Built-in (in)equalities become join conditions with flipped operator:
+	// groundings where the builtin literal is TRUE are satisfied (pruned),
+	// so the query keeps only those where it is FALSE; the literal drops.
+	for _, b := range builtins {
+		operandStr := func(t mln.Term) (string, error) {
+			if !t.IsVar {
+				return fmt.Sprint(t.Const), nil
+			}
+			cr, ok := varCol[t.Var]
+			if !ok {
+				return "", fmt.Errorf("equality variable %s unbound", t.Var)
+			}
+			return cr.alias + "." + cr.col, nil
+		}
+		if !b.Args[0].IsVar && !b.Args[1].IsVar {
+			litTrue := (b.Args[0].Const == b.Args[1].Const) != b.Negated
+			if litTrue {
+				out.Skip = true
+				return out, nil
+			}
+			continue // statically false: drop the literal
+		}
+		ls, err := operandStr(b.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := operandStr(b.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		if b.Negated {
+			conds = append(conds, fmt.Sprintf("%s = %s", ls, rs)) // (l != r) false iff l = r
+		} else {
+			conds = append(conds, fmt.Sprintf("%s <> %s", ls, rs))
+		}
+	}
+
+	// Post-join evidence checks: variables must be bound by other literals.
+	for pi := range out.PostClosed {
+		pc := &out.PostClosed[pi]
+		pc.ConstVal = make([]int32, len(pc.Lit.Args))
+		for k, a := range pc.Lit.Args {
+			if !a.IsVar {
+				pc.ConstVal[k] = a.Const
+				continue
+			}
+			cr, ok := varCol[a.Var]
+			if !ok {
+				return nil, fmt.Errorf("variable %s of closed positive literal %s unbound by other literals",
+					a.Var, pc.Lit.Format(ts.Prog.Syms))
+			}
+			pc.VarIdx = append(pc.VarIdx, k)
+			pc.varSrc = append(pc.varSrc, cr.alias+"."+cr.col)
+		}
+	}
+
+	// SELECT list: universal aid/truth pairs, post-closed binding columns,
+	// existential aid/truth pairs — in that fixed order.
+	var sel []string
+	var orderCols []string
+	uIdx := 0
+	for _, tl := range tlits {
+		if tl.exist {
+			continue
+		}
+		out.ULits = append(out.ULits, tl.lit)
+		sel = append(sel, fmt.Sprintf("%s.aid AS uaid%d", tl.alias, uIdx))
+		sel = append(sel, fmt.Sprintf("%s.truth AS utruth%d", tl.alias, uIdx))
+		orderCols = append(orderCols, fmt.Sprintf("uaid%d", uIdx))
+		uIdx++
+	}
+	for pi := range out.PostClosed {
+		pc := &out.PostClosed[pi]
+		for n, src := range pc.varSrc {
+			sel = append(sel, fmt.Sprintf("%s AS pc%d_%d", src, pi, n))
+		}
+	}
+	eIdx := 0
+	for _, tl := range tlits {
+		if !tl.exist {
+			continue
+		}
+		out.ELits = append(out.ELits, tl.lit)
+		sel = append(sel, fmt.Sprintf("%s.aid AS eaid%d", tl.alias, eIdx))
+		sel = append(sel, fmt.Sprintf("%s.truth AS etruth%d", tl.alias, eIdx))
+		eIdx++
+	}
+
+	var from []string
+	for _, tl := range tlits {
+		from = append(from, TableName(tl.lit.Pred)+" "+tl.alias)
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(from, ", "))
+	if len(conds) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	if len(out.ELits) > 0 && len(orderCols) > 0 {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(orderCols, ", "))
+	}
+	out.SQL = b.String()
+	return out, nil
+}
+
+// evalPostClosed reports whether any closed positive literal is satisfied by
+// evidence for this row (which prunes the grounding).
+func evalPostClosed(ts *TableSet, comp *Compiled, row []int64, pcBase int) bool {
+	col := pcBase
+	for _, pc := range comp.PostClosed {
+		args := make([]int32, len(pc.Lit.Args))
+		copy(args, pc.ConstVal)
+		for _, k := range pc.VarIdx {
+			args[k] = int32(row[col])
+			col++
+		}
+		if ts.Ev.TruthOf(pc.Lit.Pred, args) == mln.True {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Compiled) pcWidth() int {
+	n := 0
+	for _, pc := range c.PostClosed {
+		n += len(pc.VarIdx)
+	}
+	return n
+}
+
+// groundClauseSQL compiles, executes and folds one clause's groundings.
+func groundClauseSQL(ts *TableSet, c *mln.Clause, stats *Stats) ([]rawClause, error) {
+	comp, err := CompileClauseSQL(ts, c)
+	if err != nil {
+		return nil, err
+	}
+	if comp.Skip {
+		return nil, nil
+	}
+	rows, err := ts.DB.Query(comp.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("executing %q: %w", comp.SQL, err)
+	}
+	stats.JoinRowsVisited += int64(len(rows.Data))
+	width := 2*len(comp.ULits) + comp.pcWidth() + 2*len(comp.ELits)
+	if peak := int64(len(rows.Data)) * int64(8*width); peak > stats.PeakBytes {
+		stats.PeakBytes = peak
+	}
+
+	nU := len(comp.ULits)
+	pcBase := 2 * nU
+	eBase := pcBase + comp.pcWidth()
+
+	// Convert rows to int64 slices once.
+	intRow := make([]int64, width)
+	var out []rawClause
+
+	type groupState struct {
+		key       string
+		satisfied bool
+		aids      []int64
+		pos       []bool
+		valid     bool
+	}
+	var g groupState
+	witnessed := make(map[string]bool)
+
+	flush := func() {
+		if g.valid && !g.satisfied {
+			out = append(out, rawClause{weight: c.Weight, aids: g.aids, pos: g.pos})
+		}
+		g = groupState{}
+	}
+
+	uKey := func(r []int64) string {
+		var kb strings.Builder
+		for i := 0; i < nU; i++ {
+			fmt.Fprintf(&kb, "%d,", r[2*i])
+		}
+		return kb.String()
+	}
+
+	for _, row := range rows.Data {
+		for i := range intRow {
+			intRow[i] = row[i].I
+		}
+		if evalPostClosed(ts, comp, intRow, pcBase) {
+			continue
+		}
+		var aids []int64
+		var pos []bool
+		for i, lit := range comp.ULits {
+			aid := intRow[2*i]
+			truth := intRow[2*i+1]
+			if truth != TruthUnknown {
+				// The satisfied combinations were pruned by SQL; what is
+				// left is a literal that evidence makes false — drop it.
+				continue
+			}
+			aids = append(aids, aid)
+			pos = append(pos, !lit.Negated)
+		}
+		if len(comp.ELits) == 0 {
+			out = append(out, rawClause{weight: c.Weight, aids: aids, pos: pos})
+			continue
+		}
+		key := uKey(intRow)
+		witnessed[key] = true
+		if !g.valid || g.key != key {
+			flush()
+			g = groupState{key: key, valid: true, aids: aids, pos: pos}
+		}
+		for j := range comp.ELits {
+			eaid := intRow[eBase+2*j]
+			etruth := intRow[eBase+2*j+1]
+			switch etruth {
+			case TruthTrue:
+				g.satisfied = true // evidence-true witness satisfies the clause
+			case TruthFalse:
+				// false witness contributes nothing
+			default:
+				g.aids = append(g.aids, eaid)
+				g.pos = append(g.pos, true)
+			}
+		}
+	}
+	if len(comp.ELits) > 0 {
+		flush()
+		extra, err := existentialFallback(ts, c, comp, witnessed, stats)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, extra...)
+	}
+	return out, nil
+}
+
+// existentialFallback grounds the universal part alone to catch bindings
+// with no existential witness at all (inner joins drop them), for which the
+// clause reduces to its universal literals.
+func existentialFallback(ts *TableSet, c *mln.Clause, comp *Compiled, witnessed map[string]bool, stats *Stats) ([]rawClause, error) {
+	if len(comp.ULits) == 0 {
+		return nil, nil
+	}
+	uClause := &mln.Clause{Weight: c.Weight, Source: c.Source + " [existential fallback]"}
+	uClause.Lits = append(uClause.Lits, comp.ULits...)
+	for _, pc := range comp.PostClosed {
+		uClause.Lits = append(uClause.Lits, pc.Lit)
+	}
+	uComp, err := CompileClauseSQL(ts, uClause)
+	if err != nil {
+		return nil, err
+	}
+	if uComp.Skip {
+		return nil, nil
+	}
+	uRows, err := ts.DB.Query(uComp.SQL)
+	if err != nil {
+		return nil, err
+	}
+	stats.JoinRowsVisited += int64(len(uRows.Data))
+
+	nU := len(uComp.ULits)
+	pcBase := 2 * nU
+	width := pcBase + uComp.pcWidth()
+	intRow := make([]int64, width)
+	var out []rawClause
+	for _, row := range uRows.Data {
+		for i := range intRow {
+			intRow[i] = row[i].I
+		}
+		if evalPostClosed(ts, uComp, intRow, pcBase) {
+			continue
+		}
+		var kb strings.Builder
+		for i := 0; i < nU; i++ {
+			fmt.Fprintf(&kb, "%d,", intRow[2*i])
+		}
+		if witnessed[kb.String()] {
+			continue
+		}
+		var aids []int64
+		var pos []bool
+		for i, lit := range uComp.ULits {
+			if intRow[2*i+1] != TruthUnknown {
+				continue
+			}
+			aids = append(aids, intRow[2*i])
+			pos = append(pos, !lit.Negated)
+		}
+		out = append(out, rawClause{weight: c.Weight, aids: aids, pos: pos})
+	}
+	return out, nil
+}
+
+// validateExistSafety rejects existential clauses whose universally
+// quantified variables appear only inside existential literals: the
+// grounding fold groups by the universal literals' atom ids, which would
+// wrongly merge distinct bindings of such variables.
+func validateExistSafety(c *mln.Clause) error {
+	if len(c.Exist) == 0 {
+		return nil
+	}
+	exist := make(map[string]bool, len(c.Exist))
+	for _, v := range c.Exist {
+		exist[v] = true
+	}
+	boundByUniversal := make(map[string]bool)
+	for _, l := range c.Lits {
+		if l.IsBuiltinEq() || hasExistVar(l, exist) {
+			continue
+		}
+		for _, a := range l.Args {
+			if a.IsVar {
+				boundByUniversal[a.Var] = true
+			}
+		}
+	}
+	for _, l := range c.Lits {
+		if l.IsBuiltinEq() || !hasExistVar(l, exist) {
+			continue
+		}
+		for _, a := range l.Args {
+			if a.IsVar && !exist[a.Var] && !boundByUniversal[a.Var] {
+				return fmt.Errorf("unsafe existential clause: variable %s appears only in existential literals", a.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// activeClosure implements the lazy-inference closure of Appendix A.3:
+// assume unknown atoms false; a positive-weight clause is active when every
+// one of its negated literals is on an active atom; activating a clause
+// activates all its atoms; iterate to fixpoint. Hard and negative-weight
+// clauses are always active (the all-false default does not cover their
+// cost structure) and seed the active set.
+func activeClosure(raws []rawClause) []rawClause {
+	active := make(map[int64]bool)
+	kept := make([]bool, len(raws))
+	for i, r := range raws {
+		if len(r.aids) == 0 {
+			kept[i] = true
+			continue
+		}
+		seed := r.weight < 0 || math.IsInf(r.weight, 1)
+		if !seed {
+			seed = true
+			for _, p := range r.pos {
+				if !p {
+					seed = false
+					break
+				}
+			}
+		}
+		if seed {
+			kept[i] = true
+			for _, a := range r.aids {
+				active[a] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, r := range raws {
+			if kept[i] {
+				continue
+			}
+			ok := true
+			for j, p := range r.pos {
+				if !p && !active[r.aids[j]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			kept[i] = true
+			changed = true
+			for _, a := range r.aids {
+				active[a] = true
+			}
+		}
+	}
+	out := raws[:0]
+	for i, r := range raws {
+		if kept[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package mln
+
+// Figure1Program is the paper-classification MLN of Figure 1 in the Tuffy
+// paper, in the surface syntax accepted by ParseProgram. It is used by the
+// quickstart example, the RC dataset generator, and many tests.
+const Figure1Program = `
+// Schema
+paper(paperid, url)
+wrote(author, paperid)
+*refers(paperid, paperid)
+cat(paperid, category)
+
+// Rules (Figure 1)
+5 cat(p, c1), cat(p, c2) => c1 = c2                       // F1: one category
+1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)    // F2: same author => same category
+2 cat(p1, c), refers(p1, p2) => cat(p2, c)                // F3: citation => same category
+paper(p, u) => EXIST x wrote(x, p).                       // F4: every paper has an author (hard)
+-1 cat(p, "Networking")                                   // F5: few papers are Networking
+`
+
+// Figure1Evidence is the small evidence set shown in Figure 1.
+const Figure1Evidence = `
+wrote(Joe, P1)
+wrote(Joe, P2)
+wrote(Jake, P3)
+refers(P1, P3)
+cat(P2, DB)
+paper(P1, U1)
+paper(P2, U2)
+paper(P3, U3)
+`

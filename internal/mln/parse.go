@@ -1,0 +1,672 @@
+package mln
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements the Alchemy-flavoured surface syntax Tuffy accepts:
+//
+//	// comment
+//	category = {DB, AI, Networking}      domain declaration (optional)
+//	paper(paper, url)                    predicate declaration
+//	*refers(paper, paper)                closed-world predicate
+//	5    cat(p,c1), cat(p,c2) => c1 = c2 soft rule (weight first)
+//	-1   cat(p, "Networking")            negative-weight rule
+//	paper(p,u) => EXIST x wrote(x,p).    hard rule (trailing period)
+//
+// Identifiers beginning with a lower-case letter are variables; identifiers
+// beginning with an upper-case letter or digit, and quoted strings, are
+// constants (Alchemy's convention). Implications are converted to clausal
+// form: body literals are negated and disjoined with the head.
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokBang
+	tokEq
+	tokNeq
+	tokImplies
+	tokPeriod
+	tokLBrace
+	tokRBrace
+	tokStar
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	line string
+	pos  int
+	toks []token
+}
+
+func lexLine(line string) ([]token, error) {
+	lx := &lexer{line: line}
+	for lx.pos < len(lx.line) {
+		c := lx.line[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '(':
+			lx.emit(tokLParen, "(")
+		case c == ')':
+			lx.emit(tokRParen, ")")
+		case c == ',':
+			lx.emit(tokComma, ",")
+		case c == '{':
+			lx.emit(tokLBrace, "{")
+		case c == '}':
+			lx.emit(tokRBrace, "}")
+		case c == '*':
+			lx.emit(tokStar, "*")
+		case c == '!':
+			if lx.peek(1) == '=' {
+				lx.emit2(tokNeq, "!=")
+			} else {
+				lx.emit(tokBang, "!")
+			}
+		case c == '=':
+			if lx.peek(1) == '>' {
+				lx.emit2(tokImplies, "=>")
+			} else {
+				lx.emit(tokEq, "=")
+			}
+		case c == '"' || c == '\'':
+			if err := lx.lexString(c); err != nil {
+				return nil, err
+			}
+		case c == '.':
+			// A period is a hard-rule marker only when not part of a number.
+			lx.emit(tokPeriod, ".")
+		case c == '-' || c == '+' || (c >= '0' && c <= '9'):
+			lx.lexNumberOrIdent()
+		default:
+			if isIdentStart(rune(c)) {
+				lx.lexIdent()
+			} else {
+				return nil, fmt.Errorf("unexpected character %q at col %d", c, lx.pos)
+			}
+		}
+	}
+	lx.toks = append(lx.toks, token{kind: tokEOF, pos: lx.pos})
+	return lx.toks, nil
+}
+
+func (lx *lexer) peek(ahead int) byte {
+	if lx.pos+ahead < len(lx.line) {
+		return lx.line[lx.pos+ahead]
+	}
+	return 0
+}
+
+func (lx *lexer) emit(k tokKind, s string) {
+	lx.toks = append(lx.toks, token{kind: k, text: s, pos: lx.pos})
+	lx.pos++
+}
+
+func (lx *lexer) emit2(k tokKind, s string) {
+	lx.toks = append(lx.toks, token{kind: k, text: s, pos: lx.pos})
+	lx.pos += 2
+}
+
+func (lx *lexer) lexString(q byte) error {
+	start := lx.pos
+	lx.pos++
+	var b strings.Builder
+	for lx.pos < len(lx.line) {
+		c := lx.line[lx.pos]
+		if c == q {
+			lx.pos++
+			lx.toks = append(lx.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		lx.pos++
+	}
+	return fmt.Errorf("unterminated string starting at col %d", start)
+}
+
+func (lx *lexer) lexNumberOrIdent() {
+	start := lx.pos
+	if lx.line[lx.pos] == '-' || lx.line[lx.pos] == '+' {
+		lx.pos++
+	}
+	digits := false
+	for lx.pos < len(lx.line) {
+		c := lx.line[lx.pos]
+		if c >= '0' && c <= '9' {
+			digits = true
+			lx.pos++
+			continue
+		}
+		if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') && digits {
+			// Accept float syntax like 2.5, 1e-3. A '.' followed by
+			// non-digit ends the number (hard-rule period).
+			if c == '.' && !(lx.pos+1 < len(lx.line) && lx.line[lx.pos+1] >= '0' && lx.line[lx.pos+1] <= '9') {
+				break
+			}
+			if (c == '-' || c == '+') && !(lx.line[lx.pos-1] == 'e' || lx.line[lx.pos-1] == 'E') {
+				break
+			}
+			lx.pos++
+			continue
+		}
+		break
+	}
+	text := lx.line[start:lx.pos]
+	if !digits {
+		// "-inf", "+inf" or a sign with no digits: try ident continuation.
+		for lx.pos < len(lx.line) && isIdentPart(rune(lx.line[lx.pos])) {
+			lx.pos++
+		}
+		text = lx.line[start:lx.pos]
+		lx.toks = append(lx.toks, token{kind: tokNumber, text: text, pos: start})
+		return
+	}
+	// Digits followed by identifier chars form a constant like 2010a.
+	if lx.pos < len(lx.line) && isIdentPart(rune(lx.line[lx.pos])) {
+		for lx.pos < len(lx.line) && isIdentPart(rune(lx.line[lx.pos])) {
+			lx.pos++
+		}
+		lx.toks = append(lx.toks, token{kind: tokIdent, text: lx.line[start:lx.pos], pos: start})
+		return
+	}
+	lx.toks = append(lx.toks, token{kind: tokNumber, text: text, pos: start})
+}
+
+func (lx *lexer) lexIdent() {
+	start := lx.pos
+	for lx.pos < len(lx.line) && isIdentPart(rune(lx.line[lx.pos])) {
+		lx.pos++
+	}
+	lx.toks = append(lx.toks, token{kind: tokIdent, text: lx.line[start:lx.pos], pos: start})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// ParseProgram reads an MLN program (declarations and rules) from r.
+func ParseProgram(r io.Reader) (*Program, error) {
+	prog := NewProgram()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := stripComment(sc.Text())
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := parseProgramLine(prog, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseProgramString is ParseProgram over a string.
+func ParseProgramString(s string) (*Program, error) {
+	return ParseProgram(strings.NewReader(s))
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func parseProgramLine(prog *Program, line string) error {
+	toks, err := lexLine(line)
+	if err != nil {
+		return err
+	}
+	p := &parser{prog: prog, toks: toks, src: strings.TrimSpace(line)}
+	return p.parseTop()
+}
+
+type parser struct {
+	prog *Program
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("expected %s at col %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseTop() error {
+	switch p.cur().kind {
+	case tokStar:
+		p.next()
+		return p.parsePredicateDecl(true)
+	case tokNumber:
+		w, err := parseWeight(p.next().text)
+		if err != nil {
+			return err
+		}
+		return p.parseRule(w, false)
+	case tokIdent:
+		// Either an "inf" weight, a domain declaration "name = {...}", a
+		// predicate declaration "name(type,...)", or a weightless (hard) rule.
+		if strings.EqualFold(p.cur().text, "inf") {
+			p.next()
+			return p.parseRule(math.Inf(1), false)
+		}
+		if p.toks[p.i+1].kind == tokEq && p.toks[p.i+2].kind == tokLBrace {
+			return p.parseDomainDecl()
+		}
+		if p.isBareDeclaration() {
+			return p.parsePredicateDecl(false)
+		}
+		return p.parseRule(math.Inf(1), true)
+	case tokBang:
+		return p.parseRule(math.Inf(1), true)
+	default:
+		return fmt.Errorf("unexpected token %q", p.cur().text)
+	}
+}
+
+// isBareDeclaration distinguishes "pred(type1, type2)" from a rule. A
+// declaration is a single ident(ident,...) with nothing after it, and all
+// arguments starting lower-case (type names).
+func (p *parser) isBareDeclaration() bool {
+	j := p.i
+	if p.toks[j].kind != tokIdent || p.toks[j+1].kind != tokLParen {
+		return false
+	}
+	j += 2
+	for {
+		if p.toks[j].kind != tokIdent {
+			return false
+		}
+		if r := rune(p.toks[j].text[0]); !unicode.IsLower(r) {
+			return false
+		}
+		j++
+		if p.toks[j].kind == tokComma {
+			j++
+			continue
+		}
+		break
+	}
+	if p.toks[j].kind != tokRParen {
+		return false
+	}
+	return p.toks[j+1].kind == tokEOF
+}
+
+func (p *parser) parsePredicateDecl(closed bool) error {
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return err
+	}
+	var args []string
+	for {
+		a, err := p.expect(tokIdent, "argument type")
+		if err != nil {
+			return err
+		}
+		args = append(args, a.text)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return err
+	}
+	_, err = p.prog.DeclarePredicate(name.text, args, closed)
+	return err
+}
+
+func (p *parser) parseDomainDecl() error {
+	name := p.next().text
+	p.next() // =
+	p.next() // {
+	for {
+		t := p.next()
+		switch t.kind {
+		case tokIdent, tokString, tokNumber:
+			p.prog.Constant(name, t.text)
+		default:
+			return fmt.Errorf("bad domain member %q", t.text)
+		}
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tokRBrace, "}")
+	return err
+}
+
+func parseWeight(s string) (float64, error) {
+	switch strings.ToLower(s) {
+	case "inf", "+inf":
+		return math.Inf(1), nil
+	case "-inf":
+		return math.Inf(-1), nil
+	}
+	w, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad weight %q", s)
+	}
+	return w, nil
+}
+
+// parseRule parses "body => head" or a disjunction, converts to clausal
+// form, and adds the clause. hardByDefault is set for weightless rules,
+// which require a trailing period.
+func (p *parser) parseRule(weight float64, hardByDefault bool) error {
+	body, sawImplies, err := p.parseLiteralList(tokImplies)
+	if err != nil {
+		return err
+	}
+	var c Clause
+	c.Weight = weight
+	c.Source = p.src
+	if sawImplies {
+		// Clausal form: negate each body literal, disjoin with head.
+		for _, l := range body {
+			l.Negated = !l.Negated
+			c.Lits = append(c.Lits, l)
+		}
+		if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "EXIST") {
+			p.next()
+			for {
+				v, err := p.expect(tokIdent, "existential variable")
+				if err != nil {
+					return err
+				}
+				c.Exist = append(c.Exist, v.text)
+				if p.cur().kind == tokComma {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		head, _, err := p.parseLiteralList(tokEOF)
+		if err != nil {
+			return err
+		}
+		if len(head) == 0 {
+			return fmt.Errorf("empty head")
+		}
+		c.Lits = append(c.Lits, head...)
+	} else {
+		c.Lits = body
+	}
+	// Trailing period marks a hard rule.
+	hard := false
+	if p.cur().kind == tokPeriod {
+		p.next()
+		hard = true
+	}
+	if hard {
+		c.Weight = math.Inf(1)
+	} else if hardByDefault {
+		return fmt.Errorf("rule needs a weight or a trailing period: %s", p.src)
+	}
+	if p.cur().kind != tokEOF {
+		return fmt.Errorf("trailing tokens at col %d: %q", p.cur().pos, p.cur().text)
+	}
+	return p.prog.AddClause(&c)
+}
+
+// parseLiteralList parses literals separated by commas (conjunction in rule
+// bodies) or the ident "v" (disjunction). It stops at stopAt (if tokImplies,
+// returns sawStop=true after consuming it), EOF, or a period.
+func (p *parser) parseLiteralList(stopAt tokKind) (lits []Literal, sawStop bool, err error) {
+	for {
+		l, err := p.parseLiteral()
+		if err != nil {
+			return nil, false, err
+		}
+		lits = append(lits, l)
+		switch {
+		case p.cur().kind == tokComma:
+			p.next()
+		case p.cur().kind == tokIdent && p.cur().text == "v":
+			p.next()
+		case p.cur().kind == stopAt && stopAt == tokImplies:
+			p.next()
+			return lits, true, nil
+		default:
+			return lits, false, nil
+		}
+	}
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	var l Literal
+	if p.cur().kind == tokBang {
+		p.next()
+		l.Negated = true
+	}
+	// Built-in equality: term (=|!=) term, where the first token is not a
+	// predicate application.
+	first := p.cur()
+	if (first.kind == tokIdent || first.kind == tokString || first.kind == tokNumber) && p.toks[p.i+1].kind != tokLParen {
+		lhs, err := p.parseTerm("")
+		if err != nil {
+			return l, err
+		}
+		op := p.next()
+		neg := l.Negated
+		switch op.kind {
+		case tokEq:
+		case tokNeq:
+			neg = !neg
+		default:
+			return l, fmt.Errorf("expected = or != at col %d, got %q", op.pos, op.text)
+		}
+		rhs, err := p.parseTerm("")
+		if err != nil {
+			return l, err
+		}
+		return Literal{Negated: neg, Args: []Term{lhs, rhs}}, nil
+	}
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return l, err
+	}
+	pred, ok := p.prog.Predicate(name.text)
+	if !ok {
+		return l, fmt.Errorf("undeclared predicate %q", name.text)
+	}
+	l.Pred = pred
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return l, err
+	}
+	for i := 0; ; i++ {
+		typ := ""
+		if i < pred.Arity() {
+			typ = pred.Args[i]
+		}
+		t, err := p.parseTerm(typ)
+		if err != nil {
+			return l, err
+		}
+		l.Args = append(l.Args, t)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return l, err
+	}
+	return l, nil
+}
+
+// parseTerm parses a term. Quoted strings and identifiers starting with an
+// upper-case letter or digit are constants (interned into the domain typ
+// when known); lower-case identifiers are variables.
+func (p *parser) parseTerm(typ string) (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return C(p.internConst(typ, t.text)), nil
+	case tokNumber:
+		return C(p.internConst(typ, t.text)), nil
+	case tokIdent:
+		if unicode.IsLower(rune(t.text[0])) {
+			return V(t.text), nil
+		}
+		return C(p.internConst(typ, t.text)), nil
+	default:
+		return Term{}, fmt.Errorf("expected term at col %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) internConst(typ, name string) int32 {
+	if typ == "" {
+		return p.prog.Syms.Intern(name)
+	}
+	return p.prog.Constant(typ, name)
+}
+
+// ParseEvidence reads ground literals ("wrote(Joe, P1)", "!cat(P5, DB)"),
+// one per line, into a new Evidence database.
+func ParseEvidence(prog *Program, r io.Reader) (*Evidence, error) {
+	ev := NewEvidence(prog)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := stripComment(sc.Text())
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := parseEvidenceLine(ev, line); err != nil {
+			return nil, fmt.Errorf("evidence line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// ParseEvidenceString is ParseEvidence over a string.
+func ParseEvidenceString(prog *Program, s string) (*Evidence, error) {
+	return ParseEvidence(prog, strings.NewReader(s))
+}
+
+func parseEvidenceLine(ev *Evidence, line string) error {
+	toks, err := lexLine(line)
+	if err != nil {
+		return err
+	}
+	i := 0
+	neg := false
+	if toks[i].kind == tokBang {
+		neg = true
+		i++
+	}
+	if toks[i].kind != tokIdent {
+		return fmt.Errorf("expected predicate, got %q", toks[i].text)
+	}
+	name := toks[i].text
+	i++
+	if toks[i].kind != tokLParen {
+		return fmt.Errorf("expected ( after %s", name)
+	}
+	i++
+	var args []string
+	for {
+		switch toks[i].kind {
+		case tokIdent, tokString, tokNumber:
+			args = append(args, toks[i].text)
+			i++
+		default:
+			return fmt.Errorf("bad constant %q", toks[i].text)
+		}
+		if toks[i].kind == tokComma {
+			i++
+			continue
+		}
+		break
+	}
+	if toks[i].kind != tokRParen {
+		return fmt.Errorf("expected ) in %s", line)
+	}
+	pred, ok := ev.prog.Predicate(name)
+	if !ok {
+		return fmt.Errorf("undeclared predicate %q", name)
+	}
+	if len(args) != pred.Arity() {
+		return fmt.Errorf("%s has arity %d, got %d args", name, pred.Arity(), len(args))
+	}
+	return ev.AssertNames(name, args, neg)
+}
+
+// ParseQuery reads query atoms (one per line, e.g. "cat(p, c)") and returns
+// the set of queried predicates.
+func ParseQuery(prog *Program, r io.Reader) (*QueryDecl, error) {
+	q := NewQueryDecl()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(stripComment(sc.Text()))
+		if line == "" {
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(line, '('); i >= 0 {
+			name = strings.TrimSpace(line[:i])
+		}
+		pred, ok := prog.Predicate(name)
+		if !ok {
+			return nil, fmt.Errorf("query line %d: undeclared predicate %q", lineNo, name)
+		}
+		q.Add(pred)
+	}
+	return q, sc.Err()
+}

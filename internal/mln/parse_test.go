@@ -1,0 +1,307 @@
+package mln
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseFigure1Program(t *testing.T) {
+	prog, err := ParseProgramString(Figure1Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Preds) != 4 {
+		t.Fatalf("got %d predicates, want 4", len(prog.Preds))
+	}
+	refers := prog.MustPredicate("refers")
+	if !refers.Closed {
+		t.Fatal("refers should be closed-world")
+	}
+	if prog.MustPredicate("cat").Closed {
+		t.Fatal("cat should be open")
+	}
+	if len(prog.Clauses) != 5 {
+		t.Fatalf("got %d clauses, want 5", len(prog.Clauses))
+	}
+	// F1: 5 cat(p,c1), cat(p,c2) => c1 = c2
+	f1 := prog.Clauses[0]
+	if f1.Weight != 5 {
+		t.Fatalf("F1 weight = %v", f1.Weight)
+	}
+	if len(f1.Lits) != 3 {
+		t.Fatalf("F1 has %d literals, want 3", len(f1.Lits))
+	}
+	if !f1.Lits[0].Negated || !f1.Lits[1].Negated {
+		t.Fatal("F1 body literals should be negated in clausal form")
+	}
+	if !f1.Lits[2].IsBuiltinEq() || f1.Lits[2].Negated {
+		t.Fatal("F1 head should be positive builtin equality")
+	}
+	// F4: hard rule with existential.
+	f4 := prog.Clauses[3]
+	if !f4.IsHard() {
+		t.Fatalf("F4 weight = %v, want +inf", f4.Weight)
+	}
+	if len(f4.Exist) != 1 || f4.Exist[0] != "x" {
+		t.Fatalf("F4 Exist = %v", f4.Exist)
+	}
+	// F5: negative weight single positive literal.
+	f5 := prog.Clauses[4]
+	if f5.Weight != -1 {
+		t.Fatalf("F5 weight = %v", f5.Weight)
+	}
+	if len(f5.Lits) != 1 || f5.Lits[0].Negated {
+		t.Fatal("F5 should be a single positive literal")
+	}
+	if f5.Lits[0].Args[1].IsVar {
+		t.Fatal("F5 second arg should be the constant Networking")
+	}
+	if prog.Syms.Name(f5.Lits[0].Args[1].Const) != "Networking" {
+		t.Fatalf("F5 constant = %q", prog.Syms.Name(f5.Lits[0].Args[1].Const))
+	}
+}
+
+func TestParseFigure1Evidence(t *testing.T) {
+	prog, err := ParseProgramString(Figure1Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ParseEvidenceString(prog, Figure1Evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", ev.Total())
+	}
+	wrote := prog.MustPredicate("wrote")
+	joe, _ := prog.Syms.Lookup("Joe")
+	p1, _ := prog.Syms.Lookup("P1")
+	if got := ev.TruthOf(wrote, []int32{joe, p1}); got != True {
+		t.Fatalf("wrote(Joe,P1) = %v", got)
+	}
+	// Domains populated from evidence.
+	if prog.Domain("paperid").Size() < 3 {
+		t.Fatalf("paperid domain size = %d, want >= 3", prog.Domain("paperid").Size())
+	}
+	if prog.Domain("author").Size() != 2 {
+		t.Fatalf("author domain size = %d, want 2", prog.Domain("author").Size())
+	}
+}
+
+func TestParseDomainDecl(t *testing.T) {
+	prog, err := ParseProgramString(`
+category = {DB, AI, Networking}
+cat(paper, category)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Domain("category").Size() != 3 {
+		t.Fatalf("category size = %d, want 3", prog.Domain("category").Size())
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	prog, err := ParseProgramString(`
+p(t)
+q(t)
+1.5 !p(x) v q(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Clauses[0]
+	if c.Weight != 1.5 {
+		t.Fatalf("weight = %v", c.Weight)
+	}
+	if len(c.Lits) != 2 || !c.Lits[0].Negated || c.Lits[1].Negated {
+		t.Fatalf("clause parsed wrong: %s", c.Format(prog.Syms))
+	}
+}
+
+func TestParseHardRuleTrailingPeriod(t *testing.T) {
+	prog, err := ParseProgramString(`
+p(t)
+q(t)
+p(x) => q(x).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Clauses[0].IsHard() {
+		t.Fatal("trailing-period rule should be hard")
+	}
+}
+
+func TestParseWeightlessRuleRejected(t *testing.T) {
+	_, err := ParseProgramString(`
+p(t)
+q(t)
+p(x) => q(x)
+`)
+	if err == nil {
+		t.Fatal("weightless soft rule should be rejected")
+	}
+}
+
+func TestParseInfWeights(t *testing.T) {
+	prog, err := ParseProgramString(`
+p(t)
+inf p(x)
+-inf p(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(prog.Clauses[0].Weight, 1) {
+		t.Fatalf("weight = %v", prog.Clauses[0].Weight)
+	}
+	if !math.IsInf(prog.Clauses[1].Weight, -1) {
+		t.Fatalf("weight = %v", prog.Clauses[1].Weight)
+	}
+}
+
+func TestParseNegativeAndFloatWeights(t *testing.T) {
+	prog, err := ParseProgramString(`
+p(t)
+-2.25 p(x)
+1e-3 p(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Clauses[0].Weight != -2.25 {
+		t.Fatalf("weight = %v", prog.Clauses[0].Weight)
+	}
+	if prog.Clauses[1].Weight != 1e-3 {
+		t.Fatalf("weight = %v", prog.Clauses[1].Weight)
+	}
+}
+
+func TestParseQuotedConstants(t *testing.T) {
+	prog, err := ParseProgramString(`
+cat(paper, category)
+-1 cat(p, "Networking Systems")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Clauses[0]
+	if prog.Syms.Name(c.Lits[0].Args[1].Const) != "Networking Systems" {
+		t.Fatalf("quoted constant = %q", prog.Syms.Name(c.Lits[0].Args[1].Const))
+	}
+}
+
+func TestParseInequalityLiteral(t *testing.T) {
+	prog, err := ParseProgramString(`
+p(t)
+2 p(x), p(y) => x != y
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Clauses[0]
+	eq := c.Lits[2]
+	if !eq.IsBuiltinEq() || !eq.Negated {
+		t.Fatalf("x != y should parse as negated equality, got %s", c.Format(prog.Syms))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"p(t)\n1 q(x)",            // undeclared predicate in rule
+		"p(t)\np(t)",              // duplicate declaration
+		"p(t)\n1 p(x, y)",         // arity mismatch via validate? (arity checked in AddClause)
+		"p(t)\n1 p(x",             // unbalanced paren
+		`p(t)` + "\n" + `1 p("x`,  // unterminated string
+		"p(t)\nbogus q(x)",        // bad weight token leads to undeclared pred error
+		"p(t)\n1 p(x) v",          // dangling operator
+		"p(t)\n1 p(x) extra(y)",   // trailing garbage
+		"p(t)\n1 p(x) => EXIST q", // existential with no head literal
+	}
+	for _, src := range cases {
+		if _, err := ParseProgramString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseEvidenceErrors(t *testing.T) {
+	prog, _ := ParseProgramString("p(t)\nq(t, t)")
+	cases := []string{
+		"r(A)",    // undeclared
+		"p(A, B)", // arity
+		"p(",      // syntax
+		"!q(A)",   // arity
+	}
+	for _, src := range cases {
+		if _, err := ParseEvidenceString(prog, src); err == nil {
+			t.Errorf("no error for evidence %q", src)
+		}
+	}
+}
+
+func TestParseQueryFile(t *testing.T) {
+	prog, _ := ParseProgramString(Figure1Program)
+	q, err := ParseQuery(prog, strings.NewReader("cat(p, c)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Contains(prog.MustPredicate("cat")) {
+		t.Fatal("cat not marked as query")
+	}
+	if _, err := ParseQuery(prog, strings.NewReader("nope(x)\n")); err == nil {
+		t.Fatal("undeclared query predicate accepted")
+	}
+}
+
+func TestClauseFormatRoundTrip(t *testing.T) {
+	prog, err := ParseProgramString(Figure1Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range prog.Clauses {
+		s := c.Format(prog.Syms)
+		if s == "" {
+			t.Fatalf("empty format for clause %d", c.ID)
+		}
+		if c.HasExist() && !strings.Contains(s, "EXIST") {
+			t.Fatalf("existential clause formatted without EXIST: %s", s)
+		}
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	prog, err := ParseProgramString(`
+// leading comment
+
+p(t)   // trailing comment
+1 p(x) // rule comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Clauses) != 1 {
+		t.Fatalf("clauses = %d, want 1", len(prog.Clauses))
+	}
+}
+
+func TestParseConjunctionOnlyRule(t *testing.T) {
+	// A comma in a non-implication rule is a conjunction, which in clausal
+	// form is invalid (we require disjunctions); the parser treats commas
+	// uniformly as separators, so "1 p(x), q(x)" is the clause p(x) v q(x).
+	// This matches Alchemy's CNF-input convention where "," only appears in
+	// implication bodies; we document the behaviour here.
+	prog, err := ParseProgramString(`
+p(t)
+q(t)
+1 p(x), q(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Clauses[0].Lits) != 2 {
+		t.Fatalf("lits = %d", len(prog.Clauses[0].Lits))
+	}
+}

@@ -1,0 +1,114 @@
+package mrf
+
+import (
+	"fmt"
+	"math"
+
+	"tuffy/internal/db"
+	"tuffy/internal/db/storage"
+	"tuffy/internal/db/tuple"
+)
+
+// This file moves MRFs between memory and the RDBMS clause table — the
+// boundary of the paper's hybrid architecture (Section 3.2): grounding
+// leaves its result in the database table C(cid, lits, weight); in-memory
+// search loads it; the in-database search variant (Tuffy-mm) operates on it
+// directly.
+
+// ClauseTableSchema is the layout of the ground-clause table. Weights are
+// stored as IEEE-754 bit patterns in a BIGINT since the engine has no float
+// column type; lits is the signed atom-id array, exactly as the paper
+// describes.
+func ClauseTableSchema() tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("cid", tuple.TInt),
+		tuple.Col("weight", tuple.TInt),
+		tuple.Col("lits", tuple.TIntList),
+	)
+}
+
+// AtomTableSchema is the layout of the search-state atom table used by the
+// in-database search: current truth value and the best value found.
+func AtomTableSchema() tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("aid", tuple.TInt),
+		tuple.Col("truth", tuple.TInt),
+		tuple.Col("best", tuple.TInt),
+	)
+}
+
+// ClauseRow converts a ground clause to its table row.
+func ClauseRow(cid int64, c Clause) tuple.Row {
+	lits := make([]int64, len(c.Lits))
+	for j, l := range c.Lits {
+		lits[j] = int64(l)
+	}
+	return tuple.Row{
+		tuple.I64(cid),
+		tuple.I64(int64(math.Float64bits(c.Weight))),
+		tuple.IntList(lits),
+	}
+}
+
+// RowClause converts a clause-table row back to a ground clause.
+func RowClause(row tuple.Row) (Clause, error) {
+	if len(row) != 3 || row[1].Kind != tuple.TInt || row[2].Kind != tuple.TIntList {
+		return Clause{}, fmt.Errorf("mrf: malformed clause row %v", row)
+	}
+	lits := make([]Lit, len(row[2].List))
+	for i, l := range row[2].List {
+		lits[i] = Lit(l)
+	}
+	return Clause{Weight: math.Float64frombits(uint64(row[1].I)), Lits: lits}, nil
+}
+
+// Store writes the MRF's clauses into tableName (created if absent),
+// replacing previous contents.
+func Store(m *MRF, d *db.DB, tableName string) error {
+	t, ok := d.Table(tableName)
+	if !ok {
+		var err error
+		t, err = d.CreateTable(tableName, ClauseTableSchema())
+		if err != nil {
+			return err
+		}
+	} else if _, err := d.Exec("DELETE FROM " + tableName); err != nil {
+		return err
+	}
+	for i, c := range m.Clauses {
+		if err := t.Insert(ClauseRow(int64(i), c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a clause table back into an in-memory MRF. numAtoms may be 0,
+// in which case it is inferred from the largest atom id seen.
+func Load(d *db.DB, tableName string, numAtoms int) (*MRF, error) {
+	t, ok := d.Table(tableName)
+	if !ok {
+		return nil, fmt.Errorf("mrf: no clause table %q", tableName)
+	}
+	var clauses []Clause
+	maxAtom := int32(numAtoms)
+	err := t.ScanRows(func(_ storage.RecordID, row tuple.Row) error {
+		c, err := RowClause(row)
+		if err != nil {
+			return err
+		}
+		for _, l := range c.Lits {
+			if a := Atom(l); a > maxAtom {
+				maxAtom = a
+			}
+		}
+		clauses = append(clauses, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := New(int(maxAtom))
+	m.Clauses = clauses
+	return m, nil
+}

@@ -1,0 +1,191 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tuffy/internal/datagen"
+	"tuffy/internal/mrf"
+)
+
+func TestAlgorithm3UnboundedEqualsComponents(t *testing.T) {
+	m := datagen.Example1(15)
+	pt := Algorithm3(m, 0)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Parts) != 15 {
+		t.Fatalf("parts = %d, want 15 (one per component)", len(pt.Parts))
+	}
+	if pt.NumCut() != 0 {
+		t.Fatalf("cut = %d, want 0", pt.NumCut())
+	}
+}
+
+func TestAlgorithm3RespectsBound(t *testing.T) {
+	// A chain of 40 atoms connected by 2-literal clauses; a small beta must
+	// yield multiple partitions, and the bound must hold.
+	m := mrf.New(40)
+	for i := 1; i < 40; i++ {
+		_ = m.AddClause(float64(i%5+1), mrf.AtomID(i), mrf.AtomID(i+1))
+	}
+	const beta = 20
+	pt := Algorithm3(m, beta)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Parts) < 2 {
+		t.Fatalf("expected a split, got %d parts", len(pt.Parts))
+	}
+	for i, p := range pt.Parts {
+		if p.SizeUnits > beta {
+			t.Fatalf("part %d size %d exceeds beta %d", i, p.SizeUnits, beta)
+		}
+	}
+	if pt.NumCut() == 0 {
+		t.Fatal("chain split must cut some clauses")
+	}
+}
+
+func TestAlgorithm3PrefersCuttingLightClauses(t *testing.T) {
+	// Two triangles of heavy clauses joined by one light clause: with a
+	// beta that fits one triangle but not both, the light clause is cut.
+	m := mrf.New(6)
+	heavy := 10.0
+	_ = m.AddClause(heavy, 1, 2)
+	_ = m.AddClause(heavy, 2, 3)
+	_ = m.AddClause(heavy, 1, 3)
+	_ = m.AddClause(heavy, 4, 5)
+	_ = m.AddClause(heavy, 5, 6)
+	_ = m.AddClause(heavy, 4, 6)
+	_ = m.AddClause(0.1, 3, 4) // the light bridge
+	pt := Algorithm3(m, 12)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pt.NumCut() != 1 {
+		t.Fatalf("cut = %d, want 1", pt.NumCut())
+	}
+	if math.Abs(pt.CutWeight-0.1) > 1e-9 {
+		t.Fatalf("cut weight = %v, want 0.1 (the light clause)", pt.CutWeight)
+	}
+}
+
+func TestAlgorithm3CostPreservation(t *testing.T) {
+	// Internal clause costs + cut clause costs must equal the parent cost
+	// for any state.
+	rng := rand.New(rand.NewSource(5))
+	m := datagen.Example2(10)
+	pt := Algorithm3(m, 25)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		state := m.NewState()
+		for i := 1; i <= m.NumAtoms; i++ {
+			state[i] = rng.Intn(2) == 0
+		}
+		want := m.Cost(state)
+		got := 0.0
+		for _, p := range pt.Parts {
+			got += p.Local.Cost(p.ExtractState(state))
+		}
+		for _, c := range pt.Cut {
+			if c.ViolatedBy(state) {
+				got += math.Abs(c.Weight)
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: partitioned cost %v != parent %v", trial, got, want)
+		}
+	}
+}
+
+func TestProjectExtractRoundTrip(t *testing.T) {
+	m := datagen.Example1(4)
+	pt := Algorithm3(m, 0)
+	global := m.NewState()
+	for i := 1; i <= m.NumAtoms; i += 2 {
+		global[i] = true
+	}
+	for _, p := range pt.Parts {
+		local := p.ExtractState(global)
+		out := m.NewState()
+		p.ProjectState(local, out)
+		for i := 1; i <= p.Local.NumAtoms; i++ {
+			g := p.GlobalAtom[i]
+			if out[g] != global[g] {
+				t.Fatalf("atom %d mismatch", g)
+			}
+		}
+	}
+}
+
+func TestFirstFitDecreasing(t *testing.T) {
+	m := datagen.Example1(20)
+	pt := Algorithm3(m, 0)
+	perPart := pt.Parts[0].Bytes()
+	// Budget of 5 partitions per batch -> ceil(20/5) = 4 batches.
+	batches := FirstFitDecreasing(pt.Parts, perPart*5)
+	if len(batches) != 4 {
+		t.Fatalf("batches = %d, want 4", len(batches))
+	}
+	seen := map[int]bool{}
+	for _, b := range batches {
+		if b.Bytes > perPart*5 {
+			t.Fatalf("batch over budget: %d > %d", b.Bytes, perPart*5)
+		}
+		for _, pi := range b.PartIdx {
+			if seen[pi] {
+				t.Fatalf("partition %d in two batches", pi)
+			}
+			seen[pi] = true
+		}
+	}
+	if len(seen) != len(pt.Parts) {
+		t.Fatalf("only %d of %d partitions packed", len(seen), len(pt.Parts))
+	}
+}
+
+func TestFirstFitDecreasingOversized(t *testing.T) {
+	m := datagen.Example1(3)
+	pt := Algorithm3(m, 0)
+	// Budget smaller than any partition: one batch per partition.
+	batches := FirstFitDecreasing(pt.Parts, 1)
+	if len(batches) != len(pt.Parts) {
+		t.Fatalf("batches = %d, want %d", len(batches), len(pt.Parts))
+	}
+}
+
+func TestFFDBetterThanOnePerBatch(t *testing.T) {
+	// FFD groups many small components per batch — the I/O saving of the
+	// paper's batch loading (Table 7).
+	m := datagen.Example1(100)
+	pt := Algorithm3(m, 0)
+	perPart := pt.Parts[0].Bytes()
+	batches := FirstFitDecreasing(pt.Parts, perPart*10)
+	if len(batches) >= 100 {
+		t.Fatalf("FFD produced %d batches for 100 parts", len(batches))
+	}
+	if len(batches) != 10 {
+		t.Fatalf("batches = %d, want 10", len(batches))
+	}
+}
+
+func TestPartitionEightyTwentySplit(t *testing.T) {
+	// Unequal component sizes pack tightly: 5 parts of 2 atoms and one of
+	// 100 atoms (sizes differ), FFD puts the big one alone.
+	big := mrf.New(102)
+	for i := 1; i < 100; i++ {
+		_ = big.AddClause(1, mrf.AtomID(i), mrf.AtomID(i+1))
+	}
+	_ = big.AddClause(1, 101, 102)
+	pt := Algorithm3(big, 0)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Parts) != 2 {
+		t.Fatalf("parts = %d", len(pt.Parts))
+	}
+}

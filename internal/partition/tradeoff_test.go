@@ -1,0 +1,95 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"tuffy/internal/datagen"
+	"tuffy/internal/mrf"
+)
+
+func TestTradeoffFormula(t *testing.T) {
+	// No positive-opt components and no cut: W = 0.
+	if w := Tradeoff(TradeoffInput{TotalClauses: 100}); w != 0 {
+		t.Fatalf("W = %v", w)
+	}
+	// Many positive-opt components, no cut: strongly positive.
+	w := Tradeoff(TradeoffInput{PositiveOptParts: 30, TotalClauses: 100, StepsPerRound: 1000})
+	if w < 1000 {
+		t.Fatalf("W = %v, want large benefit", w)
+	}
+	// Zero benefit, large cut: negative.
+	w = Tradeoff(TradeoffInput{PositiveOptParts: 0, CutClauses: 90, TotalClauses: 100, StepsPerRound: 10_000})
+	if w >= 0 {
+		t.Fatalf("W = %v, want negative", w)
+	}
+	// Exponent clamp keeps result finite.
+	w = Tradeoff(TradeoffInput{PositiveOptParts: 10_000, TotalClauses: 1})
+	if math.IsInf(w, 0) || math.IsNaN(w) {
+		t.Fatalf("W = %v, want finite", w)
+	}
+	// Empty MRF guard.
+	if w := Tradeoff(TradeoffInput{}); w != 0 {
+		t.Fatalf("W = %v", w)
+	}
+}
+
+func TestEstimatePositiveOptPartsExample1(t *testing.T) {
+	// Every Example 1 component has optimal cost 1 > 0.
+	m := datagen.Example1(12)
+	pt := Algorithm3(m, 0)
+	if got := EstimatePositiveOptParts(pt, 10); got != 12 {
+		t.Fatalf("positive-opt parts = %d, want 12", got)
+	}
+}
+
+func TestEstimatePositiveOptPartsSatisfiable(t *testing.T) {
+	// A satisfiable chain: optimal cost 0 everywhere.
+	m := mrf.New(6)
+	for i := 1; i < 6; i++ {
+		_ = m.AddClause(1, mrf.AtomID(i), mrf.AtomID(i+1))
+	}
+	pt := Algorithm3(m, 0)
+	if got := EstimatePositiveOptParts(pt, 10); got != 0 {
+		t.Fatalf("positive-opt parts = %d, want 0", got)
+	}
+}
+
+func TestEstimatePositiveOptPartsCertificate(t *testing.T) {
+	// Large component (beyond exhaustive range) with the Example 1
+	// conflict pattern: detected via the cheap certificate.
+	m := mrf.New(30)
+	for i := 1; i < 30; i++ {
+		_ = m.AddClause(0.5, mrf.AtomID(i), mrf.AtomID(i+1))
+	}
+	_ = m.AddClause(1, 1)     // positive unit
+	_ = m.AddClause(-1, 1, 2) // negative clause sharing atom 1
+	pt := Algorithm3(m, 0)
+	if got := EstimatePositiveOptParts(pt, 10); got != 1 {
+		t.Fatalf("certificate missed: %d", got)
+	}
+}
+
+func TestChooseBetaPrefersComponentsOnExample1(t *testing.T) {
+	// On Example 1 the components are tiny and all have positive optimum:
+	// any candidate including 0 (components) should win over a beta so
+	// tiny it cuts clauses.
+	m := datagen.Example1(20)
+	beta, pt := ChooseBeta(m, []int{0, 2}, 10_000)
+	if beta != 0 {
+		t.Fatalf("beta = %d, want 0 (components)", beta)
+	}
+	if pt.NumCut() != 0 {
+		t.Fatalf("cut = %d", pt.NumCut())
+	}
+}
+
+func TestChooseBetaAvoidsHugeCut(t *testing.T) {
+	// A dense satisfiable MRF: no positive-opt benefit, so the candidate
+	// with the smaller cut must win.
+	m := datagen.Example2(20)
+	beta, _ := ChooseBeta(m, []int{0, 10}, 100_000)
+	if beta != 0 {
+		t.Fatalf("beta = %d; splitting a zero-benefit graph should lose", beta)
+	}
+}

@@ -1,0 +1,201 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"tuffy/internal/mrf"
+)
+
+// ComponentOptions configures component-aware search (Section 3.3).
+type ComponentOptions struct {
+	// Base WalkSAT options; MaxFlips is the TOTAL budget split across
+	// components by weighted round-robin (|Gi|/|G| of the budget each,
+	// exactly the scheduling of Section 4.4).
+	Base Options
+	// Parallelism is the number of worker goroutines (1 = sequential).
+	Parallelism int
+}
+
+// ComponentResult is the global outcome of per-component search.
+type ComponentResult struct {
+	// Best is the global assignment stitched from each component's best.
+	Best []bool
+	// BestCost is the sum of per-component best costs plus fixed cost.
+	BestCost float64
+	Flips    int64
+	Elapsed  time.Duration
+	// PerComponent holds each component's final best cost.
+	PerComponent []float64
+}
+
+// ComponentAware runs WalkSAT independently on each connected component,
+// keeping the lowest-cost state per component — the behaviour Theorem 3.1
+// proves exponentially better than monolithic WalkSAT on multi-component
+// MRFs. Components are scheduled round-robin over a worker pool.
+func ComponentAware(parent *mrf.MRF, comps []*mrf.Component, opts ComponentOptions) *ComponentResult {
+	opts.Base = opts.Base.withDefaults()
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	totalAtoms := 0
+	for _, c := range comps {
+		totalAtoms += c.Size()
+	}
+	start := time.Now()
+
+	global := parent.NewState()
+	res := &ComponentResult{PerComponent: make([]float64, len(comps))}
+	var mu sync.Mutex
+
+	// Time-cost tracking: the global state starts all-false; as each
+	// component's search completes its best is stitched in, and the global
+	// cost is the sum of finished bests plus the all-false baseline of
+	// unfinished components — the quantity the paper's time-cost curves
+	// plot for Tuffy.
+	var trackedCost float64
+	baseline := make([]float64, len(comps))
+	if opts.Base.Tracker != nil {
+		trackedCost = parent.FixedCost
+		for i, c := range comps {
+			baseline[i] = c.MRF.Cost(c.MRF.NewState())
+			trackedCost += baseline[i]
+		}
+		opts.Base.Tracker.Record(trackedCost)
+	}
+
+	// Weighted round-robin budget: flips proportional to component size.
+	budget := func(c *mrf.Component) int64 {
+		if totalAtoms == 0 {
+			return 0
+		}
+		b := opts.Base.MaxFlips * int64(c.Size()) / int64(totalAtoms)
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallelism; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range work {
+				comp := comps[idx]
+				o := opts.Base
+				o.MaxFlips = budget(comp)
+				o.Seed = opts.Base.Seed + int64(idx)*7919
+				o.Tracker = nil // per-component costs are not global costs
+				r := WalkSAT(comp.MRF, o)
+				mu.Lock()
+				res.Flips += r.Flips
+				res.PerComponent[idx] = r.BestCost
+				comp.ProjectState(r.Best, global)
+				if opts.Base.Tracker != nil {
+					trackedCost += r.BestCost - baseline[idx]
+					opts.Base.Tracker.Record(trackedCost)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for i := range comps {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	res.Best = global
+	res.BestCost = parent.FixedCost
+	for _, c := range res.PerComponent {
+		res.BestCost += c
+	}
+	// Per-component costs already include each sub-MRF's own FixedCost
+	// (components carry none), so no double counting occurs.
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Monolithic runs plain WalkSAT on the whole MRF (the Tuffy-p / Alchemy
+// behaviour) and returns a ComponentResult for uniform comparison.
+func Monolithic(parent *mrf.MRF, opts Options) *ComponentResult {
+	r := WalkSAT(parent, opts)
+	return &ComponentResult{
+		Best:     r.Best,
+		BestCost: r.BestCost,
+		Flips:    r.Flips,
+		Elapsed:  r.Elapsed,
+	}
+}
+
+// HittingTime measures the expected number of flips WalkSAT needs to first
+// reach targetCost, averaged over trials — the quantity Theorem 3.1 bounds.
+// maxFlips caps each trial; trials that never hit count as maxFlips (a
+// lower-bound estimate).
+func HittingTime(m *mrf.MRF, targetCost float64, trials int, maxFlips int64, seed int64) float64 {
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		o := Options{
+			MaxFlips:   maxFlips,
+			MaxTries:   1,
+			Seed:       seed + int64(t)*104729,
+			TargetCost: targetCost,
+		}
+		r := WalkSAT(m, o)
+		if r.HitFlips >= 0 {
+			total += float64(r.HitFlips)
+		} else {
+			total += float64(maxFlips)
+		}
+	}
+	return total / float64(trials)
+}
+
+// ComponentHittingTime is HittingTime under component-aware search: each
+// component is solved to its own optimum; the hitting time is the sum of
+// per-component hitting times (the "4N" side of Example 1).
+func ComponentHittingTime(comps []*mrf.Component, perCompTarget func(i int) float64, trials int, maxFlips int64, seed int64) float64 {
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		sum := 0.0
+		for i, c := range comps {
+			o := Options{
+				MaxFlips:   maxFlips,
+				MaxTries:   1,
+				Seed:       seed + int64(t)*104729 + int64(i)*7919,
+				TargetCost: perCompTarget(i),
+			}
+			r := WalkSAT(c.MRF, o)
+			if r.HitFlips >= 0 {
+				sum += float64(r.HitFlips)
+			} else {
+				sum += float64(maxFlips)
+			}
+		}
+		total += sum
+	}
+	return total / float64(trials)
+}
+
+// OptimalCost exhaustively minimizes the cost of a small MRF (≤ ~20 atoms),
+// used by tests and hitting-time experiments to find target costs.
+func OptimalCost(m *mrf.MRF) float64 {
+	n := m.NumAtoms
+	if n > 24 {
+		panic("search: OptimalCost limited to 24 atoms")
+	}
+	best := math.Inf(1)
+	state := m.NewState()
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 1; i <= n; i++ {
+			state[i] = mask&(1<<(i-1)) != 0
+		}
+		if c := m.Cost(state); c < best {
+			best = c
+		}
+	}
+	return best
+}

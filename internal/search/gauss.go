@@ -1,0 +1,125 @@
+package search
+
+import (
+	"math"
+	"time"
+
+	"tuffy/internal/mrf"
+	"tuffy/internal/partition"
+)
+
+// GaussSeidelOptions configures partition-aware search (Section 3.4).
+type GaussSeidelOptions struct {
+	// Base WalkSAT options; MaxFlips is the per-partition budget per round.
+	Base Options
+	// Rounds is T in the paper's scheme: how many sweeps over the
+	// partitions to run.
+	Rounds int
+}
+
+// GaussSeidel runs the paper's partition-aware search: for t = 1..T, for
+// each partition i, run WalkSAT on partition i conditioned on the current
+// values of all other partitions (cut clauses are projected onto the
+// partition under the frozen external assignment) — an instance of the
+// Gauss-Seidel method from nonlinear optimization [Bertsekas & Tsitsiklis].
+func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) *ComponentResult {
+	opts.Base = opts.Base.withDefaults()
+	if opts.Rounds == 0 {
+		opts.Rounds = 3
+	}
+	start := time.Now()
+	m := pt.Source
+	global := m.NewState()
+
+	// Index cut clauses by partition for projection.
+	cutByPart := make([][]int, len(pt.Parts))
+	for ci, c := range pt.Cut {
+		seen := map[int32]bool{}
+		for _, l := range c.Lits {
+			pi := pt.PartOf[mrf.Atom(l)]
+			if !seen[pi] {
+				seen[pi] = true
+				cutByPart[pi] = append(cutByPart[pi], ci)
+			}
+		}
+	}
+
+	var flips int64
+	best := m.NewState()
+	bestCost := math.Inf(1)
+
+	record := func() {
+		c := m.Cost(global)
+		if c < bestCost {
+			bestCost = c
+			copy(best, global)
+			if opts.Base.Tracker != nil {
+				opts.Base.Tracker.Record(bestCost)
+			}
+		}
+	}
+	record()
+
+	for round := 0; round < opts.Rounds; round++ {
+		for pi, part := range pt.Parts {
+			// Build the conditioned sub-MRF: internal clauses plus cut
+			// clauses projected under the frozen external assignment.
+			sub := mrf.New(part.Local.NumAtoms)
+			sub.Clauses = append(sub.Clauses, part.Local.Clauses...)
+			// local ids of parent atoms in this partition
+			localOf := make(map[mrf.AtomID]mrf.AtomID, part.Local.NumAtoms)
+			for i := 1; i <= part.Local.NumAtoms; i++ {
+				localOf[part.GlobalAtom[i]] = mrf.AtomID(i)
+			}
+			for _, ci := range cutByPart[pi] {
+				c := pt.Cut[ci]
+				satisfiedOutside := false
+				var lits []mrf.Lit
+				for _, l := range c.Lits {
+					a := mrf.Atom(l)
+					if ll, in := localOf[a]; in {
+						if !mrf.Pos(l) {
+							ll = -ll
+						}
+						lits = append(lits, ll)
+						continue
+					}
+					if global[a] == mrf.Pos(l) {
+						satisfiedOutside = true
+						break
+					}
+					// external literal false: drops out
+				}
+				if satisfiedOutside {
+					if c.Weight < 0 {
+						sub.FixedCost += -c.Weight // satisfied negative clause: constant cost
+					}
+					continue
+				}
+				if len(lits) == 0 {
+					if c.Weight > 0 && !c.IsHard() {
+						sub.FixedCost += c.Weight
+					}
+					continue
+				}
+				sub.Clauses = append(sub.Clauses, mrf.Clause{Weight: c.Weight, Lits: lits})
+			}
+
+			o := opts.Base
+			o.Seed = opts.Base.Seed + int64(round)*31337 + int64(pi)*7919
+			o.InitState = part.ExtractState(global)
+			o.MaxTries = 1
+			r := WalkSAT(sub, o)
+			flips += r.Flips
+			part.ProjectState(r.Best, global)
+			record()
+		}
+	}
+
+	return &ComponentResult{
+		Best:     best,
+		BestCost: bestCost,
+		Flips:    flips,
+		Elapsed:  time.Since(start),
+	}
+}

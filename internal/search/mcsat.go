@@ -1,0 +1,224 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"tuffy/internal/mrf"
+)
+
+// MCSATOptions configures marginal inference (Appendix A.5).
+type MCSATOptions struct {
+	// Samples is the number of MC-SAT sampling rounds.
+	Samples int
+	// BurnIn rounds are discarded before counting.
+	BurnIn int
+	// SampleSATFlips bounds each SampleSAT call.
+	SampleSATFlips int64
+	// SAProb is SampleSAT's probability of a simulated-annealing move (vs.
+	// a WalkSAT move); Wei et al. use 0.5.
+	SAProb float64
+	// SATemp is the annealing temperature.
+	SATemp float64
+	Seed   int64
+}
+
+func (o MCSATOptions) withDefaults() MCSATOptions {
+	if o.Samples == 0 {
+		o.Samples = 100
+	}
+	if o.SampleSATFlips == 0 {
+		o.SampleSATFlips = 10_000
+	}
+	if o.SAProb == 0 {
+		o.SAProb = 0.5
+	}
+	if o.SATemp == 0 {
+		o.SATemp = 0.5
+	}
+	return o
+}
+
+// MCSAT estimates the marginal probability of each atom being true using
+// the MC-SAT algorithm [Poon & Domingos 2006]: starting from a state
+// satisfying the hard clauses, each round samples a subset M of the clauses
+// currently satisfied (each with probability 1 - e^{-|w|}; hard clauses
+// always) and draws a near-uniform satisfying assignment of M with
+// SampleSAT. Negative-weight clauses participate through their negation
+// semantics: a round keeps them *unsatisfied*.
+func MCSAT(m *mrf.MRF, opts MCSATOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Initial state: satisfy hard clauses via WalkSAT.
+	init := WalkSAT(m, Options{MaxFlips: opts.SampleSATFlips, MaxTries: 3, Seed: opts.Seed})
+	if math.IsInf(init.BestCost, 1) && hasHard(m) {
+		return nil, fmt.Errorf("search: MC-SAT could not satisfy hard clauses")
+	}
+	state := append([]bool(nil), init.Best...)
+
+	counts := make([]float64, m.NumAtoms+1)
+	total := 0
+
+	for round := 0; round < opts.Samples+opts.BurnIn; round++ {
+		// Select clause subset M. For a positive clause satisfied by the
+		// current state, include it with p = 1 - exp(-w): the next state
+		// must keep it satisfied. For a negative clause FALSIFIED by the
+		// current state, include its requirement to stay falsified with
+		// p = 1 - exp(-|w|); staying falsified means every literal's
+		// negation holds, so we add each negated literal as a unit clause.
+		var sel []mrf.Clause
+		for _, c := range m.Clauses {
+			w := c.Weight
+			sat := c.SatisfiedBy(state)
+			switch {
+			case c.IsHard():
+				if w > 0 {
+					sel = append(sel, mrf.Clause{Weight: 1, Lits: c.Lits})
+				}
+			case w > 0 && sat:
+				if rng.Float64() < 1-math.Exp(-w) {
+					sel = append(sel, mrf.Clause{Weight: 1, Lits: c.Lits})
+				}
+			case w < 0 && !sat:
+				if rng.Float64() < 1-math.Exp(w) {
+					for _, l := range c.Lits {
+						sel = append(sel, mrf.Clause{Weight: 1, Lits: []mrf.Lit{-l}})
+					}
+				}
+			}
+		}
+		sub := mrf.New(m.NumAtoms)
+		sub.Clauses = sel
+		next, ok := SampleSAT(sub, state, opts, rng)
+		if ok {
+			state = next
+		}
+		if round >= opts.BurnIn {
+			total++
+			for a := 1; a <= m.NumAtoms; a++ {
+				if state[a] {
+					counts[a]++
+				}
+			}
+		}
+	}
+	probs := make([]float64, m.NumAtoms+1)
+	if total > 0 {
+		for a := 1; a <= m.NumAtoms; a++ {
+			probs[a] = counts[a] / float64(total)
+		}
+	}
+	return probs, nil
+}
+
+// MCSATComponents runs MC-SAT independently on each connected component and
+// merges the marginals. Because the joint distribution factorizes exactly
+// over components (cost additivity, Section 3.3), this is not an
+// approximation — and each chain mixes over an exponentially smaller state
+// space, the marginal-inference analogue of Theorem 3.1. Components are
+// sampled in parallel by up to parallelism workers.
+func MCSATComponents(parent *mrf.MRF, comps []*mrf.Component, opts MCSATOptions, parallelism int) ([]float64, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	probs := make([]float64, parent.NumAtoms+1)
+	var mu sync.Mutex
+	var firstErr error
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				comp := comps[idx]
+				o := opts
+				o.Seed = opts.Seed + int64(idx)*6151
+				local, err := MCSAT(comp.MRF, o)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					for i := 1; i <= comp.MRF.NumAtoms; i++ {
+						probs[comp.GlobalAtom[i]] = local[i]
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range comps {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return probs, nil
+}
+
+func hasHard(m *mrf.MRF) bool {
+	for _, c := range m.Clauses {
+		if c.IsHard() {
+			return true
+		}
+	}
+	return false
+}
+
+// SampleSAT draws a near-uniform satisfying assignment of the clause set
+// (all clauses treated as mandatory) by mixing WalkSAT moves with simulated
+// annealing moves [Wei, Erenrich, Selman 2004]. It starts from init and
+// returns (state, true) when all clauses are satisfied within the flip
+// budget, or (init, false) otherwise.
+func SampleSAT(m *mrf.MRF, init []bool, opts MCSATOptions, rng *rand.Rand) ([]bool, bool) {
+	opts = opts.withDefaults()
+	e := newEngine(m, 1)
+	start := make([]bool, m.NumAtoms+1)
+	for a := 1; a <= m.NumAtoms; a++ {
+		start[a] = rng.Intn(2) == 0
+	}
+	e.reset(start)
+	if m.NumAtoms == 0 {
+		return init, true
+	}
+	for flip := int64(0); flip < opts.SampleSATFlips; flip++ {
+		if len(e.viol) == 0 {
+			out := make([]bool, len(e.state))
+			copy(out, e.state)
+			return out, true
+		}
+		if rng.Float64() < opts.SAProb {
+			// Simulated annealing move on a random atom.
+			a := mrf.AtomID(1 + rng.Intn(m.NumAtoms))
+			delta := e.deltaCost(a)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/opts.SATemp) {
+				e.flip(a)
+			}
+			continue
+		}
+		// WalkSAT move.
+		ci := e.viol[rng.Intn(len(e.viol))]
+		lits := e.m.Clauses[ci].Lits
+		var a mrf.AtomID
+		if rng.Float64() <= 0.5 {
+			a = mrf.Atom(lits[rng.Intn(len(lits))])
+		} else {
+			bestDelta := math.Inf(1)
+			for _, l := range lits {
+				cand := mrf.Atom(l)
+				if d := e.deltaCost(cand); d < bestDelta {
+					bestDelta = d
+					a = cand
+				}
+			}
+		}
+		e.flip(a)
+	}
+	return init, false
+}

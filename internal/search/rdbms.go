@@ -1,0 +1,150 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"tuffy/internal/db"
+	"tuffy/internal/db/storage"
+	"tuffy/internal/db/tuple"
+	"tuffy/internal/mrf"
+)
+
+// RDBMSWalkSAT is Tuffy-mm (Appendix B.2): WalkSAT executed against the
+// clause table inside the RDBMS instead of in-memory structures. Following
+// the paper's design, atom truth values are cached as in-memory arrays
+// while the (read-only) clause data stays on disk: every flip requires at
+// least one full scan of the clause table through the buffer pool, and a
+// greedy move requires a second pass to score the candidate atoms. The
+// flipping-rate collapse this causes is the paper's Table 3 / Figure 4
+// observation; injecting per-page latency on the engine's disk reproduces
+// the wall-clock gap.
+func RDBMSWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t, ok := d.Table(clauseTable)
+	if !ok {
+		return nil, errNoTable(clauseTable)
+	}
+
+	// Atom states cached in memory (paper: "atoms are cached as in-memory
+	// arrays").
+	state := make([]bool, numAtoms+1)
+	for a := 1; a <= numAtoms; a++ {
+		state[a] = rng.Intn(2) == 0
+	}
+	best := append([]bool(nil), state...)
+	bestCost := math.Inf(1)
+
+	res := &Result{HitFlips: -1, BestCost: bestCost}
+	start := time.Now()
+
+	scanPick := func() (picked mrf.Clause, have bool, cost float64, hard int, err error) {
+		seen := 0
+		err = t.ScanRows(func(_ storage.RecordID, row tuple.Row) error {
+			c, cerr := mrf.RowClause(row)
+			if cerr != nil {
+				return cerr
+			}
+			if !c.ViolatedBy(state) {
+				return nil
+			}
+			if c.IsHard() {
+				hard++
+				cost += opts.HardWeight
+			} else {
+				cost += math.Abs(c.Weight)
+			}
+			seen++
+			// Reservoir sampling: uniform choice among violated clauses.
+			if rng.Intn(seen) == 0 {
+				picked = c
+				have = true
+			}
+			return nil
+		})
+		return picked, have, cost, hard, err
+	}
+
+	for flip := int64(0); flip < opts.MaxFlips; flip++ {
+		picked, have, cost, hard, err := scanPick()
+		if err != nil {
+			return nil, err
+		}
+		reported := cost
+		if hard > 0 {
+			reported = math.Inf(1)
+		}
+		if reported < bestCost {
+			bestCost = reported
+			copy(best, state)
+			if opts.Tracker != nil {
+				opts.Tracker.Record(bestCost)
+			}
+		}
+		if !have {
+			break // no violated clause: optimum reached
+		}
+		var atom mrf.AtomID
+		if rng.Float64() <= opts.NoisyP {
+			atom = mrf.Atom(picked.Lits[rng.Intn(len(picked.Lits))])
+		} else {
+			// Greedy move: score each candidate atom with a second scan of
+			// the clause table (delta = cost after flip - cost before).
+			bestDelta := math.Inf(1)
+			atom = mrf.Atom(picked.Lits[0])
+			for _, l := range picked.Lits {
+				cand := mrf.Atom(l)
+				state[cand] = !state[cand]
+				var newCost float64
+				serr := t.ScanRows(func(_ storage.RecordID, row tuple.Row) error {
+					c, cerr := mrf.RowClause(row)
+					if cerr != nil {
+						return cerr
+					}
+					if c.ViolatedBy(state) {
+						if c.IsHard() {
+							newCost += opts.HardWeight
+						} else {
+							newCost += math.Abs(c.Weight)
+						}
+					}
+					return nil
+				})
+				state[cand] = !state[cand]
+				if serr != nil {
+					return nil, serr
+				}
+				if delta := newCost - cost; delta < bestDelta {
+					bestDelta = delta
+					atom = cand
+				}
+			}
+		}
+		state[atom] = !state[atom]
+		res.Flips++
+	}
+	// Final cost check.
+	_, _, cost, hard, err := scanPick()
+	if err != nil {
+		return nil, err
+	}
+	reported := cost
+	if hard > 0 {
+		reported = math.Inf(1)
+	}
+	if reported < bestCost {
+		bestCost = reported
+		copy(best, state)
+	}
+
+	res.Best = best
+	res.BestCost = bestCost
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type errNoTable string
+
+func (e errNoTable) Error() string { return "search: no clause table " + string(e) }

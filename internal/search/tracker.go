@@ -1,0 +1,72 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Tracker records best-cost-so-far over wall-clock time — the data behind
+// the paper's time-cost plots (Figures 3, 4, 5, 6, 8). A fixed Offset can
+// model time spent before search began (grounding), since the paper's
+// curves start when grounding completes.
+type Tracker struct {
+	mu     sync.Mutex
+	start  time.Time
+	Offset time.Duration
+	points []TracePoint
+}
+
+// TracePoint is one (elapsed, cost) sample.
+type TracePoint struct {
+	Elapsed time.Duration
+	Cost    float64
+}
+
+// NewTracker starts the clock.
+func NewTracker() *Tracker { return &Tracker{start: time.Now()} }
+
+// Record appends a sample at the current elapsed time.
+func (t *Tracker) Record(cost float64) {
+	t.mu.Lock()
+	t.points = append(t.points, TracePoint{Elapsed: t.Offset + time.Since(t.start), Cost: cost})
+	t.mu.Unlock()
+}
+
+// Points returns a copy of the samples.
+func (t *Tracker) Points() []TracePoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TracePoint, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// CostAt returns the best cost recorded at or before the elapsed time (the
+// last sample wins; +Inf if none).
+func (t *Tracker) CostAt(elapsed time.Duration) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	best := inf()
+	for _, p := range t.points {
+		if p.Elapsed <= elapsed && p.Cost < best {
+			best = p.Cost
+		}
+	}
+	return best
+}
+
+// Final returns the last (lowest) recorded cost, +Inf if none.
+func (t *Tracker) Final() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	best := inf()
+	for _, p := range t.points {
+		if p.Cost < best {
+			best = p.Cost
+		}
+	}
+	return best
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,349 @@
+// Package search implements the inference algorithms of the Tuffy paper:
+// WalkSAT (Algorithm 1 of Appendix A.4) over an indexed in-memory MRF,
+// component-aware search with per-component best states (Section 3.3), the
+// Gauss-Seidel partition-aware scheme (Section 3.4), SampleSAT/MC-SAT
+// marginal inference (Appendix A.5), and the in-database WalkSAT variant
+// Tuffy-mm (Appendix B.2).
+package search
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"tuffy/internal/mrf"
+)
+
+// Options controls WalkSAT.
+type Options struct {
+	// MaxFlips per try (default 100_000).
+	MaxFlips int64
+	// MaxTries restarts with fresh random states (default 1).
+	MaxTries int
+	// NoisyP is the probability of a random (vs. greedy) flip; the paper's
+	// Algorithm 1 uses 0.5.
+	NoisyP float64
+	// Seed for the deterministic RNG.
+	Seed int64
+	// HardWeight is the finite surrogate weight guiding moves on hard
+	// clauses (reported costs still treat violated hard clauses as +Inf).
+	HardWeight float64
+	// InitState seeds the first try with an assignment instead of a random
+	// one (1-based; used by Gauss-Seidel rounds).
+	InitState []bool
+	// TargetCost stops the search as soon as the best cost reaches this
+	// value; NaN disables (used for hitting-time experiments).
+	TargetCost float64
+	// Tracker receives best-cost-over-time points; may be nil.
+	Tracker *Tracker
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFlips == 0 {
+		o.MaxFlips = 100_000
+	}
+	if o.MaxTries == 0 {
+		o.MaxTries = 1
+	}
+	if o.NoisyP == 0 {
+		o.NoisyP = 0.5
+	}
+	if o.HardWeight == 0 {
+		o.HardWeight = 1e7
+	}
+	if o.TargetCost == 0 {
+		o.TargetCost = math.NaN()
+	}
+	return o
+}
+
+// Result reports a search outcome.
+type Result struct {
+	Best     []bool
+	BestCost float64 // +Inf if a hard clause is violated in Best
+	Flips    int64
+	Restarts int
+	Elapsed  time.Duration
+	// HitFlips is the flip count when TargetCost was first reached
+	// (-1 when never reached or no target set).
+	HitFlips int64
+}
+
+// FlipRate returns flips per second.
+func (r *Result) FlipRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Flips) / r.Elapsed.Seconds()
+}
+
+// engine is the indexed WalkSAT state: satisfied-literal counts per clause
+// and an O(1)-sample set of violated clauses, with incremental updates per
+// flip — the in-memory data structures whose absence makes the in-database
+// variant slow (Section 3.2).
+type engine struct {
+	m          *mrf.MRF
+	hardW      float64
+	state      []bool
+	satCount   []int32
+	posOccur   [][]int32 // atom -> clauses where it appears positively
+	negOccur   [][]int32
+	viol       []int32 // violated clause ids (positions tracked below)
+	violPos    []int32 // clause -> index in viol, -1 if absent
+	cost       float64 // guided cost (hard clauses at hardW)
+	hardViol   int
+	softCost   float64
+	fixedExtra float64 // from MRF.FixedCost
+}
+
+func newEngine(m *mrf.MRF, hardW float64) *engine {
+	e := &engine{
+		m:          m,
+		hardW:      hardW,
+		state:      m.NewState(),
+		satCount:   make([]int32, len(m.Clauses)),
+		posOccur:   make([][]int32, m.NumAtoms+1),
+		negOccur:   make([][]int32, m.NumAtoms+1),
+		violPos:    make([]int32, len(m.Clauses)),
+		fixedExtra: m.FixedCost,
+	}
+	for ci := range m.Clauses {
+		e.violPos[ci] = -1
+		for _, l := range m.Clauses[ci].Lits {
+			a := mrf.Atom(l)
+			if mrf.Pos(l) {
+				e.posOccur[a] = append(e.posOccur[a], int32(ci))
+			} else {
+				e.negOccur[a] = append(e.negOccur[a], int32(ci))
+			}
+		}
+	}
+	return e
+}
+
+// weightOf returns the guided |weight| of a clause.
+func (e *engine) weightOf(ci int32) float64 {
+	w := e.m.Clauses[ci].Weight
+	if math.IsInf(w, 0) {
+		return e.hardW
+	}
+	return math.Abs(w)
+}
+
+// isViolated evaluates the violation status from the satisfied count.
+func (e *engine) isViolated(ci int32) bool {
+	if e.m.Clauses[ci].Weight >= 0 {
+		return e.satCount[ci] == 0
+	}
+	return e.satCount[ci] > 0
+}
+
+func (e *engine) addViol(ci int32) {
+	if e.violPos[ci] >= 0 {
+		return
+	}
+	e.violPos[ci] = int32(len(e.viol))
+	e.viol = append(e.viol, ci)
+	e.cost += e.weightOf(ci)
+	if e.m.Clauses[ci].IsHard() {
+		e.hardViol++
+	} else {
+		e.softCost += math.Abs(e.m.Clauses[ci].Weight)
+	}
+}
+
+func (e *engine) removeViol(ci int32) {
+	pos := e.violPos[ci]
+	if pos < 0 {
+		return
+	}
+	last := e.viol[len(e.viol)-1]
+	e.viol[pos] = last
+	e.violPos[last] = pos
+	e.viol = e.viol[:len(e.viol)-1]
+	e.violPos[ci] = -1
+	e.cost -= e.weightOf(ci)
+	if e.m.Clauses[ci].IsHard() {
+		e.hardViol--
+	} else {
+		e.softCost -= math.Abs(e.m.Clauses[ci].Weight)
+	}
+}
+
+// reset installs a state and rebuilds all counters.
+func (e *engine) reset(state []bool) {
+	copy(e.state, state)
+	e.viol = e.viol[:0]
+	e.cost = 0
+	e.softCost = 0
+	e.hardViol = 0
+	for ci := range e.m.Clauses {
+		e.violPos[ci] = -1
+		cnt := int32(0)
+		for _, l := range e.m.Clauses[ci].Lits {
+			if e.state[mrf.Atom(l)] == mrf.Pos(l) {
+				cnt++
+			}
+		}
+		e.satCount[ci] = cnt
+	}
+	for ci := range e.m.Clauses {
+		if e.isViolated(int32(ci)) {
+			e.addViol(int32(ci))
+		}
+	}
+}
+
+// randomState fills a fresh random assignment.
+func randomState(n int, rng *rand.Rand) []bool {
+	s := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		s[i] = rng.Intn(2) == 0
+	}
+	return s
+}
+
+// flip toggles an atom and updates all clause counters incrementally.
+func (e *engine) flip(a mrf.AtomID) {
+	toTrue := !e.state[a]
+	e.state[a] = toTrue
+	gain, lose := e.posOccur[a], e.negOccur[a]
+	if !toTrue {
+		gain, lose = lose, gain
+	}
+	for _, ci := range gain {
+		e.satCount[ci]++
+		if e.isViolated(ci) {
+			e.addViol(ci)
+		} else {
+			e.removeViol(ci)
+		}
+	}
+	for _, ci := range lose {
+		e.satCount[ci]--
+		if e.isViolated(ci) {
+			e.addViol(ci)
+		} else {
+			e.removeViol(ci)
+		}
+	}
+}
+
+// deltaCost returns the guided-cost change of flipping atom a, without
+// performing the flip.
+func (e *engine) deltaCost(a mrf.AtomID) float64 {
+	toTrue := !e.state[a]
+	gain, lose := e.posOccur[a], e.negOccur[a]
+	if !toTrue {
+		gain, lose = lose, gain
+	}
+	delta := 0.0
+	for _, ci := range gain {
+		c := &e.m.Clauses[ci]
+		if c.Weight >= 0 {
+			if e.satCount[ci] == 0 {
+				delta -= e.weightOf(ci) // becomes satisfied
+			}
+		} else if e.satCount[ci] == 0 {
+			delta += e.weightOf(ci) // becomes satisfied => violated
+		}
+	}
+	for _, ci := range lose {
+		c := &e.m.Clauses[ci]
+		if c.Weight >= 0 {
+			if e.satCount[ci] == 1 {
+				delta += e.weightOf(ci) // becomes unsatisfied
+			}
+		} else if e.satCount[ci] == 1 {
+			delta -= e.weightOf(ci) // becomes unsatisfied => not violated
+		}
+	}
+	return delta
+}
+
+// reportedCost is the true cost of the current state (hard violations are
+// +Inf), including the MRF's fixed evidence cost.
+func (e *engine) reportedCost() float64 {
+	if e.hardViol > 0 {
+		return math.Inf(1)
+	}
+	return e.softCost + e.fixedExtra
+}
+
+// WalkSAT runs Algorithm 1 on the MRF.
+func WalkSAT(m *mrf.MRF, opts Options) *Result {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	e := newEngine(m, opts.HardWeight)
+
+	res := &Result{HitFlips: -1, BestCost: math.Inf(1)}
+	start := time.Now()
+	var best []bool
+
+	for try := 0; try < opts.MaxTries; try++ {
+		var init []bool
+		if try == 0 && opts.InitState != nil {
+			init = opts.InitState
+		} else {
+			init = randomState(m.NumAtoms, rng)
+		}
+		e.reset(init)
+		res.Restarts = try
+
+		if c := e.reportedCost(); c < res.BestCost {
+			res.BestCost = c
+			best = append(best[:0], e.state...)
+			if opts.Tracker != nil {
+				opts.Tracker.Record(res.BestCost)
+			}
+		}
+		if !math.IsNaN(opts.TargetCost) && res.BestCost <= opts.TargetCost && res.HitFlips < 0 {
+			res.HitFlips = res.Flips
+		}
+		if res.HitFlips >= 0 && !math.IsNaN(opts.TargetCost) {
+			break
+		}
+
+		for flip := int64(0); flip < opts.MaxFlips; flip++ {
+			if len(e.viol) == 0 {
+				break // zero-cost world (w.r.t. guided cost): optimal
+			}
+			ci := e.viol[rng.Intn(len(e.viol))]
+			lits := e.m.Clauses[ci].Lits
+			var a mrf.AtomID
+			if rng.Float64() <= opts.NoisyP {
+				a = mrf.Atom(lits[rng.Intn(len(lits))])
+			} else {
+				bestDelta := math.Inf(1)
+				for _, l := range lits {
+					cand := mrf.Atom(l)
+					if d := e.deltaCost(cand); d < bestDelta {
+						bestDelta = d
+						a = cand
+					}
+				}
+			}
+			e.flip(a)
+			res.Flips++
+			if c := e.reportedCost(); c < res.BestCost {
+				res.BestCost = c
+				best = append(best[:0], e.state...)
+				if opts.Tracker != nil {
+					opts.Tracker.Record(res.BestCost)
+				}
+			}
+			if !math.IsNaN(opts.TargetCost) && res.BestCost <= opts.TargetCost {
+				if res.HitFlips < 0 {
+					res.HitFlips = res.Flips
+				}
+				break
+			}
+		}
+		if res.HitFlips >= 0 && !math.IsNaN(opts.TargetCost) {
+			break
+		}
+	}
+	res.Best = best
+	res.Elapsed = time.Since(start)
+	return res
+}

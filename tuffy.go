@@ -1,0 +1,368 @@
+// Package tuffy is a from-scratch Go implementation of Tuffy (Niu, Ré,
+// Doan, Shavlik; VLDB 2011): a Markov Logic Network inference engine that
+// grounds MLNs bottom-up inside an embedded relational engine and searches
+// in memory, with component detection, MRF partitioning, batch loading,
+// parallel component search, Gauss-Seidel partition-aware search and MC-SAT
+// marginal inference.
+//
+// Quick start:
+//
+//	prog, _ := tuffy.LoadProgramString(src)
+//	ev, _ := tuffy.LoadEvidenceString(prog, evidence)
+//	sys := tuffy.New(prog, ev, tuffy.Config{})
+//	res, _ := sys.InferMAP()
+//	for _, atom := range res.TrueAtoms { fmt.Println(atom.Format(prog.Syms)) }
+package tuffy
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"tuffy/internal/db"
+	"tuffy/internal/db/plan"
+	"tuffy/internal/grounding"
+	"tuffy/internal/mln"
+	"tuffy/internal/mrf"
+	"tuffy/internal/partition"
+	"tuffy/internal/search"
+)
+
+// GrounderKind selects the grounding strategy.
+type GrounderKind int
+
+const (
+	// BottomUp compiles clauses to SQL over the embedded RDBMS (the
+	// paper's contribution, Section 3.1). The default.
+	BottomUp GrounderKind = iota
+	// TopDown is the Alchemy-style nested-loop baseline.
+	TopDown
+)
+
+// SearchMode selects where search runs.
+type SearchMode int
+
+const (
+	// Auto uses partitioned in-memory search, falling back to in-database
+	// search when a partition exceeds the memory budget.
+	Auto SearchMode = iota
+	// InMemoryMonolithic is Tuffy-p: one in-memory WalkSAT on the whole
+	// MRF (no partitioning).
+	InMemoryMonolithic
+	// InDatabase is Tuffy-mm: WalkSAT over the RDBMS clause table.
+	InDatabase
+)
+
+// Config tunes the system. The zero value is the paper's default Tuffy:
+// bottom-up grounding, component partitioning, single-threaded search.
+type Config struct {
+	Grounder   GrounderKind
+	Mode       SearchMode
+	UseClosure bool // lazy-inference active closure (Appendix A.3)
+
+	// Partitioning: 0 keeps whole connected components (Section 3.3); a
+	// positive MemoryBudgetBytes further splits components so each
+	// partition's search footprint fits (Section 3.4), searched with
+	// Gauss-Seidel when clauses are cut.
+	MemoryBudgetBytes int64
+	// GaussSeidelRounds is T in the partition-aware scheme (default 3).
+	GaussSeidelRounds int
+	// Parallelism is the number of component-search workers (default 1,
+	// matching the paper's single-thread experiments).
+	Parallelism int
+
+	// Search budget.
+	MaxFlips int64 // total flips (default 1e6)
+	MaxTries int
+	Seed     int64
+
+	// Tracker receives best-cost-over-time samples (time-cost plots).
+	Tracker *search.Tracker
+
+	// DB overrides the embedded engine configuration (buffer pool size,
+	// optimizer lesion knobs, disk latency injection).
+	DB db.Config
+}
+
+// System is one inference instance over a program and its evidence.
+type System struct {
+	cfg  Config
+	Prog *mln.Program
+	Ev   *mln.Evidence
+
+	DB       *db.DB
+	Tables   *grounding.TableSet
+	Grounded *grounding.Result
+
+	GroundTime time.Duration
+}
+
+// New creates a system. Call Ground (or InferMAP, which grounds on demand)
+// next.
+func New(prog *mln.Program, ev *mln.Evidence, cfg Config) *System {
+	if cfg.MaxFlips == 0 {
+		cfg.MaxFlips = 1_000_000
+	}
+	if cfg.GaussSeidelRounds == 0 {
+		cfg.GaussSeidelRounds = 3
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
+	return &System{cfg: cfg, Prog: prog, Ev: ev, DB: db.Open(cfg.DB)}
+}
+
+// LoadProgram parses an MLN program.
+func LoadProgram(r io.Reader) (*mln.Program, error) { return mln.ParseProgram(r) }
+
+// LoadProgramString parses an MLN program from a string.
+func LoadProgramString(s string) (*mln.Program, error) { return mln.ParseProgramString(s) }
+
+// LoadEvidence parses evidence for a program.
+func LoadEvidence(prog *mln.Program, r io.Reader) (*mln.Evidence, error) {
+	return mln.ParseEvidence(prog, r)
+}
+
+// LoadEvidenceString parses evidence from a string.
+func LoadEvidenceString(prog *mln.Program, s string) (*mln.Evidence, error) {
+	return mln.ParseEvidenceString(prog, s)
+}
+
+// SetPlanOptions adjusts the engine's optimizer knobs (the Table 6 lesion
+// study) before grounding.
+func (s *System) SetPlanOptions(o plan.Options) { s.DB.SetPlanOptions(o) }
+
+// Ground builds the predicate tables and runs the configured grounder.
+func (s *System) Ground() error {
+	start := time.Now()
+	ts, err := grounding.BuildTables(s.DB, s.Prog, s.Ev)
+	if err != nil {
+		return err
+	}
+	s.Tables = ts
+	opts := grounding.Options{UseClosure: s.cfg.UseClosure}
+	switch s.cfg.Grounder {
+	case TopDown:
+		s.Grounded, err = grounding.GroundTopDown(ts, opts)
+	default:
+		s.Grounded, err = grounding.GroundBottomUp(ts, opts)
+	}
+	if err != nil {
+		return err
+	}
+	s.GroundTime = time.Since(start)
+	return nil
+}
+
+// MAPResult is the outcome of MAP inference.
+type MAPResult struct {
+	// Cost of the best world found (Eq. 1; +Inf if hard clauses could not
+	// all be satisfied).
+	Cost float64
+	// TrueAtoms are the query atoms inferred true (excluding evidence).
+	TrueAtoms []mln.GroundAtom
+	// State is the raw best assignment over the MRF atoms.
+	State []bool
+	// Flips performed during search.
+	Flips int64
+	// GroundTime and SearchTime break down the run.
+	GroundTime time.Duration
+	SearchTime time.Duration
+	// Partitions and CutClauses describe the partitioning used (0/0 when
+	// monolithic).
+	Partitions int
+	CutClauses int
+	// InDBComponents counts components that exceeded the memory budget and
+	// were searched inside the RDBMS (the hybrid fallback of Section 3.2).
+	InDBComponents int
+}
+
+// InferMAP runs the full pipeline: grounding (if not already done),
+// partitioning per the configuration, then search.
+func (s *System) InferMAP() (*MAPResult, error) {
+	if s.Grounded == nil {
+		if err := s.Ground(); err != nil {
+			return nil, err
+		}
+	}
+	m := s.Grounded.MRF
+	res := &MAPResult{GroundTime: s.GroundTime}
+	searchStart := time.Now()
+
+	base := search.Options{
+		MaxFlips: s.cfg.MaxFlips,
+		MaxTries: s.cfg.MaxTries,
+		Seed:     s.cfg.Seed,
+		Tracker:  s.cfg.Tracker,
+	}
+
+	switch s.cfg.Mode {
+	case InDatabase:
+		if err := mrf.Store(m, s.DB, "mrf_clauses"); err != nil {
+			return nil, err
+		}
+		r, err := search.RDBMSWalkSAT(s.DB, "mrf_clauses", m.NumAtoms, base)
+		if err != nil {
+			return nil, err
+		}
+		res.Cost = r.BestCost
+		res.State = r.Best
+		res.Flips = r.Flips
+
+	case InMemoryMonolithic:
+		r := search.Monolithic(m, base)
+		res.Cost = r.BestCost
+		res.State = r.Best
+		res.Flips = r.Flips
+
+	default: // Auto: partitioned
+		beta := 0
+		if s.cfg.MemoryBudgetBytes > 0 {
+			// SearchBytes ≈ 20 bytes per size unit (atoms + literals).
+			beta = int(s.cfg.MemoryBudgetBytes / 20)
+		}
+		pt := partition.Algorithm3(m, beta)
+		res.Partitions = len(pt.Parts)
+		res.CutClauses = pt.NumCut()
+		if pt.NumCut() > 0 {
+			r := search.GaussSeidel(pt, search.GaussSeidelOptions{
+				Base:   base,
+				Rounds: s.cfg.GaussSeidelRounds,
+			})
+			res.Cost = r.BestCost
+			res.State = r.Best
+			res.Flips = r.Flips
+		} else {
+			// Hybrid fallback (Section 3.2): components whose search
+			// footprint exceeds the memory budget are searched inside the
+			// RDBMS (Tuffy-mm); the rest run in memory.
+			var inMem []*mrf.Component
+			var oversized []*partition.Part
+			for _, p := range pt.Parts {
+				if s.cfg.MemoryBudgetBytes > 0 && p.Bytes() > s.cfg.MemoryBudgetBytes {
+					oversized = append(oversized, p)
+					continue
+				}
+				inMem = append(inMem, &mrf.Component{MRF: p.Local, GlobalAtom: p.GlobalAtom})
+			}
+			r := search.ComponentAware(m, inMem, search.ComponentOptions{
+				Base:        base,
+				Parallelism: s.cfg.Parallelism,
+			})
+			res.Cost = r.BestCost
+			res.State = r.Best
+			res.Flips = r.Flips
+			for i, p := range oversized {
+				table := fmt.Sprintf("mrf_part_%d", i)
+				if err := mrf.Store(p.Local, s.DB, table); err != nil {
+					return nil, err
+				}
+				rp, err := search.RDBMSWalkSAT(s.DB, table, p.Local.NumAtoms, search.Options{
+					MaxFlips: base.MaxFlips / 100, // in-DB flips are ~orders slower
+					Seed:     base.Seed + int64(i),
+				})
+				if err != nil {
+					return nil, err
+				}
+				p.ProjectState(rp.Best, res.State)
+				res.Cost += rp.BestCost
+				res.Flips += rp.Flips
+				res.InDBComponents++
+			}
+		}
+	}
+
+	res.SearchTime = time.Since(searchStart)
+	res.TrueAtoms = s.trueAtoms(res.State)
+	return res, nil
+}
+
+// trueAtoms maps the best state back to ground atoms inferred true.
+func (s *System) trueAtoms(state []bool) []mln.GroundAtom {
+	if state == nil {
+		return nil
+	}
+	var out []mln.GroundAtom
+	m := s.Grounded.MRF
+	for a := 1; a <= m.NumAtoms && a < len(state); a++ {
+		if state[a] && m.Atoms != nil {
+			out = append(out, m.Atoms[a])
+		}
+	}
+	return out
+}
+
+// MarginalResult reports per-atom marginal probabilities.
+type MarginalResult struct {
+	// Probs[i] pairs a query atom with its estimated Pr[atom = true].
+	Probs []AtomProb
+}
+
+// AtomProb is one atom's marginal.
+type AtomProb struct {
+	Atom mln.GroundAtom
+	P    float64
+}
+
+// InferMarginal estimates marginal probabilities with MC-SAT (Appendix
+// A.5). Samples defaults to 200.
+func (s *System) InferMarginal(samples int) (*MarginalResult, error) {
+	if s.Grounded == nil {
+		if err := s.Ground(); err != nil {
+			return nil, err
+		}
+	}
+	if samples == 0 {
+		samples = 200
+	}
+	m := s.Grounded.MRF
+	opts := search.MCSATOptions{
+		Samples: samples,
+		BurnIn:  samples / 10,
+		Seed:    s.cfg.Seed,
+	}
+	// The distribution factorizes over connected components, so sample
+	// each independently (and in parallel) — the marginal-inference
+	// counterpart of component-aware MAP search.
+	var probs []float64
+	var err error
+	if comps := m.Components(true); len(comps) > 1 && s.cfg.Mode == Auto {
+		probs, err = search.MCSATComponents(m, comps, opts, s.cfg.Parallelism)
+	} else {
+		probs, err = search.MCSAT(m, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &MarginalResult{}
+	for a := 1; a <= m.NumAtoms; a++ {
+		out.Probs = append(out.Probs, AtomProb{Atom: m.Atoms[a], P: probs[a]})
+	}
+	return out, nil
+}
+
+// FormatAtom renders a ground atom with the system's symbol table.
+func (s *System) FormatAtom(a mln.GroundAtom) string { return a.Format(s.Prog.Syms) }
+
+// Stats exposes grounding statistics after Ground.
+func (s *System) Stats() (grounding.Stats, error) {
+	if s.Grounded == nil {
+		return grounding.Stats{}, fmt.Errorf("tuffy: not grounded yet")
+	}
+	return s.Grounded.Stats, nil
+}
+
+// MRFStats exposes the grounded network's size accounting.
+func (s *System) MRFStats() (mrf.Stats, error) {
+	if s.Grounded == nil {
+		return mrf.Stats{}, fmt.Errorf("tuffy: not grounded yet")
+	}
+	return s.Grounded.MRF.ComputeStats(), nil
+}
+
+// OptimalIsInfeasible reports whether grounding already proved the hard
+// constraints unsatisfiable (a hard clause violated by evidence).
+func (s *System) OptimalIsInfeasible() bool {
+	return s.Grounded != nil && math.IsInf(s.Grounded.MRF.FixedCost, 1)
+}

@@ -1,0 +1,258 @@
+package tuffy
+
+// Integration tests of the public API: the full pipeline from program text
+// to inferred atoms, across grounders, search modes, and inference kinds.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tuffy/internal/datagen"
+	"tuffy/internal/mln"
+)
+
+func figure1System(t *testing.T, cfg Config) *System {
+	t.Helper()
+	prog, err := LoadProgramString(mln.Figure1Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := LoadEvidenceString(prog, mln.Figure1Evidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(prog, ev, cfg)
+}
+
+func TestInferMAPFigure1(t *testing.T) {
+	sys := figure1System(t, Config{MaxFlips: 50_000, Seed: 1})
+	res, err := sys.InferMAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Cost, 1) {
+		t.Fatal("hard clauses unsatisfied")
+	}
+	if res.Cost != 0 {
+		t.Fatalf("Figure 1 admits a zero-cost world; got %v", res.Cost)
+	}
+	// P1 and P3 should adopt P2's DB label through F2/F3.
+	found := map[string]bool{}
+	for _, a := range res.TrueAtoms {
+		found[sys.FormatAtom(a)] = true
+	}
+	if !found["cat(P1, DB)"] || !found["cat(P3, DB)"] {
+		t.Fatalf("expected cat(P1,DB) and cat(P3,DB) in %v", found)
+	}
+}
+
+func TestInferMAPModesAgreeOnCost(t *testing.T) {
+	want := -1.0
+	for _, mode := range []SearchMode{Auto, InMemoryMonolithic, InDatabase} {
+		cfg := Config{MaxFlips: 30_000, Seed: 2, Mode: mode}
+		if mode == InDatabase {
+			cfg.MaxFlips = 200 // table scans per flip: keep small
+		}
+		sys := figure1System(t, cfg)
+		res, err := sys.InferMAP()
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if want < 0 {
+			want = res.Cost
+		} else if res.Cost != want {
+			t.Fatalf("mode %v cost %v != %v", mode, res.Cost, want)
+		}
+	}
+}
+
+func TestGroundersAgreeThroughAPI(t *testing.T) {
+	sysB := figure1System(t, Config{Grounder: BottomUp})
+	sysT := figure1System(t, Config{Grounder: TopDown})
+	if err := sysB.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysT.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := sysB.Stats()
+	st, _ := sysT.Stats()
+	if sb.NumClauses != st.NumClauses || sb.NumUsedAtoms != st.NumUsedAtoms {
+		t.Fatalf("grounders disagree: %+v vs %+v", sb, st)
+	}
+}
+
+func TestInferMAPWithClosure(t *testing.T) {
+	sys := figure1System(t, Config{MaxFlips: 50_000, Seed: 3, UseClosure: true})
+	res, err := sys.InferMAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("closure changed the optimum: %v", res.Cost)
+	}
+}
+
+func TestInferMAPPartitionedRC(t *testing.T) {
+	ds := datagen.RC(datagen.RCConfig{Papers: 120, Authors: 50, Clusters: 24, Seed: 4})
+	sys := New(ds.Prog, ds.Ev, Config{MaxFlips: 100_000, Seed: 4})
+	res, err := sys.InferMAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions < 2 {
+		t.Fatalf("RC should partition into components, got %d", res.Partitions)
+	}
+	if math.IsInf(res.Cost, 1) {
+		t.Fatal("infeasible result on soft-only effective MRF")
+	}
+}
+
+func TestInferMAPMemoryBudgetForcesSplit(t *testing.T) {
+	ds := datagen.ER(datagen.ERConfig{Records: 24, Groups: 6, Seed: 5})
+	whole := New(ds.Prog, ds.Ev, Config{MaxFlips: 50_000, Seed: 5})
+	resW, err := whole.InferMAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resW.Partitions != 1 {
+		t.Fatalf("ER should be one component, got %d", resW.Partitions)
+	}
+	ms, _ := whole.MRFStats()
+	split := New(ds.Prog, ds.Ev, Config{
+		MaxFlips:          50_000,
+		Seed:              5,
+		MemoryBudgetBytes: ms.SearchBytes / 3,
+	})
+	resS, err := split.InferMAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Partitions < 2 {
+		t.Fatalf("budget did not split: %d partitions", resS.Partitions)
+	}
+	if resS.CutClauses == 0 {
+		t.Fatal("dense ER split must cut clauses")
+	}
+}
+
+func TestHybridFallbackToInDatabaseSearch(t *testing.T) {
+	// Single-atom components whose byte footprint exceeds a tiny memory
+	// budget trigger the Section 3.2 fallback: search runs inside the
+	// RDBMS for those components.
+	prog, err := LoadProgramString(`
+thing = {A, B, C}
+p(thing)
+1 p(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := mln.NewEvidence(prog)
+	sys := New(prog, ev, Config{
+		MaxFlips:          1000,
+		Seed:              9,
+		MemoryBudgetBytes: 41, // below one single-atom component's footprint
+	})
+	res, err := sys.InferMAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InDBComponents == 0 {
+		t.Fatal("expected in-database fallback components")
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost = %v; in-DB search should still satisfy the unit clauses", res.Cost)
+	}
+	if len(res.TrueAtoms) != 3 {
+		t.Fatalf("want all 3 atoms true, got %v", res.TrueAtoms)
+	}
+}
+
+func TestInferMarginalFigure1(t *testing.T) {
+	sys := figure1System(t, Config{Seed: 6})
+	res, err := sys.InferMarginal(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probs) == 0 {
+		t.Fatal("no marginals")
+	}
+	cat := sys.Prog.MustPredicate("cat")
+	net, _ := sys.Prog.Syms.Lookup("Networking")
+	db, _ := sys.Prog.Syms.Lookup("DB")
+	var pNet, pDB float64
+	nNet, nDB := 0, 0
+	for _, ap := range res.Probs {
+		if ap.Atom.Pred != cat {
+			continue
+		}
+		if ap.P < -1e-9 || ap.P > 1+1e-9 {
+			t.Fatalf("probability out of range: %v", ap.P)
+		}
+		switch ap.Atom.Args[1] {
+		case net:
+			pNet += ap.P
+			nNet++
+		case db:
+			pDB += ap.P
+			nDB++
+		}
+	}
+	if nNet == 0 || nDB == 0 {
+		t.Fatal("missing category atoms")
+	}
+	// F5 penalizes Networking: its average marginal must be below DB's.
+	if pNet/float64(nNet) >= pDB/float64(nDB) {
+		t.Fatalf("Networking average %.3f should be below DB average %.3f",
+			pNet/float64(nNet), pDB/float64(nDB))
+	}
+}
+
+func TestStatsBeforeGroundFails(t *testing.T) {
+	sys := figure1System(t, Config{})
+	if _, err := sys.Stats(); err == nil {
+		t.Fatal("Stats before Ground should fail")
+	}
+	if _, err := sys.MRFStats(); err == nil {
+		t.Fatal("MRFStats before Ground should fail")
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if _, err := LoadProgramString("1 undeclared(x)"); err == nil {
+		t.Fatal("bad program accepted")
+	}
+	prog, _ := LoadProgramString("p(t)")
+	if _, err := LoadEvidence(prog, strings.NewReader("q(A)")); err == nil {
+		t.Fatal("bad evidence accepted")
+	}
+}
+
+func TestParallelismMatchesSequential(t *testing.T) {
+	ds := datagen.IE(datagen.IEConfig{Chains: 150, Seed: 7})
+	run := func(par int) float64 {
+		sys := New(ds.Prog, ds.Ev, Config{MaxFlips: 60_000, Seed: 7, Parallelism: par})
+		res, err := sys.InferMAP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	// Per-component seeds are fixed, so the only difference is the
+	// float summation order across workers.
+	if c1, c4 := run(1), run(4); math.Abs(c1-c4) > 1e-6 {
+		t.Fatalf("parallel cost %v != sequential %v", c4, c1)
+	}
+}
+
+func TestTrackerThroughConfig(t *testing.T) {
+	prog, _ := LoadProgramString(mln.Figure1Program)
+	ev, _ := LoadEvidenceString(prog, mln.Figure1Evidence)
+	// Import cycle note: search.Tracker is re-exported via the Config field.
+	sys := New(prog, ev, Config{MaxFlips: 10_000, Seed: 8})
+	if _, err := sys.InferMAP(); err != nil {
+		t.Fatal(err)
+	}
+}
