@@ -26,7 +26,7 @@ func main() {
 	var (
 		progPath  = flag.String("i", "", "MLN program file (required)")
 		evPath    = flag.String("e", "", "evidence file (required)")
-		queryStr  = flag.String("q", "", "comma-separated query predicates (informational)")
+		queryStr  = flag.String("q", "", "comma-separated query predicates; output is restricted to them")
 		outPath   = flag.String("o", "", "output file (default stdout)")
 		marginal  = flag.Bool("marginal", false, "run MC-SAT marginal inference instead of MAP")
 		samples   = flag.Int("samples", 200, "MC-SAT samples (with -marginal)")
@@ -35,7 +35,7 @@ func main() {
 		indb      = flag.Bool("indb", false, "run search inside the RDBMS (Tuffy-mm)")
 		budget    = flag.Int64("memory", 0, "memory budget in bytes for MRF partitioning (0 = components only)")
 		flips     = flag.Int64("flips", 1_000_000, "WalkSAT flip budget")
-		threads   = flag.Int("threads", 1, "parallel component-search workers")
+		threads   = flag.Int("threads", 1, "parallel workers for grounding and component search")
 		seed      = flag.Int64("seed", 0, "random seed")
 		useClose  = flag.Bool("closure", false, "apply the lazy-inference active closure")
 		explain   = flag.Bool("explain", false, "print the grounding SQL for each clause and exit")
@@ -52,12 +52,20 @@ func main() {
 	ev, err := loadEvidence(prog, *evPath)
 	fatalIf(err)
 
+	// -q restricts output to the listed query predicates (the original Tuffy
+	// CLI contract). Empty means every open predicate is reported.
+	queryPreds := make(map[*mln.Predicate]bool)
 	if *queryStr != "" {
 		for _, name := range strings.Split(*queryStr, ",") {
-			if _, ok := prog.Predicate(strings.TrimSpace(name)); !ok {
+			pred, ok := prog.Predicate(strings.TrimSpace(name))
+			if !ok {
 				fatalIf(fmt.Errorf("unknown query predicate %q", name))
 			}
+			queryPreds[pred] = true
 		}
+	}
+	keep := func(a mln.GroundAtom) bool {
+		return len(queryPreds) == 0 || queryPreds[a.Pred]
 	}
 
 	cfg := tuffy.Config{
@@ -65,6 +73,7 @@ func main() {
 		MemoryBudgetBytes: *budget,
 		MaxFlips:          *flips,
 		Parallelism:       *threads,
+		GroundWorkers:     *threads,
 		Seed:              *seed,
 	}
 	if *topdown {
@@ -108,12 +117,18 @@ func main() {
 		fatalIf(err)
 		sort.Slice(res.Probs, func(i, j int) bool { return res.Probs[i].P > res.Probs[j].P })
 		for _, ap := range res.Probs {
+			if !keep(ap.Atom) {
+				continue
+			}
 			fmt.Fprintf(w, "%.4f\t%s\n", ap.P, sys.FormatAtom(ap.Atom))
 		}
 	} else {
 		res, err := sys.InferMAP()
 		fatalIf(err)
 		for _, a := range res.TrueAtoms {
+			if !keep(a) {
+				continue
+			}
 			fmt.Fprintln(w, sys.FormatAtom(a))
 		}
 		fmt.Fprintf(os.Stderr, "tuffy: cost=%.2f ground=%v search=%v flips=%d partitions=%d cut=%d\n",

@@ -51,6 +51,7 @@ func main() {
 		{"theorem31", bench.Theorem31},
 		{"erplus", bench.ERPlus},
 		{"closure", bench.ClosureAblation},
+		{"groundpar", bench.GroundParallel},
 	}
 
 	want := strings.ToLower(*exp)

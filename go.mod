@@ -1,0 +1,3 @@
+module tuffy
+
+go 1.24

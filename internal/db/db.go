@@ -30,9 +30,14 @@ type Config struct {
 	Disk storage.Disk
 }
 
-// DB is one engine instance.
+// DB is one engine instance. The catalog and each table's secondary
+// structures are guarded by RWMutexes, and the storage layer uses pin counts
+// under its own lock, so concurrent read-only queries (the parallel
+// grounder's workload) are safe and run without serializing on a single
+// lock. DML statements take the same locks; concurrent writers to one table
+// additionally rely on the heap file's single-writer contract.
 type DB struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	disk     storage.Disk
 	pool     *storage.BufferPool
 	tables   map[string]*Table
@@ -65,10 +70,18 @@ func (db *DB) Disk() storage.Disk { return db.disk }
 func (db *DB) Pool() *storage.BufferPool { return db.pool }
 
 // SetPlanOptions swaps the optimizer knobs (lesion study).
-func (db *DB) SetPlanOptions(o plan.Options) { db.planOpts = o }
+func (db *DB) SetPlanOptions(o plan.Options) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.planOpts = o
+}
 
 // PlanOptions returns the current optimizer knobs.
-func (db *DB) PlanOptions() plan.Options { return db.planOpts }
+func (db *DB) PlanOptions() plan.Options {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.planOpts
+}
 
 // Table is one base table: heap storage, schema, statistics and optional
 // secondary indexes.
@@ -78,6 +91,9 @@ type Table struct {
 	sch  tuple.Schema
 	heap *storage.HeapFile
 
+	// mu guards the statistics and index maps below so the planner can read
+	// them while another table loads concurrently.
+	mu       sync.RWMutex
 	distinct []map[string]struct{} // per-column distinct tracking
 	hashIdx  map[string]*index.HashIndex
 	btreeIdx map[string]*index.BTree
@@ -122,8 +138,8 @@ func (db *DB) DropTable(name string) error {
 
 // Table looks up a table by name (case-insensitive).
 func (db *DB) Table(name string) (*Table, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	return t, ok
 }
@@ -148,6 +164,8 @@ func (t *Table) RowCount() int64 { return t.heap.NumRecords() }
 
 // DistinctCount implements plan.TableMeta.
 func (t *Table) DistinctCount(col int) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if col < 0 || col >= len(t.distinct) {
 		return 0
 	}
@@ -170,6 +188,14 @@ func (t *Table) Insert(row tuple.Row) error {
 	if err != nil {
 		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.noteRowLocked(row, rid)
+	return nil
+}
+
+// noteRowLocked updates statistics and secondary indexes for a stored row.
+func (t *Table) noteRowLocked(row tuple.Row, rid storage.RecordID) {
 	for i := range t.sch.Cols {
 		t.distinct[i][tuple.EncodeKey(row, []int{i})] = struct{}{}
 	}
@@ -179,17 +205,33 @@ func (t *Table) Insert(row tuple.Row) error {
 	for cols, idx := range t.btreeIdx {
 		idx.Insert(tuple.EncodeKey(row, parseColsKey(cols)), rid)
 	}
-	return nil
 }
 
-// InsertMany bulk-loads rows.
+// InsertMany bulk-loads rows through the heap file's batched insert path
+// (one page pin per page rather than per row) and updates statistics and
+// indexes under a single lock acquisition.
 func (t *Table) InsertMany(rows []tuple.Row) error {
-	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
-			return err
-		}
+	if len(rows) == 0 {
+		return nil
 	}
-	return nil
+	recs := make([][]byte, len(rows))
+	for i, r := range rows {
+		rec, err := tuple.Encode(t.sch, r)
+		if err != nil {
+			return fmt.Errorf("db: insert into %s: %w", t.name, err)
+		}
+		recs[i] = rec
+	}
+	// InsertBatch returns the ids of the records it managed to store even on
+	// error; register that prefix so the heap, statistics and indexes stay
+	// consistent with each other whatever happens.
+	rids, err := t.heap.InsertBatch(recs)
+	t.mu.Lock()
+	for i := range rids {
+		t.noteRowLocked(rows[i], rids[i])
+	}
+	t.mu.Unlock()
+	return err
 }
 
 // colsKey canonicalizes an index column list.
@@ -224,7 +266,9 @@ func (t *Table) BuildHashIndex(cols []int) (*index.HashIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.mu.Lock()
 	t.hashIdx[colsKey(cols)] = idx
+	t.mu.Unlock()
 	return idx, nil
 }
 
@@ -243,12 +287,16 @@ func (t *Table) BuildBTreeIndex(cols []int) (*index.BTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.mu.Lock()
 	t.btreeIdx[colsKey(cols)] = idx
+	t.mu.Unlock()
 	return idx, nil
 }
 
 // HashIndexOn returns the hash index on cols if built.
 func (t *Table) HashIndexOn(cols []int) (*index.HashIndex, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idx, ok := t.hashIdx[colsKey(cols)]
 	return idx, ok
 }
@@ -303,7 +351,7 @@ func (db *DB) Query(sql string) (*Rows, error) {
 }
 
 func (db *DB) runSelect(sel *plan.SelectStmt) (*Rows, error) {
-	p := plan.NewPlanner(db, db.planOpts)
+	p := plan.NewPlanner(db, db.PlanOptions())
 	it, err := p.Plan(sel)
 	if err != nil {
 		return nil, err
@@ -326,7 +374,7 @@ func (db *DB) QueryIter(sql string) (exec.Iterator, error) {
 	if !ok {
 		return nil, fmt.Errorf("db: QueryIter expects SELECT")
 	}
-	p := plan.NewPlanner(db, db.planOpts)
+	p := plan.NewPlanner(db, db.PlanOptions())
 	return p.Plan(sel)
 }
 
@@ -519,8 +567,8 @@ func (db *DB) execDelete(s *plan.DeleteStmt) (int64, error) {
 
 // TableNames lists the catalog (sorted order not guaranteed).
 func (db *DB) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
 		out = append(out, t.name)

@@ -4,21 +4,31 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool caches pages in memory with an LRU eviction policy and pin
 // counts. All heap-file access goes through the pool, so the pool's hit/miss
 // counters measure the "physical" I/O an operation causes — the quantity the
 // paper's hybrid-architecture argument (Section 3.2) is about.
+//
+// The pool is safe for concurrent use. Metadata (frame map, LRU list, pin
+// counts) is guarded by mu; disk reads happen OUTSIDE the lock on frames that
+// are already pinned, so a slow read (e.g. a latency-injected disk) never
+// serializes unrelated fetches. Eviction skips pinned frames, which is what
+// makes the unlocked read safe. Page DATA is protected by the pin protocol,
+// not the pool lock: concurrent readers of a pinned page are safe; mutating
+// page bytes while another goroutine reads the same page requires external
+// coordination (the engine's DML paths are single-writer per table).
 type BufferPool struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	disk     Disk
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // *frame, front = most recent
 
-	hits   int64
-	misses int64
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type frame struct {
@@ -27,7 +37,20 @@ type frame struct {
 	pins  int
 	dirty bool
 	elem  *list.Element
+	// ready is closed once data holds the page contents (or loadErr is set).
+	// Fetches that find the frame already mapped wait on it without holding
+	// the pool lock, so one slow disk read never blocks the whole pool.
+	ready   chan struct{}
+	loadErr error
 }
+
+// readyClosed is the pre-closed channel used for frames born ready
+// (Allocate) so every frame has a non-nil ready channel.
+var readyClosed = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // NewBufferPool creates a pool holding up to capacity pages.
 func NewBufferPool(disk Disk, capacity int) *BufferPool {
@@ -50,16 +73,13 @@ type PoolStats struct {
 
 // Stats returns cumulative hit/miss counters.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return PoolStats{Hits: bp.hits, Misses: bp.misses}
+	return PoolStats{Hits: bp.hits.Load(), Misses: bp.misses.Load()}
 }
 
 // ResetStats zeroes the counters.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.hits, bp.misses = 0, 0
+	bp.hits.Store(0)
+	bp.misses.Store(0)
 }
 
 // Fetch pins the page and returns its in-memory bytes. Callers must Unpin
@@ -68,27 +88,55 @@ func (bp *BufferPool) Fetch(id PageID) (Page, error) {
 	bp.mu.Lock()
 	if f, ok := bp.frames[id]; ok {
 		f.pins++
-		bp.hits++
 		bp.lru.MoveToFront(f.elem)
 		bp.mu.Unlock()
+		bp.hits.Add(1)
+		// Another fetcher may still be reading the page in; wait for it
+		// without holding the pool lock. The pin taken above keeps the frame
+		// resident in the meantime.
+		<-f.ready
+		if f.loadErr != nil {
+			err := f.loadErr
+			bp.releaseFailed(f)
+			return Page{}, err
+		}
 		return Page{Data: f.data}, nil
 	}
-	bp.misses++
 	f, err := bp.allocFrameLocked(id)
 	if err != nil {
 		bp.mu.Unlock()
 		return Page{}, err
 	}
-	// Read outside the lock would race with eviction; the read is cheap for
-	// MemDisk and correctness matters more here than concurrency.
-	if err := bp.disk.ReadPage(id, f.data); err != nil {
-		bp.evictFrameLocked(f)
-		bp.mu.Unlock()
+	f.pins = 1
+	f.ready = make(chan struct{})
+	bp.mu.Unlock()
+	bp.misses.Add(1)
+	// The frame is pinned, so eviction cannot reclaim it (and its data
+	// cannot be reused) while the read is in flight — the pool lock is not
+	// needed here, and concurrent fetches of other pages proceed.
+	f.loadErr = bp.disk.ReadPage(id, f.data)
+	close(f.ready)
+	if f.loadErr != nil {
+		err := f.loadErr
+		bp.releaseFailed(f)
 		return Page{}, err
 	}
-	f.pins = 1
-	bp.mu.Unlock()
 	return Page{Data: f.data}, nil
+}
+
+// releaseFailed unpins a frame whose load failed and evicts it once the last
+// pinner lets go, so a transient read error is not cached forever.
+func (bp *BufferPool) releaseFailed(f *frame) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f.pins > 0 {
+		f.pins--
+	}
+	if f.pins == 0 {
+		if cur, ok := bp.frames[f.id]; ok && cur == f {
+			bp.evictFrameLocked(f)
+		}
+	}
 }
 
 // Allocate creates a fresh page in the file, pinned and initialized as an
@@ -106,6 +154,7 @@ func (bp *BufferPool) Allocate(file int32) (PageID, Page, error) {
 	}
 	f.pins = 1
 	f.dirty = true
+	f.ready = readyClosed
 	p := InitPage(f.data)
 	return id, p, nil
 }
@@ -183,7 +232,7 @@ func (bp *BufferPool) Capacity() int { return bp.capacity }
 
 // CachedPages returns the number of resident pages.
 func (bp *BufferPool) CachedPages() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	bp.mu.RLock()
+	defer bp.mu.RUnlock()
 	return len(bp.frames)
 }

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBufferPoolConcurrentFetch hammers a small pool from many goroutines
+// (run with -race): concurrent hits, misses, waits on in-flight loads and
+// evictions must neither race nor corrupt page contents.
+func TestBufferPoolConcurrentFetch(t *testing.T) {
+	disk := NewMemDisk()
+	const pages = 24
+	var ids []PageID
+	for i := 0; i < pages; i++ {
+		id, err := disk.AllocatePage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stamp each page with a recognizable byte so readers can verify
+		// they see the right page.
+		buf := make([]byte, PageSize)
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		if err := disk.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	pool := NewBufferPool(disk, 8) // smaller than the page set: evictions happen
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := (seed*31 + iter*17) % pages
+				pg, err := pool.Fetch(ids[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if pg.Data[PageSize-1] != byte(i) {
+					errs <- fmt.Errorf("page %d: read stamp %d", i, pg.Data[PageSize-1])
+					pool.Unpin(ids[i], false)
+					return
+				}
+				pool.Unpin(ids[i], false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}
+
+// TestBufferPoolConcurrentFetchWithLatency checks that slow disk reads do
+// not serialize the pool: 4 goroutines each reading distinct cold pages
+// through a latency-injected disk should overlap their sleeps.
+func TestBufferPoolConcurrentFetchWithLatency(t *testing.T) {
+	disk := NewMemDisk()
+	const lat = 2 * time.Millisecond
+	const perWorker = 8
+	var ids []PageID
+	for i := 0; i < 4*perWorker; i++ {
+		id, err := disk.AllocatePage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	disk.SetLatency(lat)
+	pool := NewBufferPool(disk, len(ids))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := ids[w*perWorker+i]
+				if _, err := pool.Fetch(id); err != nil {
+					t.Error(err)
+					return
+				}
+				pool.Unpin(id, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Serialized, 32 cold reads cost 64ms. Overlapped across 4 workers they
+	// cost ~16ms. Allow generous scheduling slack: anything under 3/4 of the
+	// serial time proves reads are not serialized under the pool lock.
+	if serial := time.Duration(4*perWorker) * lat; elapsed > serial*3/4 {
+		t.Fatalf("cold fetches appear serialized: %v elapsed vs %v serial", elapsed, serial)
+	}
+}
+
+// TestHeapInsertBatch checks the batched insert path against the one-by-one
+// path: same records, same ids, same scan output, spilling across pages.
+func TestHeapInsertBatch(t *testing.T) {
+	mkRec := func(i int) []byte {
+		rec := make([]byte, 100)
+		rec[0] = byte(i)
+		rec[1] = byte(i >> 8)
+		return rec
+	}
+	const n = 500 // ~100B each: spills across several 8KB pages
+
+	single := NewHeapFile(NewBufferPool(NewMemDisk(), 4), 1)
+	var wantIDs []RecordID
+	for i := 0; i < n; i++ {
+		rid, err := single.Insert(mkRec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIDs = append(wantIDs, rid)
+	}
+
+	batched := NewHeapFile(NewBufferPool(NewMemDisk(), 4), 1)
+	recs := make([][]byte, n)
+	for i := range recs {
+		recs[i] = mkRec(i)
+	}
+	gotIDs, err := batched.InsertBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+		t.Fatalf("record ids differ between Insert loop and InsertBatch")
+	}
+	if batched.NumRecords() != n {
+		t.Fatalf("NumRecords = %d, want %d", batched.NumRecords(), n)
+	}
+	i := 0
+	err = batched.Scan(func(rid RecordID, rec []byte) error {
+		if got := int(rec[0]) | int(rec[1])<<8; got != i {
+			return fmt.Errorf("record %d reads back as %d", i, got)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d records, want %d", i, n)
+	}
+}
+
+// TestHeapInsertBatchThenInsert checks the two insert paths compose: a batch
+// load followed by single inserts continues on the same tail page.
+func TestHeapInsertBatchThenInsert(t *testing.T) {
+	h := NewHeapFile(NewBufferPool(NewMemDisk(), 4), 1)
+	if _, err := h.InsertBatch([][]byte{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Insert([]byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.NumRecords(); got != 4 {
+		t.Fatalf("NumRecords = %d", got)
+	}
+	if got := h.NumPages(); got != 1 {
+		t.Fatalf("NumPages = %d, want 1 (tail page reuse)", got)
+	}
+}

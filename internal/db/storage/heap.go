@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // RecordID locates a record: page and slot.
@@ -15,11 +16,15 @@ func (r RecordID) String() string { return fmt.Sprintf("%s/%d", r.Page, r.Slot) 
 // HeapFile is an unordered collection of records in slotted pages, the
 // storage for one table. Inserts append to the last page, allocating as
 // needed; scans walk pages in order through the buffer pool.
+//
+// Concurrent scans are safe. Mutations (Insert/InsertBatch/Update/Delete)
+// require a single writer; the record counter is atomic so readers may
+// observe counts while a writer runs.
 type HeapFile struct {
 	pool    *BufferPool
 	file    int32
 	lastPg  int32 // page currently receiving inserts, -1 if none
-	records int64
+	records atomic.Int64
 }
 
 // NewHeapFile creates (or reopens) the heap file with the given file id.
@@ -29,7 +34,7 @@ func NewHeapFile(pool *BufferPool, file int32) *HeapFile {
 		h.lastPg = n - 1
 		// Recount records for reopened files.
 		_ = h.Scan(func(RecordID, []byte) error {
-			h.records++
+			h.records.Add(1)
 			return nil
 		})
 	}
@@ -40,41 +45,77 @@ func NewHeapFile(pool *BufferPool, file int32) *HeapFile {
 func (h *HeapFile) FileID() int32 { return h.file }
 
 // NumRecords returns the live record count.
-func (h *HeapFile) NumRecords() int64 { return h.records }
+func (h *HeapFile) NumRecords() int64 { return h.records.Load() }
 
 // NumPages returns the number of allocated pages.
 func (h *HeapFile) NumPages() int32 { return h.pool.disk.NumPages(h.file) }
 
 // Insert appends a record and returns its id.
 func (h *HeapFile) Insert(rec []byte) (RecordID, error) {
-	if len(rec) > MaxRecordSize {
-		return RecordID{}, fmt.Errorf("storage: record of %d bytes exceeds page size", len(rec))
-	}
-	if h.lastPg >= 0 {
-		id := PageID{File: h.file, Num: h.lastPg}
-		pg, err := h.pool.Fetch(id)
-		if err != nil {
-			return RecordID{}, err
-		}
-		if slot, err := pg.Insert(rec); err == nil {
-			h.pool.Unpin(id, true)
-			h.records++
-			return RecordID{Page: id, Slot: slot}, nil
-		}
-		h.pool.Unpin(id, false)
-	}
-	id, pg, err := h.pool.Allocate(h.file)
+	rids, err := h.InsertBatch([][]byte{rec})
 	if err != nil {
 		return RecordID{}, err
 	}
-	slot, err := pg.Insert(rec)
-	h.pool.Unpin(id, true)
-	if err != nil {
-		return RecordID{}, err
+	return rids[0], nil
+}
+
+// InsertBatch appends records in order and returns their ids. Unlike a loop
+// over Insert, the receiving page is pinned once and filled until full
+// (the paper's Section 3.2 batch-loading path), so bulk loads do one
+// Fetch/Unpin round-trip per PAGE instead of per record.
+func (h *HeapFile) InsertBatch(recs [][]byte) ([]RecordID, error) {
+	rids := make([]RecordID, 0, len(recs))
+	var (
+		cur    Page
+		curID  PageID
+		pinned bool
+		dirty  bool
+	)
+	unpin := func() {
+		if pinned {
+			h.pool.Unpin(curID, dirty)
+			pinned, dirty = false, false
+		}
 	}
-	h.lastPg = id.Num
-	h.records++
-	return RecordID{Page: id, Slot: slot}, nil
+	for _, rec := range recs {
+		if len(rec) > MaxRecordSize {
+			unpin()
+			return rids, fmt.Errorf("storage: record of %d bytes exceeds page size", len(rec))
+		}
+		if !pinned && h.lastPg >= 0 {
+			curID = PageID{File: h.file, Num: h.lastPg}
+			pg, err := h.pool.Fetch(curID)
+			if err != nil {
+				return rids, err
+			}
+			cur, pinned = pg, true
+		}
+		var slot int
+		var err error
+		if pinned {
+			slot, err = cur.Insert(rec)
+		}
+		if !pinned || err != nil {
+			// No page yet, or the current one is full: move to a fresh page.
+			unpin()
+			id, pg, aerr := h.pool.Allocate(h.file)
+			if aerr != nil {
+				return rids, aerr
+			}
+			curID, cur, pinned, dirty = id, pg, true, true
+			h.lastPg = id.Num
+			slot, err = cur.Insert(rec)
+			if err != nil {
+				unpin()
+				return rids, err
+			}
+		}
+		dirty = true
+		h.records.Add(1)
+		rids = append(rids, RecordID{Page: curID, Slot: slot})
+	}
+	unpin()
+	return rids, nil
 }
 
 // Get copies the record bytes at rid.
@@ -116,7 +157,7 @@ func (h *HeapFile) Delete(rid RecordID) error {
 	err = pg.Delete(rid.Slot)
 	h.pool.Unpin(rid.Page, err == nil)
 	if err == nil {
-		h.records--
+		h.records.Add(-1)
 	}
 	return err
 }

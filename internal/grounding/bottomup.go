@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tuffy/internal/mln"
 )
@@ -14,6 +16,11 @@ type Options struct {
 	// after evidence pruning, as Tuffy and Alchemy both do. Atoms outside
 	// the closure are pinned false and their clauses dropped.
 	UseClosure bool
+	// Workers is the number of concurrent clause-grounding workers for the
+	// bottom-up strategy; values below 2 ground sequentially. The grounding
+	// result is identical for every worker count: per-clause outputs are
+	// merged in clause-ID order before MRF atom renumbering.
+	Workers int
 }
 
 // rawClause is a ground clause before MRF atom renumbering: parallel slices
@@ -28,15 +35,75 @@ type rawClause struct {
 // and executing it on the RDBMS (the paper's Section 3.1). The join order
 // and algorithms are chosen by the engine's optimizer, subject to the
 // engine's plan.Options (which the Table 6 lesion study manipulates).
+//
+// With Options.Workers > 1 the per-clause grounding queries compile and
+// execute concurrently on a worker pool; each worker accumulates its
+// clauses' raw groundings privately and the results are merged in clause-ID
+// order, so the MRF is bit-identical to the sequential path regardless of
+// worker count or scheduling.
 func GroundBottomUp(ts *TableSet, opts Options) (*Result, error) {
-	var raws []rawClause
-	stats := Stats{}
-	for _, clause := range ts.Prog.Clauses {
-		cr, err := groundClauseSQL(ts, clause, &stats)
-		if err != nil {
-			return nil, fmt.Errorf("grounding clause %d (%s): %w", clause.ID, clause.Source, err)
+	clauses := ts.Prog.Clauses
+	perClause := make([][]rawClause, len(clauses))
+	perStats := make([]Stats, len(clauses))
+	perErr := make([]error, len(clauses))
+
+	workers := opts.Workers
+	if workers > len(clauses) {
+		workers = len(clauses)
+	}
+	if workers <= 1 {
+		for i, clause := range clauses {
+			perClause[i], perErr[i] = groundClauseSQL(ts, clause, &perStats[i])
+			if perErr[i] != nil {
+				break // fail fast; the first-in-order error is reported below
+			}
 		}
-		raws = append(raws, cr...)
+	} else {
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(clauses) || failed.Load() {
+						return
+					}
+					perClause[i], perErr[i] = groundClauseSQL(ts, clauses[i], &perStats[i])
+					if perErr[i] != nil {
+						failed.Store(true) // fail fast, like the sequential path
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Report the first error in clause order so failures are deterministic
+	// across worker counts.
+	for i, err := range perErr {
+		if err != nil {
+			return nil, fmt.Errorf("grounding clause %d (%s): %w", clauses[i].ID, clauses[i].Source, err)
+		}
+	}
+
+	// Deterministic merge: clause-ID order, then order-insensitive stats.
+	// Presize and release each per-clause slice as it is merged so the
+	// merge does not hold two copies of the ground clauses.
+	total := 0
+	for i := range perClause {
+		total += len(perClause[i])
+	}
+	raws := make([]rawClause, 0, total)
+	stats := Stats{}
+	for i := range perClause {
+		raws = append(raws, perClause[i]...)
+		perClause[i] = nil
+		stats.JoinRowsVisited += perStats[i].JoinRowsVisited
+		if perStats[i].PeakBytes > stats.PeakBytes {
+			stats.PeakBytes = perStats[i].PeakBytes
+		}
 	}
 	if opts.UseClosure {
 		raws = activeClosure(raws)

@@ -91,10 +91,23 @@ func BuildTables(d *db.DB, prog *mln.Program, ev *mln.Evidence) (*TableSet, erro
 			}
 		}
 	}
+	// Checkpoint the load: grounding only reads, so flushing here turns
+	// buffer-pool evictions during (possibly parallel) grounding into clean
+	// page drops instead of write-backs held under the pool lock.
+	if err := d.Pool().FlushAll(); err != nil {
+		return nil, err
+	}
 	return ts, nil
 }
 
+// loadChunk is how many staged rows trigger a bulk insert during table
+// loading, bounding transient memory while keeping page-batched writes.
+const loadChunk = 65536
+
 func (ts *TableSet) loadClosed(pred *mln.Predicate, t *db.Table) error {
+	// Batch loading (paper §3.2): rows are staged and bulk-inserted in
+	// chunks instead of one page round-trip per evidence tuple.
+	var rows []tuple.Row
 	var loadErr error
 	ts.Ev.ForEach(pred, func(args []int32, truth mln.Truth) {
 		if loadErr != nil || truth != mln.True {
@@ -102,11 +115,16 @@ func (ts *TableSet) loadClosed(pred *mln.Predicate, t *db.Table) error {
 			// under the CWA; skip the row.
 			return
 		}
-		if err := ts.insertAtom(pred, t, args, TruthTrue); err != nil {
-			loadErr = err
+		rows = append(rows, ts.stageAtom(pred, args, TruthTrue))
+		if len(rows) >= loadChunk {
+			loadErr = t.InsertMany(rows)
+			rows = rows[:0]
 		}
 	})
-	return loadErr
+	if loadErr != nil {
+		return loadErr
+	}
+	return t.InsertMany(rows)
 }
 
 func (ts *TableSet) loadOpen(pred *mln.Predicate, t *db.Table) error {
@@ -122,6 +140,7 @@ func (ts *TableSet) loadOpen(pred *mln.Predicate, t *db.Table) error {
 	if total == 0 {
 		return nil // some domain empty: no atoms
 	}
+	rows := make([]tuple.Row, 0, min(total, loadChunk))
 	args := make([]int32, pred.Arity())
 	var rec func(pos int) error
 	rec = func(pos int) error {
@@ -135,7 +154,13 @@ func (ts *TableSet) loadOpen(pred *mln.Predicate, t *db.Table) error {
 			}
 			cp := make([]int32, len(args))
 			copy(cp, args)
-			return ts.insertAtom(pred, t, cp, truth)
+			rows = append(rows, ts.stageAtom(pred, cp, truth))
+			if len(rows) >= loadChunk {
+				err := t.InsertMany(rows)
+				rows = rows[:0]
+				return err
+			}
+			return nil
 		}
 		for _, c := range domains[pos] {
 			args[pos] = c
@@ -145,10 +170,16 @@ func (ts *TableSet) loadOpen(pred *mln.Predicate, t *db.Table) error {
 		}
 		return nil
 	}
-	return rec(0)
+	if err := rec(0); err != nil {
+		return err
+	}
+	return t.InsertMany(rows)
 }
 
-func (ts *TableSet) insertAtom(pred *mln.Predicate, t *db.Table, args []int32, truth int64) error {
+// stageAtom assigns the next dense aid, records the atom in the registry and
+// returns its table row for batch insertion. args must not be reused by the
+// caller.
+func (ts *TableSet) stageAtom(pred *mln.Predicate, args []int32, truth int64) tuple.Row {
 	aid := int64(len(ts.atoms))
 	row := make(tuple.Row, 0, pred.Arity()+2)
 	row = append(row, tuple.I64(aid))
@@ -156,13 +187,10 @@ func (ts *TableSet) insertAtom(pred *mln.Predicate, t *db.Table, args []int32, t
 		row = append(row, tuple.I64(int64(a)))
 	}
 	row = append(row, tuple.I64(truth))
-	if err := t.Insert(row); err != nil {
-		return err
-	}
 	ts.atoms = append(ts.atoms, mln.GroundAtom{Pred: pred, Args: args})
 	ts.truths = append(ts.truths, truth)
 	ts.aidOf[pred][mln.GroundAtom{Pred: pred, Args: args}.Key()] = aid
-	return nil
+	return row
 }
 
 // NumAtoms returns the number of materialized atoms (all predicates).

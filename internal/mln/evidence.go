@@ -2,6 +2,7 @@ package mln
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -144,21 +145,28 @@ func (e *Evidence) Count(pred *Predicate) int { return e.counts[pred] }
 // Total returns the number of evidence tuples across all predicates.
 func (e *Evidence) Total() int { return e.total }
 
-// ForEach calls fn for every evidence tuple of pred, in unspecified order.
-// fn receives the argument tuple and its truth.
+// ForEach calls fn for every evidence tuple of pred, in a deterministic
+// (packed-key) order, so consumers that assign ids in visit order — the
+// grounder's atom registry — produce identical ids across runs and across
+// independently built systems. fn receives the argument tuple and its truth.
 func (e *Evidence) ForEach(pred *Predicate, fn func(args []int32, t Truth)) {
 	table := e.tables[pred]
 	if table == nil {
 		return
 	}
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	n := pred.Arity()
-	for k, truth := range table {
+	for _, k := range keys {
 		args := make([]int32, n)
 		for i := 0; i < n; i++ {
 			off := i * 4
 			args[i] = int32(uint32(k[off]) | uint32(k[off+1])<<8 | uint32(k[off+2])<<16 | uint32(k[off+3])<<24)
 		}
-		fn(args, truth)
+		fn(args, table[k])
 	}
 }
 

@@ -71,6 +71,10 @@ type Config struct {
 	// Parallelism is the number of component-search workers (default 1,
 	// matching the paper's single-thread experiments).
 	Parallelism int
+	// GroundWorkers is the number of concurrent clause-grounding workers for
+	// the bottom-up grounder (default 1). Results are identical for every
+	// worker count; see grounding.Options.Workers.
+	GroundWorkers int
 
 	// Search budget.
 	MaxFlips int64 // total flips (default 1e6)
@@ -110,6 +114,9 @@ func New(prog *mln.Program, ev *mln.Evidence, cfg Config) *System {
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = 1
 	}
+	if cfg.GroundWorkers == 0 {
+		cfg.GroundWorkers = 1
+	}
 	return &System{cfg: cfg, Prog: prog, Ev: ev, DB: db.Open(cfg.DB)}
 }
 
@@ -141,7 +148,7 @@ func (s *System) Ground() error {
 		return err
 	}
 	s.Tables = ts
-	opts := grounding.Options{UseClosure: s.cfg.UseClosure}
+	opts := grounding.Options{UseClosure: s.cfg.UseClosure, Workers: s.cfg.GroundWorkers}
 	switch s.cfg.Grounder {
 	case TopDown:
 		s.Grounded, err = grounding.GroundTopDown(ts, opts)
