@@ -35,7 +35,7 @@ func main() {
 		indb      = flag.Bool("indb", false, "run search inside the RDBMS (Tuffy-mm)")
 		budget    = flag.Int64("memory", 0, "memory budget in bytes for MRF partitioning (0 = components only)")
 		flips     = flag.Int64("flips", 1_000_000, "WalkSAT flip budget")
-		threads   = flag.Int("threads", 1, "parallel workers for grounding and component search")
+		threads   = flag.Int("threads", 1, "parallel workers for grounding, component search, partition (Gauss-Seidel) rounds and MC-SAT; results are identical for every value")
 		seed      = flag.Int64("seed", 0, "random seed")
 		useClose  = flag.Bool("closure", false, "apply the lazy-inference active closure")
 		explain   = flag.Bool("explain", false, "print the grounding SQL for each clause and exit")

@@ -8,7 +8,8 @@
 //	tuffybench -exp figure6 -full   # paper-closer scale (slower)
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 figure3
-// figure4 figure5 figure6 figure8 theorem31 all.
+// figure4 figure5 figure6 figure8 theorem31 erplus closure groundpar
+// partpar all.
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 		{"erplus", bench.ERPlus},
 		{"closure", bench.ClosureAblation},
 		{"groundpar", bench.GroundParallel},
+		{"partpar", bench.PartParallel},
 	}
 
 	want := strings.ToLower(*exp)

@@ -359,10 +359,13 @@ func Figure6(s Scale) (*Table, error) {
 			}
 			var res *search.ComponentResult
 			if pt.NumCut() > 0 {
-				res = search.GaussSeidel(pt, search.GaussSeidelOptions{
+				res, err = search.GaussSeidel(pt, search.GaussSeidelOptions{
 					Base:   search.Options{MaxFlips: s.Flips / int64(3*len(pt.Parts)+1), Seed: 7},
 					Rounds: 3,
 				})
+				if err != nil {
+					return nil, err
+				}
 			} else {
 				comps := partsAsComponents(pt)
 				res = search.ComponentAware(m, comps, search.ComponentOptions{

@@ -15,11 +15,15 @@ import (
 // The pool is safe for concurrent use. Metadata (frame map, LRU list, pin
 // counts) is guarded by mu; disk reads happen OUTSIDE the lock on frames that
 // are already pinned, so a slow read (e.g. a latency-injected disk) never
-// serializes unrelated fetches. Eviction skips pinned frames, which is what
-// makes the unlocked read safe. Page DATA is protected by the pin protocol,
-// not the pool lock: concurrent readers of a pinned page are safe; mutating
-// page bytes while another goroutine reads the same page requires external
-// coordination (the engine's DML paths are single-writer per table).
+// serializes unrelated fetches. Dirty-page write-back during eviction also
+// happens outside the lock, on a pin-protected victim: the guard pin keeps
+// the frame resident during the write, and the victim is only dropped if it
+// is still unpinned and clean afterwards (a page re-dirtied mid-write stays
+// cached and is written again later). Eviction skips pinned frames, which is
+// what makes both unlocked transfers safe. Page DATA is protected by the pin
+// protocol, not the pool lock: concurrent readers of a pinned page are safe;
+// mutating page bytes while another goroutine reads the same page requires
+// external coordination (the engine's DML paths are single-writer per table).
 type BufferPool struct {
 	mu       sync.RWMutex
 	disk     Disk
@@ -42,6 +46,11 @@ type frame struct {
 	// the pool lock, so one slow disk read never blocks the whole pool.
 	ready   chan struct{}
 	loadErr error
+	// wb is non-nil while an evictor writes this frame back outside the
+	// lock (closed when the write completes). Evictors that find every
+	// frame pinned wait on an in-flight write-back instead of reporting
+	// pool exhaustion: the guard pin is transient by construction.
+	wb chan struct{}
 }
 
 // readyClosed is the pre-closed channel used for frames born ready
@@ -86,26 +95,35 @@ func (bp *BufferPool) ResetStats() {
 // (with dirty=true if they wrote to the bytes).
 func (bp *BufferPool) Fetch(id PageID) (Page, error) {
 	bp.mu.Lock()
-	if f, ok := bp.frames[id]; ok {
-		f.pins++
-		bp.lru.MoveToFront(f.elem)
-		bp.mu.Unlock()
-		bp.hits.Add(1)
-		// Another fetcher may still be reading the page in; wait for it
-		// without holding the pool lock. The pin taken above keeps the frame
-		// resident in the meantime.
-		<-f.ready
-		if f.loadErr != nil {
-			err := f.loadErr
-			bp.releaseFailed(f)
+	var f *frame
+	for {
+		if hit, ok := bp.frames[id]; ok {
+			hit.pins++
+			bp.lru.MoveToFront(hit.elem)
+			bp.mu.Unlock()
+			bp.hits.Add(1)
+			// Another fetcher may still be reading the page in; wait for it
+			// without holding the pool lock. The pin taken above keeps the
+			// frame resident in the meantime.
+			<-hit.ready
+			if hit.loadErr != nil {
+				err := hit.loadErr
+				bp.releaseFailed(hit)
+				return Page{}, err
+			}
+			return Page{Data: hit.data}, nil
+		}
+		if len(bp.frames) < bp.capacity {
+			f = bp.installFrameLocked(id)
+			break
+		}
+		// Evicting a dirty victim releases the pool lock during the disk
+		// write, so after eviction the map must be re-checked: a concurrent
+		// Fetch may have installed this id (or consumed the freed slot).
+		if err := bp.evictOneLocked(); err != nil {
+			bp.mu.Unlock()
 			return Page{}, err
 		}
-		return Page{Data: f.data}, nil
-	}
-	f, err := bp.allocFrameLocked(id)
-	if err != nil {
-		bp.mu.Unlock()
-		return Page{}, err
 	}
 	f.pins = 1
 	f.ready = make(chan struct{})
@@ -191,35 +209,98 @@ func (bp *BufferPool) FlushAll() error {
 	return nil
 }
 
-// allocFrameLocked finds a free frame, evicting the LRU unpinned page if the
-// pool is full.
+// allocFrameLocked finds a free frame, evicting unpinned pages until a slot
+// is free. The capacity check loops because a dirty eviction releases the
+// pool lock during its disk write, and concurrent fetchers may refill the
+// pool in that window. Safe only for ids no concurrent fetcher can install
+// (Allocate's fresh page ids); Fetch re-checks its id itself.
 func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictLRULocked(); err != nil {
+	for len(bp.frames) >= bp.capacity {
+		if err := bp.evictOneLocked(); err != nil {
 			return nil, err
 		}
 	}
+	return bp.installFrameLocked(id), nil
+}
+
+// installFrameLocked adds a fresh frame for id at the front of the LRU.
+func (bp *BufferPool) installFrameLocked(id PageID) *frame {
 	f := &frame{id: id, data: make([]byte, PageSize)}
 	f.elem = bp.lru.PushFront(f)
 	bp.frames[id] = f
-	return f, nil
+	return f
 }
 
-func (bp *BufferPool) evictLRULocked() error {
-	for e := bp.lru.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*frame)
-		if f.pins > 0 {
-			continue
-		}
-		if f.dirty {
-			if err := bp.disk.WritePage(f.id, f.data); err != nil {
-				return err
+// evictOneLocked frees one frame. Clean victims are dropped under the lock;
+// a dirty victim is written back OUTSIDE the pool lock on a pin-protected
+// frame, mirroring the read path: the guard pin keeps the frame (and its
+// data buffer) alive and un-evictable during the write, so one slow
+// write-back never serializes unrelated fetches. Called and returns with
+// bp.mu held, but may release it during disk writes.
+func (bp *BufferPool) evictOneLocked() error {
+	for {
+		var victim *frame
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			f := e.Value.(*frame)
+			if f.pins == 0 {
+				victim = f
+				break
 			}
 		}
-		bp.evictFrameLocked(f)
-		return nil
+		if victim == nil {
+			// Every frame is pinned. If one of those pins is a write-back
+			// guard, the frame frees up as soon as the write finishes —
+			// wait for it and rescan rather than failing a transient.
+			var wb chan struct{}
+			for _, f := range bp.frames {
+				if f.wb != nil {
+					wb = f.wb
+					break
+				}
+			}
+			if wb == nil {
+				return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+			}
+			bp.mu.Unlock()
+			<-wb
+			bp.mu.Lock()
+			continue
+		}
+		if !victim.dirty {
+			bp.evictFrameLocked(victim)
+			return nil
+		}
+		victim.pins++ // guard pin: blocks eviction and data reuse
+		victim.dirty = false
+		victim.wb = make(chan struct{})
+		// Snapshot the bytes under the lock: pins were 0 when the victim was
+		// chosen, so no mutator is active and the image is consistent. The
+		// slow disk write then works from the snapshot, because a client may
+		// re-pin the frame and mutate its live bytes mid-write (that client
+		// re-dirties the frame, so the newer bytes are written later).
+		snap := make([]byte, len(victim.data))
+		copy(snap, victim.data)
+		bp.mu.Unlock()
+		werr := bp.disk.WritePage(victim.id, snap)
+		bp.mu.Lock()
+		close(victim.wb)
+		victim.wb = nil
+		victim.pins--
+		if werr != nil {
+			victim.dirty = true
+			return werr
+		}
+		// The victim may have been re-pinned or re-dirtied while the lock
+		// was released; evict only if it is still idle, clean and resident.
+		if victim.pins == 0 && !victim.dirty {
+			if cur, ok := bp.frames[victim.id]; ok && cur == victim {
+				bp.evictFrameLocked(victim)
+				return nil
+			}
+		}
+		// Otherwise its pages are durably written anyway; pick another
+		// victim (the LRU list may have changed while unlocked).
 	}
-	return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
 }
 
 func (bp *BufferPool) evictFrameLocked(f *frame) {

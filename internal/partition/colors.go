@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"sort"
+
+	"tuffy/internal/mrf"
+)
+
+// This file builds the partition interaction graph and colors it, the
+// scheduling structure behind parallel Gauss-Seidel rounds: two partitions
+// interact iff some cut clause has atoms in both, so partitions of the same
+// color share no cut clause and their conditioned sub-problems are mutually
+// independent under any frozen external assignment. Running one color class
+// at a time (partitions within the class concurrently) therefore computes
+// exactly the same projections as a sequential sweep — the follow-up
+// task-decomposition work runs partitions as independent tasks for the same
+// reason.
+
+// Coloring groups partitions into conflict-free classes.
+type Coloring struct {
+	// Color maps partition index -> color (0-based).
+	Color []int32
+	// Classes lists, per color, the partition indexes of that color in
+	// ascending order. Iterating Classes in order and merging each class's
+	// results in ascending partition order is deterministic for any degree
+	// of parallelism.
+	Classes [][]int
+}
+
+// NumColors returns the number of color classes.
+func (c *Coloring) NumColors() int { return len(c.Classes) }
+
+// InteractionGraph returns adjacency lists over partitions: i and j are
+// adjacent iff at least one cut clause spans both. Lists are sorted and
+// deduplicated; the graph is symmetric.
+func (pt *Partitioning) InteractionGraph() [][]int32 {
+	adj := make([]map[int32]struct{}, len(pt.Parts))
+	touch := func(a, b int32) {
+		if adj[a] == nil {
+			adj[a] = make(map[int32]struct{})
+		}
+		adj[a][b] = struct{}{}
+	}
+	var span []int32 // distinct partitions of the current clause
+	for _, c := range pt.Cut {
+		span = span[:0]
+		for _, l := range c.Lits {
+			pi := pt.PartOf[mrf.Atom(l)]
+			dup := false
+			for _, s := range span {
+				if s == pi {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				span = append(span, pi)
+			}
+		}
+		for i := 0; i < len(span); i++ {
+			for j := i + 1; j < len(span); j++ {
+				touch(span[i], span[j])
+				touch(span[j], span[i])
+			}
+		}
+	}
+	out := make([][]int32, len(pt.Parts))
+	for i, m := range adj {
+		if len(m) == 0 {
+			continue
+		}
+		ns := make([]int32, 0, len(m))
+		for n := range m {
+			ns = append(ns, n)
+		}
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		out[i] = ns
+	}
+	return out
+}
+
+// ColorParts greedily colors the interaction graph in Welsh-Powell order
+// (descending degree, partition index as tie-break), assigning each
+// partition the smallest color unused by its neighbours. The ordering is
+// deterministic, so the same partitioning always yields the same classes.
+// Partitions with no cut neighbours (pure components) all land in color 0.
+func (pt *Partitioning) ColorParts() *Coloring {
+	adj := pt.InteractionGraph()
+	n := len(pt.Parts)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(adj[order[a]]) > len(adj[order[b]])
+	})
+
+	color := make([]int32, n)
+	for i := range color {
+		color[i] = -1
+	}
+	maxColor := int32(-1)
+	used := []bool{}
+	for _, pi := range order {
+		for i := range used {
+			used[i] = false
+		}
+		for _, nb := range adj[pi] {
+			if c := color[nb]; c >= 0 {
+				for int(c) >= len(used) {
+					used = append(used, false)
+				}
+				used[c] = true
+			}
+		}
+		c := int32(0)
+		for int(c) < len(used) && used[c] {
+			c++
+		}
+		color[pi] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+
+	classes := make([][]int, maxColor+1)
+	for pi := 0; pi < n; pi++ { // ascending partition order within a class
+		classes[color[pi]] = append(classes[color[pi]], pi)
+	}
+	return &Coloring{Color: color, Classes: classes}
+}

@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"tuffy/internal/mrf"
+)
+
+// chainMRF builds k blocks of 3 atoms with internal clauses, bridged in a
+// path; beta keeps blocks whole so bridges are cut.
+func chainMRF(t *testing.T, k int) *Partitioning {
+	t.Helper()
+	m := mrf.New(3 * k)
+	for b := 0; b < k; b++ {
+		base := int32(3 * b)
+		if err := m.AddClause(5, base+1, base+2); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddClause(5, base+2, base+3); err != nil {
+			t.Fatal(err)
+		}
+		if b > 0 {
+			if err := m.AddClause(0.5, base, base+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pt := Algorithm3(m, 12)
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Parts) != k || pt.NumCut() != k-1 {
+		t.Fatalf("partitioning: %d parts, %d cut; want %d / %d", len(pt.Parts), pt.NumCut(), k, k-1)
+	}
+	return pt
+}
+
+func TestInteractionGraphChain(t *testing.T) {
+	pt := chainMRF(t, 5)
+	adj := pt.InteractionGraph()
+	deg := 0
+	for _, ns := range adj {
+		deg += len(ns)
+	}
+	if deg != 2*(len(pt.Parts)-1) {
+		t.Fatalf("chain interaction graph has %d directed edges, want %d", deg, 2*(len(pt.Parts)-1))
+	}
+	for i, ns := range adj {
+		for _, n := range ns {
+			found := false
+			for _, back := range adj[n] {
+				if back == int32(i) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not symmetric", i, n)
+			}
+		}
+	}
+}
+
+func TestColorPartsIsProper(t *testing.T) {
+	pt := chainMRF(t, 7)
+	c := pt.ColorParts()
+	if c.NumColors() != 2 {
+		t.Fatalf("path graph colored with %d colors, want 2", c.NumColors())
+	}
+	adj := pt.InteractionGraph()
+	for i, ns := range adj {
+		for _, n := range ns {
+			if c.Color[i] == c.Color[n] {
+				t.Fatalf("adjacent partitions %d and %d share color %d", i, n, c.Color[i])
+			}
+		}
+	}
+	// Every partition appears in exactly one class, classes ascending.
+	seen := make([]int, len(pt.Parts))
+	for ci, class := range c.Classes {
+		for j, pi := range class {
+			seen[pi]++
+			if int(c.Color[pi]) != ci {
+				t.Fatalf("partition %d in class %d but Color=%d", pi, ci, c.Color[pi])
+			}
+			if j > 0 && class[j-1] >= pi {
+				t.Fatalf("class %d not ascending: %v", ci, class)
+			}
+		}
+	}
+	for pi, n := range seen {
+		if n != 1 {
+			t.Fatalf("partition %d appears in %d classes", pi, n)
+		}
+	}
+}
+
+func TestColorPartsDeterministic(t *testing.T) {
+	a := chainMRF(t, 6).ColorParts()
+	b := chainMRF(t, 6).ColorParts()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("coloring not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestColorPartsNoCutSingleClass(t *testing.T) {
+	// Disconnected components: no cut clauses, everything in color 0.
+	m := mrf.New(6)
+	for i := int32(1); i <= 5; i += 2 {
+		if err := m.AddClause(1, i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt := Algorithm3(m, 0)
+	c := pt.ColorParts()
+	if c.NumColors() != 1 || len(c.Classes[0]) != len(pt.Parts) {
+		t.Fatalf("component-only partitioning should color with one class, got %d", c.NumColors())
+	}
+}

@@ -2,11 +2,25 @@ package search
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"tuffy/internal/mrf"
 	"tuffy/internal/partition"
 )
+
+// ClauseSource supplies a partition's internal clauses each time the
+// partition is visited. It models Section 3.4's disk-resident partitions:
+// when the grounded MRF exceeds RAM, partition clause data stays in the
+// RDBMS and is re-read through the buffer pool on every visit (only the
+// atom assignment and the cut structure are memory-resident). A nil source
+// keeps all partitions in RAM. Implementations must return the same
+// clauses in the same order on every call for a given partition; clauses
+// are appended to dst and the extended slice returned, so callers can pool
+// the buffer across rounds.
+type ClauseSource interface {
+	LoadClauses(pi int, dst []mrf.Clause) ([]mrf.Clause, error)
+}
 
 // GaussSeidelOptions configures partition-aware search (Section 3.4).
 type GaussSeidelOptions struct {
@@ -15,6 +29,71 @@ type GaussSeidelOptions struct {
 	// Rounds is T in the paper's scheme: how many sweeps over the
 	// partitions to run.
 	Rounds int
+	// Parallelism is the number of concurrent partition searches within one
+	// color class (1 = sequential). Partitions that share a cut clause are
+	// never run together, and per-class results merge in partition-ID
+	// order, so the result is bit-identical for every value.
+	Parallelism int
+	// Clauses optionally serves internal clauses per visit (disk-resident
+	// partitions); nil searches the in-RAM copies.
+	Clauses ClauseSource
+}
+
+// gsCut is one cut clause as seen from one partition: the literals over the
+// partition's local atom ids plus the external literals that are evaluated
+// against the frozen global assignment. Precomputed once, used every round.
+type gsCut struct {
+	ci     int // index into Partitioning.Cut
+	weight float64
+	local  []mrf.Lit
+	ext    []mrf.Lit // global-id literals outside the partition
+}
+
+// gsPart is the per-partition state hoisted out of the round loop: the cut
+// projection templates, the pooled sub-MRF and clause buffer, and the slots
+// the class workers write their results into.
+type gsPart struct {
+	part      *partition.Part
+	nInternal int
+	cuts      []gsCut
+	sub       *mrf.MRF
+	clauseBuf []mrf.Clause
+	initBuf   []bool // local state extracted from global before the run
+	best      []bool // WalkSAT result (local ids)
+	flips     int64
+	err       error
+}
+
+// runClass executes fn(pi) for every partition index in class on up to
+// workers goroutines, returning after all complete. fn must write only its
+// own partition's state (it may read shared frozen state), which is what
+// color classes guarantee. Shared by the MAP and MC-SAT partition sweeps.
+func runClass(class []int, workers int, fn func(pi int)) {
+	if workers > len(class) {
+		workers = len(class)
+	}
+	if workers <= 1 {
+		for _, pi := range class {
+			fn(pi)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range work {
+				fn(pi)
+			}
+		}()
+	}
+	for _, pi := range class {
+		work <- pi
+	}
+	close(work)
+	wg.Wait()
 }
 
 // GaussSeidel runs the paper's partition-aware search: for t = 1..T, for
@@ -22,10 +101,22 @@ type GaussSeidelOptions struct {
 // values of all other partitions (cut clauses are projected onto the
 // partition under the frozen external assignment) — an instance of the
 // Gauss-Seidel method from nonlinear optimization [Bertsekas & Tsitsiklis].
-func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) *ComponentResult {
+//
+// Rounds are executed color class by color class over the partition
+// interaction graph: partitions within a class share no cut clause, so
+// running them concurrently under the frozen external assignment computes
+// exactly the sequential projections (Jacobi within a color, Gauss-Seidel
+// across colors). Each class's results merge into the global state in
+// ascending partition order and the global cost is updated incrementally
+// from only the touched clauses, so the best state, best cost and tracker
+// trajectory are identical for every Parallelism value.
+func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) (*ComponentResult, error) {
 	opts.Base = opts.Base.withDefaults()
 	if opts.Rounds == 0 {
 		opts.Rounds = 3
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
 	}
 	start := time.Now()
 	m := pt.Source
@@ -44,13 +135,72 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) *Component
 		}
 	}
 
+	// Hoisted per-partition setup: local-id translation of every adjacent
+	// cut clause, pooled clause buffers and state buffers. localOf is a
+	// scratch array reused (and re-zeroed) per partition.
+	parts := make([]*gsPart, len(pt.Parts))
+	localOf := make([]mrf.AtomID, m.NumAtoms+1)
+	for pi, part := range pt.Parts {
+		g := &gsPart{part: part, nInternal: len(part.Local.Clauses)}
+		for i := 1; i <= part.Local.NumAtoms; i++ {
+			localOf[part.GlobalAtom[i]] = mrf.AtomID(i)
+		}
+		for _, ci := range cutByPart[pi] {
+			c := pt.Cut[ci]
+			cc := gsCut{ci: ci, weight: c.Weight}
+			for _, l := range c.Lits {
+				a := mrf.Atom(l)
+				if ll := localOf[a]; ll != 0 {
+					if !mrf.Pos(l) {
+						ll = -ll
+					}
+					cc.local = append(cc.local, ll)
+				} else {
+					cc.ext = append(cc.ext, l)
+				}
+			}
+			g.cuts = append(g.cuts, cc)
+		}
+		for i := 1; i <= part.Local.NumAtoms; i++ {
+			localOf[part.GlobalAtom[i]] = 0
+		}
+		g.sub = mrf.New(part.Local.NumAtoms)
+		g.clauseBuf = make([]mrf.Clause, 0, g.nInternal+len(g.cuts))
+		if opts.Clauses == nil {
+			g.clauseBuf = append(g.clauseBuf, part.Local.Clauses...)
+		}
+		g.initBuf = make([]bool, part.Local.NumAtoms+1)
+		parts[pi] = g
+	}
+
+	coloring := pt.ColorParts()
+
+	// Incremental global cost: violated-hard count plus soft cost, seeded
+	// with one full scan of the initial state and updated per merge from
+	// only the merged partition's internal and adjacent cut clauses.
+	hardViol := 0
+	softCost := 0.0
+	for _, c := range m.Clauses {
+		if c.ViolatedBy(global) {
+			if c.IsHard() {
+				hardViol++
+			} else {
+				softCost += math.Abs(c.Weight)
+			}
+		}
+	}
+	currentCost := func() float64 {
+		if hardViol > 0 {
+			return math.Inf(1)
+		}
+		return softCost + m.FixedCost
+	}
+
 	var flips int64
 	best := m.NewState()
 	bestCost := math.Inf(1)
-
 	record := func() {
-		c := m.Cost(global)
-		if c < bestCost {
+		if c := currentCost(); c < bestCost {
 			bestCost = c
 			copy(best, global)
 			if opts.Base.Tracker != nil {
@@ -60,59 +210,102 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) *Component
 	}
 	record()
 
-	for round := 0; round < opts.Rounds; round++ {
-		for pi, part := range pt.Parts {
-			// Build the conditioned sub-MRF: internal clauses plus cut
-			// clauses projected under the frozen external assignment.
-			sub := mrf.New(part.Local.NumAtoms)
-			sub.Clauses = append(sub.Clauses, part.Local.Clauses...)
-			// local ids of parent atoms in this partition
-			localOf := make(map[mrf.AtomID]mrf.AtomID, part.Local.NumAtoms)
-			for i := 1; i <= part.Local.NumAtoms; i++ {
-				localOf[part.GlobalAtom[i]] = mrf.AtomID(i)
+	// runPart searches one partition under the frozen global assignment,
+	// writing results only into its own gsPart slots — safe to run
+	// concurrently with any other partition of the same color class.
+	runPart := func(round, pi int) {
+		g := parts[pi]
+		buf := g.clauseBuf[:g.nInternal]
+		if opts.Clauses != nil {
+			var err error
+			buf, err = opts.Clauses.LoadClauses(pi, buf[:0])
+			if err != nil {
+				g.err = err
+				return
 			}
-			for _, ci := range cutByPart[pi] {
-				c := pt.Cut[ci]
-				satisfiedOutside := false
-				var lits []mrf.Lit
-				for _, l := range c.Lits {
-					a := mrf.Atom(l)
-					if ll, in := localOf[a]; in {
-						if !mrf.Pos(l) {
-							ll = -ll
-						}
-						lits = append(lits, ll)
-						continue
-					}
-					if global[a] == mrf.Pos(l) {
-						satisfiedOutside = true
-						break
-					}
-					// external literal false: drops out
+		}
+		fixed := 0.0
+		for _, cc := range g.cuts {
+			satisfiedOutside := false
+			for _, l := range cc.ext {
+				if global[mrf.Atom(l)] == mrf.Pos(l) {
+					satisfiedOutside = true
+					break
 				}
-				if satisfiedOutside {
-					if c.Weight < 0 {
-						sub.FixedCost += -c.Weight // satisfied negative clause: constant cost
-					}
-					continue
-				}
-				if len(lits) == 0 {
-					if c.Weight > 0 && !c.IsHard() {
-						sub.FixedCost += c.Weight
-					}
-					continue
-				}
-				sub.Clauses = append(sub.Clauses, mrf.Clause{Weight: c.Weight, Lits: lits})
 			}
+			if satisfiedOutside {
+				if cc.weight < 0 {
+					fixed += -cc.weight // satisfied negative clause: constant cost
+				}
+				continue
+			}
+			if len(cc.local) == 0 {
+				if cc.weight > 0 && !math.IsInf(cc.weight, 1) {
+					fixed += cc.weight
+				}
+				continue
+			}
+			buf = append(buf, mrf.Clause{Weight: cc.weight, Lits: cc.local})
+		}
+		g.clauseBuf = buf[:0]
+		g.sub.Clauses = buf
+		g.sub.FixedCost = fixed
 
-			o := opts.Base
-			o.Seed = opts.Base.Seed + int64(round)*31337 + int64(pi)*7919
-			o.InitState = part.ExtractState(global)
-			o.MaxTries = 1
-			r := WalkSAT(sub, o)
-			flips += r.Flips
-			part.ProjectState(r.Best, global)
-			record()
+		for i := 1; i <= g.part.Local.NumAtoms; i++ {
+			g.initBuf[i] = global[g.part.GlobalAtom[i]]
+		}
+		o := opts.Base
+		o.Seed = opts.Base.Seed + int64(round)*31337 + int64(pi)*7919
+		o.InitState = g.initBuf
+		o.MaxTries = 1
+		o.Tracker = nil // per-partition costs are not global costs
+		r := WalkSAT(g.sub, o)
+		g.best = r.Best
+		g.flips = r.Flips
+	}
+
+	// merge folds one partition's result into the global state and updates
+	// the cost from the touched clauses only. Called in ascending partition
+	// order after a class's barrier, so it is single-threaded.
+	merge := func(pi int) {
+		g := parts[pi]
+		account := func(violated bool, hard bool, w float64, sign int) {
+			if !violated {
+				return
+			}
+			if hard {
+				hardViol += sign
+			} else {
+				softCost += float64(sign) * math.Abs(w)
+			}
+		}
+		for _, c := range g.part.Local.Clauses {
+			account(c.ViolatedBy(g.initBuf), c.IsHard(), c.Weight, -1)
+			account(c.ViolatedBy(g.best), c.IsHard(), c.Weight, +1)
+		}
+		for _, cc := range g.cuts {
+			c := pt.Cut[cc.ci]
+			account(c.ViolatedBy(global), c.IsHard(), c.Weight, -1)
+		}
+		g.part.ProjectState(g.best, global)
+		for _, cc := range g.cuts {
+			c := pt.Cut[cc.ci]
+			account(c.ViolatedBy(global), c.IsHard(), c.Weight, +1)
+		}
+		flips += g.flips
+		record()
+	}
+
+	for round := 0; round < opts.Rounds; round++ {
+		for _, class := range coloring.Classes {
+			round := round
+			runClass(class, opts.Parallelism, func(pi int) { runPart(round, pi) })
+			for _, pi := range class {
+				if err := parts[pi].err; err != nil {
+					return nil, err
+				}
+				merge(pi)
+			}
 		}
 	}
 
@@ -121,5 +314,5 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) *Component
 		BestCost: bestCost,
 		Flips:    flips,
 		Elapsed:  time.Since(start),
-	}
+	}, nil
 }

@@ -17,10 +17,13 @@ func TestGaussSeidelReachesExample1Optimum(t *testing.T) {
 	if err := pt.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := GaussSeidel(pt, GaussSeidelOptions{
+	res, err := GaussSeidel(pt, GaussSeidelOptions{
 		Base:   Options{MaxFlips: 2000, Seed: 37},
 		Rounds: 2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.BestCost != 20 {
 		t.Fatalf("cost = %v, want 20", res.BestCost)
 	}
@@ -39,10 +42,13 @@ func TestGaussSeidelWithCutClauses(t *testing.T) {
 	if err := pt.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := GaussSeidel(pt, GaussSeidelOptions{
+	res, err := GaussSeidel(pt, GaussSeidelOptions{
 		Base:   Options{MaxFlips: 5000, Seed: 41},
 		Rounds: 4,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(res.BestCost-want) > 1e-9 {
 		t.Fatalf("Gauss-Seidel cost = %v, optimal = %v (cut=%d)", res.BestCost, want, pt.NumCut())
 	}
@@ -53,10 +59,13 @@ func TestGaussSeidelNeverWorseThanInit(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		m := datagen.Example2(4 + rng.Intn(4))
 		pt := partition.Algorithm3(m, 30)
-		res := GaussSeidel(pt, GaussSeidelOptions{
+		res, err := GaussSeidel(pt, GaussSeidelOptions{
 			Base:   Options{MaxFlips: 500, Seed: int64(trial)},
 			Rounds: 2,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		initCost := m.Cost(m.NewState())
 		if res.BestCost > initCost {
 			t.Fatalf("trial %d: Gauss-Seidel %v worse than all-false init %v", trial, res.BestCost, initCost)

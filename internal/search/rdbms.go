@@ -90,35 +90,49 @@ func RDBMSWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Re
 		if rng.Float64() <= opts.NoisyP {
 			atom = mrf.Atom(picked.Lits[rng.Intn(len(picked.Lits))])
 		} else {
-			// Greedy move: score each candidate atom with a second scan of
-			// the clause table (delta = cost after flip - cost before).
-			bestDelta := math.Inf(1)
-			atom = mrf.Atom(picked.Lits[0])
-			for _, l := range picked.Lits {
-				cand := mrf.Atom(l)
-				state[cand] = !state[cand]
-				var newCost float64
-				serr := t.ScanRows(func(_ storage.RecordID, row tuple.Row) error {
-					c, cerr := mrf.RowClause(row)
-					if cerr != nil {
-						return cerr
+			// Greedy move: score every candidate atom of the picked clause
+			// in ONE scan of the clause table, accumulating each
+			// candidate's cost delta per row — a clause only changes a
+			// candidate's delta if it contains that atom, so one pass
+			// replaces the per-candidate full scans (|lits|+1 scans -> 1),
+			// the first step of set-oriented in-database search.
+			deltas := make([]float64, len(picked.Lits))
+			serr := t.ScanRows(func(_ storage.RecordID, row tuple.Row) error {
+				c, cerr := mrf.RowClause(row)
+				if cerr != nil {
+					return cerr
+				}
+				var w float64
+				if c.IsHard() {
+					w = opts.HardWeight
+				} else {
+					w = math.Abs(c.Weight)
+				}
+				violNow := c.ViolatedBy(state)
+				for k, cl := range picked.Lits {
+					cand := mrf.Atom(cl)
+					if !clauseHasAtom(c, cand) {
+						continue
 					}
-					if c.ViolatedBy(state) {
-						if c.IsHard() {
-							newCost += opts.HardWeight
+					if violFlip := violatedIfFlipped(c, state, cand); violFlip != violNow {
+						if violFlip {
+							deltas[k] += w
 						} else {
-							newCost += math.Abs(c.Weight)
+							deltas[k] -= w
 						}
 					}
-					return nil
-				})
-				state[cand] = !state[cand]
-				if serr != nil {
-					return nil, serr
 				}
-				if delta := newCost - cost; delta < bestDelta {
-					bestDelta = delta
-					atom = cand
+				return nil
+			})
+			if serr != nil {
+				return nil, serr
+			}
+			bestDelta := math.Inf(1)
+			atom = mrf.Atom(picked.Lits[0])
+			for k, cl := range picked.Lits {
+				if deltas[k] < bestDelta {
+					bestDelta = deltas[k]
+					atom = mrf.Atom(cl)
 				}
 			}
 		}
@@ -143,6 +157,36 @@ func RDBMSWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Re
 	res.BestCost = bestCost
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// clauseHasAtom reports whether the clause mentions the atom.
+func clauseHasAtom(c mrf.Clause, a mrf.AtomID) bool {
+	for _, l := range c.Lits {
+		if mrf.Atom(l) == a {
+			return true
+		}
+	}
+	return false
+}
+
+// violatedIfFlipped evaluates the clause's violation status in the state
+// with atom a toggled, without mutating the state.
+func violatedIfFlipped(c mrf.Clause, state []bool, a mrf.AtomID) bool {
+	sat := false
+	for _, l := range c.Lits {
+		v := state[mrf.Atom(l)]
+		if mrf.Atom(l) == a {
+			v = !v
+		}
+		if v == mrf.Pos(l) {
+			sat = true
+			break
+		}
+	}
+	if c.Weight >= 0 {
+		return !sat
+	}
+	return sat
 }
 
 type errNoTable string

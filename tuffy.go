@@ -68,8 +68,11 @@ type Config struct {
 	MemoryBudgetBytes int64
 	// GaussSeidelRounds is T in the partition-aware scheme (default 3).
 	GaussSeidelRounds int
-	// Parallelism is the number of component-search workers (default 1,
-	// matching the paper's single-thread experiments).
+	// Parallelism is the number of search workers (default 1, matching the
+	// paper's single-thread experiments). It drives component-aware search,
+	// the partitions within one color class of a Gauss-Seidel round, and
+	// per-component/partitioned MC-SAT; results are identical for every
+	// value.
 	Parallelism int
 	// GroundWorkers is the number of concurrent clause-grounding workers for
 	// the bottom-up grounder (default 1). Results are identical for every
@@ -224,19 +227,18 @@ func (s *System) InferMAP() (*MAPResult, error) {
 		res.Flips = r.Flips
 
 	default: // Auto: partitioned
-		beta := 0
-		if s.cfg.MemoryBudgetBytes > 0 {
-			// SearchBytes ≈ 20 bytes per size unit (atoms + literals).
-			beta = int(s.cfg.MemoryBudgetBytes / 20)
-		}
-		pt := partition.Algorithm3(m, beta)
+		pt := partition.Algorithm3(m, s.partitionBeta())
 		res.Partitions = len(pt.Parts)
 		res.CutClauses = pt.NumCut()
 		if pt.NumCut() > 0 {
-			r := search.GaussSeidel(pt, search.GaussSeidelOptions{
-				Base:   base,
-				Rounds: s.cfg.GaussSeidelRounds,
+			r, err := search.GaussSeidel(pt, search.GaussSeidelOptions{
+				Base:        base,
+				Rounds:      s.cfg.GaussSeidelRounds,
+				Parallelism: s.cfg.Parallelism,
 			})
+			if err != nil {
+				return nil, err
+			}
 			res.Cost = r.BestCost
 			res.State = r.Best
 			res.Flips = r.Flips
@@ -285,6 +287,16 @@ func (s *System) InferMAP() (*MAPResult, error) {
 	return res, nil
 }
 
+// partitionBeta converts the memory budget to Algorithm 3's size-unit bound
+// (SearchBytes ≈ 20 bytes per size unit, i.e. per atom or literal); 0 means
+// no budget, which keeps whole connected components.
+func (s *System) partitionBeta() int {
+	if s.cfg.MemoryBudgetBytes <= 0 {
+		return 0
+	}
+	return int(s.cfg.MemoryBudgetBytes / 20)
+}
+
 // trueAtoms maps the best state back to ground atoms inferred true.
 func (s *System) trueAtoms(state []bool) []mln.GroundAtom {
 	if state == nil {
@@ -331,10 +343,21 @@ func (s *System) InferMarginal(samples int) (*MarginalResult, error) {
 	}
 	// The distribution factorizes over connected components, so sample
 	// each independently (and in parallel) — the marginal-inference
-	// counterpart of component-aware MAP search.
+	// counterpart of component-aware MAP search. With a memory budget that
+	// splits components, the partitioned Gauss-Seidel MC-SAT path samples
+	// partitions color class by color class instead. Partitioning is only
+	// attempted when a budget is set: with beta=0 Algorithm3 would yield
+	// the connected components (never a cut), so running it would
+	// duplicate the MRF's clauses for nothing.
 	var probs []float64
 	var err error
-	if comps := m.Components(true); len(comps) > 1 && s.cfg.Mode == Auto {
+	var pt *partition.Partitioning
+	if beta := s.partitionBeta(); beta > 0 && s.cfg.Mode == Auto {
+		pt = partition.Algorithm3(m, beta)
+	}
+	if pt != nil && pt.NumCut() > 0 {
+		probs, err = search.GaussMCSAT(pt, opts, s.cfg.Parallelism)
+	} else if comps := m.Components(true); len(comps) > 1 && s.cfg.Mode == Auto {
 		probs, err = search.MCSATComponents(m, comps, opts, s.cfg.Parallelism)
 	} else {
 		probs, err = search.MCSAT(m, opts)
