@@ -33,7 +33,7 @@ func runDriver(b *testing.B, name string, once *sync.Once, fn func(bench.Scale) 
 var (
 	onceT1, onceT2, onceT3, onceT4, onceT5, onceT6, onceT7              sync.Once
 	onceF3, onceF4, onceF5, onceF6, onceF8, onceThm, onceAblat, onceERp sync.Once
-	onceGPar, oncePPar                                                  sync.Once
+	onceGPar, oncePPar, onceFBatch                                      sync.Once
 )
 
 func BenchmarkTable1_DatasetStats(b *testing.B) {
@@ -102,6 +102,10 @@ func BenchmarkGroundingParallelism(b *testing.B) {
 
 func BenchmarkPartitionParallelism(b *testing.B) {
 	runDriver(b, "partpar", &oncePPar, bench.PartParallel)
+}
+
+func BenchmarkFlipBatch_SideTableSearch(b *testing.B) {
+	runDriver(b, "flipbatch", &onceFBatch, bench.FlipBatch)
 }
 
 // Micro-benchmarks of the core hot paths, for profiling regressions.

@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 figure3
 // figure4 figure5 figure6 figure8 theorem31 erplus closure groundpar
-// partpar all.
+// partpar flipbatch all.
 package main
 
 import (
@@ -54,6 +54,7 @@ func main() {
 		{"closure", bench.ClosureAblation},
 		{"groundpar", bench.GroundParallel},
 		{"partpar", bench.PartParallel},
+		{"flipbatch", bench.FlipBatch},
 	}
 
 	want := strings.ToLower(*exp)

@@ -293,6 +293,15 @@ func (t *Table) BuildBTreeIndex(cols []int) (*index.BTree, error) {
 	return idx, nil
 }
 
+// DropHashIndex deregisters the hash index on the column positions,
+// releasing its O(rows) in-memory footprint for future lookups. Holders of
+// the index pointer (e.g. a search mid-flight) are unaffected.
+func (t *Table) DropHashIndex(cols []int) {
+	t.mu.Lock()
+	delete(t.hashIdx, colsKey(cols))
+	t.mu.Unlock()
+}
+
 // HashIndexOn returns the hash index on cols if built.
 func (t *Table) HashIndexOn(cols []int) (*index.HashIndex, bool) {
 	t.mu.RLock()
@@ -311,13 +320,109 @@ func (t *Table) Get(rid storage.RecordID) (tuple.Row, error) {
 }
 
 // UpdateAt overwrites the row at rid. The encoded size must match (true for
-// fixed-width schemas, which all engine-internal tables use).
+// fixed-width schemas, which all engine-internal tables use). Secondary
+// indexes are kept consistent: the old row's keys are dropped and the new
+// row's keys inserted.
 func (t *Table) UpdateAt(rid storage.RecordID, row tuple.Row) error {
-	rec, err := tuple.Encode(t.sch, row)
-	if err != nil {
-		return err
+	return t.UpdateMany([]storage.RecordID{rid}, []tuple.Row{row})
+}
+
+// UpdateMany overwrites the rows at rids in one batched pass (rids and rows
+// are aligned; each page is pinned once per run of consecutive same-page
+// rids) and swaps the secondary-index entries of every touched row. This is
+// the set-oriented update path the in-database search uses to reuse
+// side-table slots in place.
+func (t *Table) UpdateMany(rids []storage.RecordID, rows []tuple.Row) error {
+	if len(rids) != len(rows) {
+		return fmt.Errorf("db: UpdateMany on %s: %d rids != %d rows", t.name, len(rids), len(rows))
 	}
-	return t.heap.Update(rid, rec)
+	if len(rids) == 0 {
+		return nil
+	}
+	recs := make([][]byte, len(rows))
+	for i, r := range rows {
+		rec, err := tuple.Encode(t.sch, r)
+		if err != nil {
+			return fmt.Errorf("db: update %s: %w", t.name, err)
+		}
+		recs[i] = rec
+	}
+	// Reindex the prefix that was stored even on error so the indexes stay
+	// consistent with the heap whatever happens.
+	old, err := t.heap.UpdateBatch(rids, recs)
+	if ierr := t.reindexRows(old, rids, rows); ierr != nil && err == nil {
+		err = ierr
+	}
+	return err
+}
+
+// DeleteAt removes the row at rid, dropping its secondary-index entries.
+func (t *Table) DeleteAt(rid storage.RecordID) error {
+	return t.DeleteMany([]storage.RecordID{rid})
+}
+
+// DeleteMany removes the rows at rids in one batched pass (each page pinned
+// once per run of consecutive same-page rids), dropping their secondary-
+// index entries. Column-distinct statistics are upper-bound estimates and
+// are not decremented.
+func (t *Table) DeleteMany(rids []storage.RecordID) error {
+	if len(rids) == 0 {
+		return nil
+	}
+	old, err := t.heap.DeleteBatch(rids)
+	if derr := t.deindexRecs(old, rids); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
+
+// reindexRows swaps index entries from the old record images to the new
+// rows. old may be a prefix of rids/rows after a partial batch failure.
+// Distinct statistics pick up the new values whether or not indexes exist,
+// so planner estimates don't depend on index presence.
+func (t *Table) reindexRows(old [][]byte, rids []storage.RecordID, rows []tuple.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hasIdx := len(t.hashIdx) > 0 || len(t.btreeIdx) > 0
+	for i := range old {
+		if hasIdx {
+			oldRow, err := tuple.Decode(t.sch, old[i])
+			if err != nil {
+				return err
+			}
+			t.dropRowLocked(oldRow, rids[i])
+		}
+		t.noteRowLocked(rows[i], rids[i])
+	}
+	return nil
+}
+
+// deindexRecs drops index entries for deleted record images. old may be a
+// prefix of rids after a partial batch failure.
+func (t *Table) deindexRecs(old [][]byte, rids []storage.RecordID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.hashIdx) == 0 && len(t.btreeIdx) == 0 {
+		return nil
+	}
+	for i := range old {
+		row, err := tuple.Decode(t.sch, old[i])
+		if err != nil {
+			return err
+		}
+		t.dropRowLocked(row, rids[i])
+	}
+	return nil
+}
+
+// dropRowLocked removes a stored row's entries from all secondary indexes.
+func (t *Table) dropRowLocked(row tuple.Row, rid storage.RecordID) {
+	for cols, idx := range t.hashIdx {
+		idx.Delete(tuple.EncodeKey(row, parseColsKey(cols)), rid)
+	}
+	for cols, idx := range t.btreeIdx {
+		idx.Remove(tuple.EncodeKey(row, parseColsKey(cols)), rid)
+	}
 }
 
 // ScanRows calls fn for each row with its record id.
@@ -525,11 +630,14 @@ func (db *DB) execUpdate(s *plan.UpdateStmt) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, m := range matches {
+	rids := make([]storage.RecordID, len(matches))
+	rows := make([]tuple.Row, len(matches))
+	for i, m := range matches {
 		m.row[col] = s.Val
-		if err := t.UpdateAt(m.rid, m.row); err != nil {
-			return 0, err
-		}
+		rids[i], rows[i] = m.rid, m.row
+	}
+	if err := t.UpdateMany(rids, rows); err != nil {
+		return 0, err
 	}
 	return int64(len(matches)), nil
 }
@@ -557,10 +665,8 @@ func (db *DB) execDelete(s *plan.DeleteStmt) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, rid := range rids {
-		if err := t.heap.Delete(rid); err != nil {
-			return 0, err
-		}
+	if err := t.DeleteMany(rids); err != nil {
+		return 0, err
 	}
 	return int64(len(rids)), nil
 }

@@ -353,3 +353,168 @@ func TestUpdateAtAndGet(t *testing.T) {
 		t.Fatalf("row = %v", row)
 	}
 }
+
+// UpdateMany / DeleteMany must keep secondary indexes consistent: old keys
+// stop matching, new keys match, and SQL UPDATE/DELETE (which route through
+// the same paths) no longer leave stale rids behind.
+func TestBatchedWritesMaintainHashIndex(t *testing.T) {
+	d := Open(Config{})
+	tab, _ := d.CreateTable("t", tuple.NewSchema(tuple.Col("k", tuple.TInt), tuple.Col("v", tuple.TInt)))
+	for i := 0; i < 8; i++ {
+		if err := tab.Insert(tuple.Row{tuple.I64(int64(i)), tuple.I64(int64(100 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, err := tab.BuildHashIndex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(k int64) string { return tuple.EncodeKey(tuple.Row{tuple.I64(k)}, []int{0}) }
+
+	var rids []storage.RecordID
+	if err := tab.ScanRows(func(rid storage.RecordID, _ tuple.Row) error {
+		rids = append(rids, rid)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-key rows 0 and 1 to 50 and 51 in one batch.
+	if err := tab.UpdateMany(rids[:2], []tuple.Row{
+		{tuple.I64(50), tuple.I64(100)},
+		{tuple.I64(51), tuple.I64(101)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 1} {
+		if got := idx.Lookup(key(k)); len(got) != 0 {
+			t.Fatalf("stale index entries for re-keyed %d: %v", k, got)
+		}
+	}
+	for _, k := range []int64{50, 51} {
+		if got := idx.Lookup(key(k)); len(got) != 1 {
+			t.Fatalf("index missing re-keyed %d: %v", k, got)
+		}
+	}
+
+	// Batched delete drops entries.
+	if err := tab.DeleteMany(rids[2:4]); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{2, 3} {
+		if got := idx.Lookup(key(k)); len(got) != 0 {
+			t.Fatalf("stale index entries for deleted %d: %v", k, got)
+		}
+	}
+	if tab.RowCount() != 6 {
+		t.Fatalf("row count = %d", tab.RowCount())
+	}
+
+	// SQL paths ride the same maintenance.
+	if _, err := d.Exec("DELETE FROM t WHERE k = 4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Lookup(key(4)); len(got) != 0 {
+		t.Fatalf("SQL DELETE left stale index entries: %v", got)
+	}
+	if _, err := d.Exec("UPDATE t SET k = 77 WHERE k = 5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Lookup(key(5)); len(got) != 0 {
+		t.Fatalf("SQL UPDATE left stale index entries: %v", got)
+	}
+	if got := idx.Lookup(key(77)); len(got) != 1 {
+		t.Fatalf("SQL UPDATE did not index the new key: %v", got)
+	}
+}
+
+func TestDeleteAtAndBTreeRemoval(t *testing.T) {
+	d := Open(Config{})
+	tab, _ := d.CreateTable("t", tuple.NewSchema(tuple.Col("k", tuple.TInt)))
+	for i := 0; i < 5; i++ {
+		if err := tab.Insert(tuple.Row{tuple.I64(int64(i % 2))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bt, err := tab.BuildBTreeIndex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := tuple.EncodeKey(tuple.Row{tuple.I64(0)}, []int{0})
+	if got := len(bt.Lookup(key)); got != 3 {
+		t.Fatalf("btree rids for 0 = %d", got)
+	}
+	var zeroRID storage.RecordID
+	found := false
+	if err := tab.ScanRows(func(rid storage.RecordID, row tuple.Row) error {
+		if !found && row[0].I == 0 {
+			zeroRID, found = rid, true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.DeleteAt(zeroRID); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bt.Lookup(key)); got != 2 {
+		t.Fatalf("btree rids for 0 after DeleteAt = %d", got)
+	}
+	if err := tab.DeleteAt(zeroRID); err == nil {
+		t.Fatal("double DeleteAt accepted")
+	}
+}
+
+func TestUpdateManyRejectsMisalignedArgs(t *testing.T) {
+	d := Open(Config{})
+	tab, _ := d.CreateTable("t", tuple.NewSchema(tuple.Col("k", tuple.TInt)))
+	if err := tab.UpdateMany(make([]storage.RecordID, 2), []tuple.Row{{tuple.I64(1)}}); err == nil {
+		t.Fatal("misaligned UpdateMany accepted")
+	}
+	if err := tab.UpdateMany(nil, nil); err != nil {
+		t.Fatalf("empty UpdateMany: %v", err)
+	}
+	if err := tab.DeleteMany(nil); err != nil {
+		t.Fatalf("empty DeleteMany: %v", err)
+	}
+}
+
+func TestDropHashIndexDeregisters(t *testing.T) {
+	d := Open(Config{})
+	tab, _ := d.CreateTable("t", tuple.NewSchema(tuple.Col("k", tuple.TInt)))
+	if err := tab.Insert(tuple.Row{tuple.I64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.BuildHashIndex([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab.HashIndexOn([]int{0}); !ok {
+		t.Fatal("index not registered")
+	}
+	tab.DropHashIndex([]int{0})
+	if _, ok := tab.HashIndexOn([]int{0}); ok {
+		t.Fatal("index still registered after drop")
+	}
+	tab.DropHashIndex([]int{0}) // idempotent
+}
+
+// Distinct statistics must pick up updated values whether or not the table
+// has secondary indexes — planner estimates cannot depend on index
+// presence.
+func TestUpdateManyMaintainsDistinctStatsWithoutIndex(t *testing.T) {
+	d := Open(Config{})
+	tab, _ := d.CreateTable("t", tuple.NewSchema(tuple.Col("k", tuple.TInt)))
+	if err := tab.Insert(tuple.Row{tuple.I64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var rid storage.RecordID
+	if err := tab.ScanRows(func(r storage.RecordID, _ tuple.Row) error { rid = r; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.UpdateAt(rid, tuple.Row{tuple.I64(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.DistinctCount(0); got != 2 {
+		t.Fatalf("DistinctCount = %d, want 2 (1 and 99 both seen)", got)
+	}
+}

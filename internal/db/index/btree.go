@@ -95,6 +95,33 @@ func (t *BTree) splitChild(parent *btNode, i int) {
 	parent.children[i+1] = right
 }
 
+// Remove deletes one (key, rid) mapping by dropping the rid from the key's
+// item — lazy deletion: the tree keeps its shape and an emptied item simply
+// matches nothing. It is a no-op if the pair is absent. DistinctKeys stays
+// an upper-bound estimate after removals.
+func (t *BTree) Remove(key string, rid storage.RecordID) {
+	n := t.root
+	for {
+		i := sort.Search(len(n.items), func(j int) bool { return n.items[j].key >= key })
+		if i < len(n.items) && n.items[i].key == key {
+			rids := n.items[i].rids
+			for k, id := range rids {
+				if id == rid {
+					rids[k] = rids[len(rids)-1]
+					n.items[i].rids = rids[:len(rids)-1]
+					t.entries--
+					return
+				}
+			}
+			return
+		}
+		if n.leaf() {
+			return
+		}
+		n = n.children[i]
+	}
+}
+
 // Lookup returns all rids stored under key.
 func (t *BTree) Lookup(key string) []storage.RecordID {
 	n := t.root

@@ -194,19 +194,39 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) {
 	}
 }
 
-// FlushAll writes every dirty page back to disk (keeps them cached).
+// FlushAll writes every dirty page back to disk (keeps them cached). A
+// frame with an in-flight eviction write-back is waited on first: the
+// evictor writes a pre-mutation snapshot outside the lock, and letting it
+// land before flushing the newer bytes keeps the two writes from reaching
+// the disk in the wrong order (stale bytes persisting under a frame marked
+// clean).
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if f.dirty {
-			if err := bp.disk.WritePage(f.id, f.data); err != nil {
-				return err
+	for {
+		var wb chan struct{}
+		for _, f := range bp.frames {
+			if f.wb != nil {
+				wb = f.wb
+				break
 			}
-			f.dirty = false
+			if f.dirty {
+				if err := bp.disk.WritePage(f.id, f.data); err != nil {
+					return err
+				}
+				f.dirty = false
+			}
 		}
+		if wb == nil {
+			return nil
+		}
+		// Wait without the lock, then restart: the frame map may have
+		// changed (and pages flushed before the wait stay clean, so the
+		// rescan only revisits what still needs work).
+		bp.mu.Unlock()
+		<-wb
+		bp.mu.Lock()
 	}
-	return nil
 }
 
 // allocFrameLocked finds a free frame, evicting unpinned pages until a slot

@@ -251,3 +251,73 @@ func TestBufferPoolConcurrentWriteBack(t *testing.T) {
 		}
 	}
 }
+
+// FlushAll must order itself against in-flight eviction write-backs: an
+// evictor's pre-mutation snapshot landing after FlushAll's newer bytes
+// would durably persist stale data under a clean frame. Hammer a single
+// writer (pool churn forces dirty evictions) against concurrent FlushAll
+// calls, then verify the final image from a fresh pool.
+func TestFlushAllOrdersAgainstEvictionWriteback(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 2) // tiny pool: constant dirty evictions
+	h := NewHeapFile(bp, 1)
+	const records = 20
+	rids := make([]RecordID, records)
+	for i := range rids {
+		rid, err := h.Insert(make([]byte, 700))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	stop := make(chan struct{})
+	var flushErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := bp.FlushAll(); err != nil && flushErr == nil {
+				flushErr = err
+			}
+		}
+	}()
+	// Single writer (the heap contract) rewriting every record with its
+	// round number; the 2-frame pool evicts dirty pages continuously.
+	rec := make([]byte, 700)
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		for i, rid := range rids {
+			rec[0], rec[1] = byte(round), byte(i)
+			if err := h.Update(rid, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if flushErr != nil {
+		t.Fatal(flushErr)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh pool sees only the disk: every record must carry the final
+	// round number, i.e. no stale snapshot overwrote a newer flush.
+	bp2 := NewBufferPool(disk, 4)
+	h2 := NewHeapFile(bp2, 1)
+	for i, rid := range rids {
+		got, err := h2.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(rounds-1) || got[1] != byte(i) {
+			t.Fatalf("record %d: stale bytes round=%d idx=%d on disk", i, got[0], got[1])
+		}
+	}
+}

@@ -156,3 +156,56 @@ func TestUpdateDeletedRecordFails(t *testing.T) {
 		t.Fatal("update of tombstone accepted")
 	}
 }
+
+func TestDeleteBatchSurfacesReadFaults(t *testing.T) {
+	mem := NewMemDisk()
+	bp := NewBufferPool(mem, 2)
+	h := NewHeapFile(bp, 2)
+	var rids []RecordID
+	for i := 0; i < 6; i++ {
+		rid, err := h.Insert(make([]byte, 3000)) // ~2 per page -> 3 pages
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh pool over a disk that fails after one read: the batch must
+	// surface the fault and report only the prefix it deleted.
+	fd := &faultDisk{inner: mem, readsLeft: 1, writesLeft: -1}
+	bp2 := NewBufferPool(fd, 2)
+	h2 := NewHeapFile(bp2, 2)
+	fd.readsLeft = 1
+	old, err := h2.DeleteBatch(rids)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if len(old) == 0 || len(old) >= len(rids) {
+		t.Fatalf("deleted prefix = %d records, want a strict partial prefix", len(old))
+	}
+}
+
+func TestUpdateBatchSurfacesReadFaults(t *testing.T) {
+	mem := NewMemDisk()
+	bp := NewBufferPool(mem, 2)
+	h := NewHeapFile(bp, 3)
+	var rids []RecordID
+	for i := 0; i < 4; i++ {
+		rid, err := h.Insert(make([]byte, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	fd := &faultDisk{inner: mem, readsLeft: 0, writesLeft: -1}
+	bp2 := NewBufferPool(fd, 2)
+	h2 := NewHeapFile(bp2, 3)
+	if _, err := h2.UpdateBatch(rids, [][]byte{make([]byte, 3000), make([]byte, 3000), make([]byte, 3000), make([]byte, 3000)}); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}

@@ -25,6 +25,7 @@ type HeapFile struct {
 	file    int32
 	lastPg  int32 // page currently receiving inserts, -1 if none
 	records atomic.Int64
+	scans   atomic.Int64
 }
 
 // NewHeapFile creates (or reopens) the heap file with the given file id.
@@ -46,6 +47,10 @@ func (h *HeapFile) FileID() int32 { return h.file }
 
 // NumRecords returns the live record count.
 func (h *HeapFile) NumRecords() int64 { return h.records.Load() }
+
+// NumScans returns how many full Scan passes have started on this file —
+// the counter tests use to prove a search loop never rescans a table.
+func (h *HeapFile) NumScans() int64 { return h.scans.Load() }
 
 // NumPages returns the number of allocated pages.
 func (h *HeapFile) NumPages() int32 { return h.pool.disk.NumPages(h.file) }
@@ -162,10 +167,85 @@ func (h *HeapFile) Delete(rid RecordID) error {
 	return err
 }
 
+// batchOp runs one page-level mutation per rid, pinning each page once per
+// run of consecutive rids on the same page instead of once per record. It
+// returns a copy of each record's prior bytes in rid order — the table layer
+// needs the old image to keep secondary indexes consistent. On error the
+// returned prefix covers the records already mutated.
+func (h *HeapFile) batchOp(rids []RecordID, op func(pg Page, slot, i int) error) ([][]byte, error) {
+	old := make([][]byte, 0, len(rids))
+	var (
+		cur    Page
+		curID  PageID
+		pinned bool
+		dirty  bool
+	)
+	unpin := func() {
+		if pinned {
+			h.pool.Unpin(curID, dirty)
+			pinned, dirty = false, false
+		}
+	}
+	for i, rid := range rids {
+		if !pinned || curID != rid.Page {
+			unpin()
+			pg, err := h.pool.Fetch(rid.Page)
+			if err != nil {
+				return old, err
+			}
+			cur, curID, pinned = pg, rid.Page, true
+		}
+		rec, err := cur.Get(rid.Slot)
+		if err != nil {
+			unpin()
+			return old, err
+		}
+		if rec == nil {
+			unpin()
+			return old, fmt.Errorf("storage: batch op on tombstone %s", rid)
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		if err := op(cur, rid.Slot, i); err != nil {
+			unpin()
+			return old, err
+		}
+		dirty = true
+		old = append(old, cp)
+	}
+	unpin()
+	return old, nil
+}
+
+// DeleteBatch tombstones records, pinning each page once per run of
+// consecutive same-page rids (the set-oriented maintenance path of the
+// in-database search's violated-clause side table). It returns the deleted
+// records' prior bytes in rid order.
+func (h *HeapFile) DeleteBatch(rids []RecordID) ([][]byte, error) {
+	old, err := h.batchOp(rids, func(pg Page, slot, _ int) error {
+		return pg.Delete(slot)
+	})
+	h.records.Add(-int64(len(old)))
+	return old, err
+}
+
+// UpdateBatch overwrites records in place (same length per record), pinning
+// each page once per run of consecutive same-page rids. recs must be aligned
+// with rids. It returns the records' prior bytes in rid order.
+func (h *HeapFile) UpdateBatch(rids []RecordID, recs [][]byte) ([][]byte, error) {
+	if len(rids) != len(recs) {
+		return nil, fmt.Errorf("storage: UpdateBatch rids %d != recs %d", len(rids), len(recs))
+	}
+	return h.batchOp(rids, func(pg Page, slot, i int) error {
+		return pg.Update(slot, recs[i])
+	})
+}
+
 // Scan calls fn for every live record in file order. The byte slice passed
 // to fn aliases the page buffer and is only valid during the call. Returning
 // a non-nil error stops the scan (ErrStopScan stops without error).
 func (h *HeapFile) Scan(fn func(rid RecordID, rec []byte) error) error {
+	h.scans.Add(1)
 	n := h.pool.disk.NumPages(h.file)
 	for num := int32(0); num < n; num++ {
 		id := PageID{File: h.file, Num: num}

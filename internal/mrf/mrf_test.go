@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"tuffy/internal/db"
+	"tuffy/internal/db/tuple"
 )
 
 // buildExample1 constructs the paper's Example 1: N components, each with
@@ -371,5 +372,71 @@ func TestStoreHardClauseWeights(t *testing.T) {
 	}
 	if !got.Clauses[0].IsHard() {
 		t.Fatalf("hard weight lost: %v", got.Clauses[0].Weight)
+	}
+}
+
+// Round-trips for the set-oriented search's helper-table codecs: the
+// violated-clause side table and the atom→clause inverted-index table.
+func TestViolRowRoundTrip(t *testing.T) {
+	cases := []Clause{
+		{Weight: 2.5, Lits: []Lit{1, -2}},
+		{Weight: -0.7, Lits: []Lit{3}},
+		{Weight: math.Inf(1), Lits: []Lit{-4, 5}},
+	}
+	for cid, c := range cases {
+		row := ViolRow(int64(cid), c)
+		gotCid, w, hard, err := RowViol(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCid != int64(cid) {
+			t.Fatalf("cid = %d, want %d", gotCid, cid)
+		}
+		if hard != c.IsHard() {
+			t.Fatalf("hard = %v for weight %v", hard, c.Weight)
+		}
+		if !hard && w != c.Weight {
+			t.Fatalf("weight = %v, want %v (must round-trip bit-exactly)", w, c.Weight)
+		}
+	}
+	if _, _, _, err := RowViol(ClauseRow(0, cases[0])); err == nil {
+		t.Fatal("clause row accepted as violated-clause row")
+	}
+}
+
+func TestAtomIndexRowRoundTrip(t *testing.T) {
+	row := AtomIndexRow(7, []int64{0, 3, 9, 12})
+	aid, cids, err := RowAtomIndex(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aid != 7 || len(cids) != 4 || cids[0] != 0 || cids[3] != 12 {
+		t.Fatalf("round trip = %d %v", aid, cids)
+	}
+	if _, _, err := RowAtomIndex(ViolRow(1, Clause{Weight: 1, Lits: []Lit{1}})); err == nil {
+		t.Fatal("violated-clause row accepted as atom-index row")
+	}
+}
+
+// Side-table rows must be fixed-width so slot reuse via in-place update
+// works for any weight/hardness combination.
+func TestViolRowFixedWidth(t *testing.T) {
+	sch := ViolTableSchema()
+	want := -1
+	for _, c := range []Clause{
+		{Weight: 1, Lits: []Lit{1}},
+		{Weight: math.Inf(1), Lits: []Lit{1, 2, 3}},
+		{Weight: -123.456, Lits: []Lit{-9}},
+	} {
+		// Encode through the storage codec used by the heap.
+		rec, err := tuple.Encode(sch, ViolRow(42, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want < 0 {
+			want = len(rec)
+		} else if len(rec) != want {
+			t.Fatalf("side row width %d != %d", len(rec), want)
+		}
 	}
 }

@@ -37,6 +37,65 @@ func AtomTableSchema() tuple.Schema {
 	)
 }
 
+// ViolTableSchema is the layout of the violated-clause side table maintained
+// by the set-oriented in-database search: one row per currently-violated
+// clause. All columns are fixed-width BIGINTs so a transition can reuse a
+// to-be-deleted slot in place with an UpdateAt instead of growing the heap
+// with a tombstone + append.
+func ViolTableSchema() tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("cid", tuple.TInt),
+		tuple.Col("weight", tuple.TInt),
+		tuple.Col("is_hard", tuple.TInt),
+	)
+}
+
+// ViolRow converts a violated clause to its side-table row.
+func ViolRow(cid int64, c Clause) tuple.Row {
+	hard := int64(0)
+	if c.IsHard() {
+		hard = 1
+	}
+	return tuple.Row{
+		tuple.I64(cid),
+		tuple.I64(int64(math.Float64bits(c.Weight))),
+		tuple.I64(hard),
+	}
+}
+
+// RowViol decodes a side-table row back to (cid, weight, isHard).
+func RowViol(row tuple.Row) (cid int64, weight float64, isHard bool, err error) {
+	if len(row) != 3 || row[0].Kind != tuple.TInt || row[1].Kind != tuple.TInt || row[2].Kind != tuple.TInt {
+		return 0, 0, false, fmt.Errorf("mrf: malformed violated-clause row %v", row)
+	}
+	return row[0].I, math.Float64frombits(uint64(row[1].I)), row[2].I != 0, nil
+}
+
+// AtomIndexSchema is the layout of the atom→clause inverted-index table the
+// in-database search builds once at search start: rows (aid, cids) carrying
+// the ids of clauses that mention the atom, in ascending-cid order. High-
+// degree atoms span several chunk rows (inserted in order, so concatenating
+// a scan's chunks preserves the order).
+func AtomIndexSchema() tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("aid", tuple.TInt),
+		tuple.Col("cids", tuple.TIntList),
+	)
+}
+
+// AtomIndexRow converts one atom's clause-id chunk to its table row.
+func AtomIndexRow(aid int64, cids []int64) tuple.Row {
+	return tuple.Row{tuple.I64(aid), tuple.IntList(cids)}
+}
+
+// RowAtomIndex decodes an inverted-index row back to (aid, cids).
+func RowAtomIndex(row tuple.Row) (aid int64, cids []int64, err error) {
+	if len(row) != 2 || row[0].Kind != tuple.TInt || row[1].Kind != tuple.TIntList {
+		return 0, nil, fmt.Errorf("mrf: malformed atom-index row %v", row)
+	}
+	return row[0].I, row[1].List, nil
+}
+
 // ClauseRow converts a ground clause to its table row.
 func ClauseRow(cid int64, c Clause) tuple.Row {
 	lits := make([]int64, len(c.Lits))

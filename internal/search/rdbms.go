@@ -11,16 +11,46 @@ import (
 	"tuffy/internal/mrf"
 )
 
-// RDBMSWalkSAT is Tuffy-mm (Appendix B.2): WalkSAT executed against the
-// clause table inside the RDBMS instead of in-memory structures. Following
-// the paper's design, atom truth values are cached as in-memory arrays
-// while the (read-only) clause data stays on disk: every flip requires at
-// least one full scan of the clause table through the buffer pool, and a
-// greedy move requires a second pass to score the candidate atoms. The
-// flipping-rate collapse this causes is the paper's Table 3 / Figure 4
-// observation; injecting per-page latency on the engine's disk reproduces
-// the wall-clock gap.
+// RDBMSWalkSAT is the in-database WalkSAT variant (the paper's Tuffy-mm
+// setting, Appendix B.2) in its set-oriented form: atom truth values are
+// cached as in-memory arrays while clause data stays on disk, but instead
+// of rescanning the clause table every flip the search maintains an
+// atom→clause inverted-index table and a violated-clause side table inside
+// the engine (see sidetable.go). Scans per flip drop from O(|clauses|) to
+// O(affected), and the flip sequence, best state and best cost are bit-
+// identical to RDBMSWalkSATScan's. Like the engine's other secondary
+// indexes, the point indexes backing the lookups live in RAM for the
+// duration of the search (O(|clauses|) for the cid index, released when
+// the search returns); the clause data, inverted-index chunks and side
+// table rows stay disk-resident behind the buffer pool.
 func RDBMSWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Result, error) {
+	start := time.Now()
+	w, err := NewSideWalkSAT(d, clauseTable, numAtoms, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start) // include the setup scans
+	return res, nil
+}
+
+// RDBMSWalkSATScan is the naive in-RDBMS WalkSAT the paper lesions
+// (Appendix B.2): every flip pays at least one full scan of the clause
+// table through the buffer pool, and a greedy move a second pass scoring
+// all candidate atoms. The flipping-rate collapse this causes is the
+// paper's Table 3 / Figure 4 observation; injecting per-page latency on the
+// engine's disk reproduces the wall-clock gap, and the flipbatch experiment
+// measures it against the set-oriented RDBMSWalkSAT.
+func RDBMSWalkSATScan(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Result, error) {
+	return rdbmsWalkSATScan(d, clauseTable, numAtoms, opts, nil)
+}
+
+// rdbmsWalkSATScan is RDBMSWalkSATScan with a test hook observing every
+// flip (the equivalence tests compare flip sequences across variants).
+func rdbmsWalkSATScan(d *db.DB, clauseTable string, numAtoms int, opts Options, onFlip func(flip int64, atom mrf.AtomID) error) (*Result, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	t, ok := d.Table(clauseTable)
@@ -138,8 +168,14 @@ func RDBMSWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Re
 		}
 		state[atom] = !state[atom]
 		res.Flips++
+		if onFlip != nil {
+			if err := onFlip(flip, atom); err != nil {
+				return nil, err
+			}
+		}
 	}
-	// Final cost check.
+	// Final cost check (one more full scan — the set-oriented variant's
+	// maintained cost makes this redundant there).
 	_, _, cost, hard, err := scanPick()
 	if err != nil {
 		return nil, err
