@@ -7,6 +7,7 @@ package tuffy
 // as the experiment report.
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -19,10 +20,10 @@ import (
 var benchScale = bench.DefaultScale()
 
 // runDriver runs an experiment driver b.N times, rendering the table once.
-func runDriver(b *testing.B, name string, once *sync.Once, fn func(bench.Scale) (*bench.Table, error)) {
+func runDriver(b *testing.B, name string, once *sync.Once, fn func(context.Context, bench.Scale) (*bench.Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		t, err := fn(benchScale)
+		t, err := fn(context.Background(), benchScale)
 		if err != nil {
 			b.Fatalf("%s: %v", name, err)
 		}
@@ -113,7 +114,7 @@ func BenchmarkFlipBatch_SideTableSearch(b *testing.B) {
 func BenchmarkWalkSATFlips(b *testing.B) {
 	m := datagen.Example1(500)
 	b.ResetTimer()
-	search.WalkSAT(m, search.Options{MaxFlips: int64(b.N), Seed: 1})
+	search.WalkSAT(context.Background(), m, search.Options{MaxFlips: int64(b.N), Seed: 1})
 }
 
 func BenchmarkComponentDetection(b *testing.B) {

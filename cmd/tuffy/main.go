@@ -4,15 +4,20 @@
 //	tuffy -i prog.mln -e evidence.db -q cat -o out.txt
 //
 // Flags select MAP (default) or marginal inference, the grounding strategy,
-// partitioning, memory budget and parallelism. With -explain the compiled
-// grounding SQL is printed instead of running inference.
+// partitioning, memory budget, parallelism and a wall-clock timeout. With
+// -explain the compiled grounding SQL is printed instead of running
+// inference. SIGINT (or an elapsed -timeout) cancels the search gracefully:
+// the best result found so far is still written out, with a note on stderr.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
@@ -37,6 +42,7 @@ func main() {
 		flips     = flag.Int64("flips", 1_000_000, "WalkSAT flip budget")
 		threads   = flag.Int("threads", 1, "parallel workers for grounding, component search, partition (Gauss-Seidel) rounds and MC-SAT; results are identical for every value")
 		seed      = flag.Int64("seed", 0, "random seed")
+		timeout   = flag.Duration("timeout", 0, "cancel inference after this duration, keeping the best result so far (0 = no limit)")
 		useClose  = flag.Bool("closure", false, "apply the lazy-inference active closure")
 		explain   = flag.Bool("explain", false, "print the grounding SQL for each clause and exit")
 		showStats = flag.Bool("stats", false, "print grounding and MRF statistics")
@@ -45,6 +51,15 @@ func main() {
 	if *progPath == "" || *evPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// SIGINT cancels gracefully (partial result); a second SIGINT kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	prog, err := loadProgram(*progPath)
@@ -68,30 +83,33 @@ func main() {
 		return len(queryPreds) == 0 || queryPreds[a.Pred]
 	}
 
-	cfg := tuffy.Config{
+	cfg := tuffy.EngineConfig{
 		UseClosure:        *useClose,
 		MemoryBudgetBytes: *budget,
-		MaxFlips:          *flips,
-		Parallelism:       *threads,
 		GroundWorkers:     *threads,
-		Seed:              *seed,
 	}
 	if *topdown {
 		cfg.Grounder = tuffy.TopDown
 	}
+	opts := tuffy.InferOptions{
+		MaxFlips:    *flips,
+		Parallelism: *threads,
+		Seed:        *seed,
+		Samples:     *samples,
+	}
 	switch {
 	case *indb:
-		cfg.Mode = tuffy.InDatabase
+		opts.Mode = tuffy.InDatabase
 	case *noPart:
-		cfg.Mode = tuffy.InMemoryMonolithic
+		opts.Mode = tuffy.InMemoryMonolithic
 	}
 
-	sys := tuffy.New(prog, ev, cfg)
+	eng := tuffy.Open(prog, ev, cfg)
 
 	if *explain {
-		fatalIf(sys.Ground())
+		fatalIf(eng.Ground(ctx))
 		for _, c := range prog.Clauses {
-			comp, err := grounding.CompileClauseSQL(sys.Tables, c)
+			comp, err := grounding.CompileClauseSQL(eng.Tables(), c)
 			if err != nil {
 				fmt.Printf("-- clause %d (%s): %v\n", c.ID, c.Source, err)
 				continue
@@ -113,32 +131,49 @@ func main() {
 
 	start := time.Now()
 	if *marginal {
-		res, err := sys.InferMarginal(*samples)
-		fatalIf(err)
+		res, err := eng.InferMarginal(ctx, opts)
+		canceled := errors.Is(err, tuffy.ErrCanceled)
+		if !canceled {
+			fatalIf(err)
+		} else if res == nil {
+			fatalIf(err) // canceled before grounding finished: nothing to report
+		}
 		sort.Slice(res.Probs, func(i, j int) bool { return res.Probs[i].P > res.Probs[j].P })
 		for _, ap := range res.Probs {
 			if !keep(ap.Atom) {
 				continue
 			}
-			fmt.Fprintf(w, "%.4f\t%s\n", ap.P, sys.FormatAtom(ap.Atom))
+			fmt.Fprintf(w, "%.4f\t%s\n", ap.P, eng.FormatAtom(ap.Atom))
+		}
+		if canceled {
+			fmt.Fprintf(os.Stderr, "tuffy: canceled after %v; marginals reflect the samples collected so far\n",
+				time.Since(start).Round(time.Millisecond))
 		}
 	} else {
-		res, err := sys.InferMAP()
-		fatalIf(err)
+		res, err := eng.InferMAP(ctx, opts)
+		canceled := errors.Is(err, tuffy.ErrCanceled)
+		if !canceled {
+			fatalIf(err)
+		} else if res == nil {
+			fatalIf(err) // canceled before grounding finished: nothing to report
+		}
 		for _, a := range res.TrueAtoms {
 			if !keep(a) {
 				continue
 			}
-			fmt.Fprintln(w, sys.FormatAtom(a))
+			fmt.Fprintln(w, eng.FormatAtom(a))
 		}
 		fmt.Fprintf(os.Stderr, "tuffy: cost=%.2f ground=%v search=%v flips=%d partitions=%d cut=%d\n",
 			res.Cost, res.GroundTime.Round(time.Millisecond), res.SearchTime.Round(time.Millisecond),
 			res.Flips, res.Partitions, res.CutClauses)
+		if canceled {
+			fmt.Fprintln(os.Stderr, "tuffy: canceled; result above is the best state found before the stop")
+		}
 	}
 	if *showStats {
-		gs, err := sys.Stats()
+		gs, err := eng.Stats()
 		fatalIf(err)
-		ms, err := sys.MRFStats()
+		ms, err := eng.MRFStats()
 		fatalIf(err)
 		fmt.Fprintf(os.Stderr, "tuffy: atoms=%d used=%d clauses=%d fixed=%d clauseBytes=%d searchBytes=%d total=%v\n",
 			gs.NumAtoms, gs.NumUsedAtoms, gs.NumClauses, gs.FixedCostCount,

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -27,6 +29,10 @@ func main() {
 	full := flag.Bool("full", false, "run at larger, paper-closer scale")
 	flag.Parse()
 
+	// SIGINT cancels the running experiment's searches gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	scale := bench.DefaultScale()
 	if *full {
 		scale = bench.FullScale()
@@ -34,7 +40,7 @@ func main() {
 
 	type driver struct {
 		name string
-		run  func(bench.Scale) (*bench.Table, error)
+		run  func(context.Context, bench.Scale) (*bench.Table, error)
 	}
 	drivers := []driver{
 		{"table1", bench.Table1},
@@ -64,7 +70,7 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		t, err := d.run(scale)
+		t, err := d.run(ctx, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tuffybench: %s: %v\n", d.name, err)
 			os.Exit(1)

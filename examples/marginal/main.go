@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	prog, err := tuffy.LoadProgramString(mln.Figure1Program)
 	if err != nil {
 		log.Fatal(err)
@@ -24,8 +27,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys := tuffy.New(prog, ev, tuffy.Config{Seed: 11})
-	res, err := sys.InferMarginal(800)
+	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	if err := eng.Ground(ctx); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.InferMarginal(ctx, tuffy.InferOptions{Seed: 11, Samples: 800})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +47,7 @@ func main() {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].P > rows[j].P })
 	fmt.Println("Pr[cat(paper, category)] estimates (MC-SAT, 800 samples):")
 	for _, ap := range rows {
-		fmt.Printf("  %.3f  %s\n", ap.P, sys.FormatAtom(ap.Atom))
+		fmt.Printf("  %.3f  %s\n", ap.P, eng.FormatAtom(ap.Atom))
 	}
 	fmt.Println("\nhigh-probability labels follow the citation/co-author structure;")
 	fmt.Println("the negative-weight rule keeps Networking improbable (F5).")

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -14,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The exact program and evidence of Figure 1 in the paper.
 	prog, err := tuffy.LoadProgramString(mln.Figure1Program)
 	if err != nil {
@@ -24,11 +27,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys := tuffy.New(prog, ev, tuffy.Config{
+	// Open + Ground is the expensive one-time phase; InferMAP is one query
+	// with its own options (any number may run concurrently afterwards).
+	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	if err := eng.Ground(ctx); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.InferMAP(ctx, tuffy.InferOptions{
 		MaxFlips: 50_000,
 		Seed:     42,
 	})
-	res, err := sys.InferMAP()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +46,7 @@ func main() {
 	fmt.Println("\nInferred true atoms:")
 	lines := make([]string, 0, len(res.TrueAtoms))
 	for _, a := range res.TrueAtoms {
-		lines = append(lines, "  "+sys.FormatAtom(a))
+		lines = append(lines, "  "+eng.FormatAtom(a))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -122,7 +123,7 @@ type grounded struct {
 
 // groundWith builds tables and grounds with the given strategy ("bottomup"
 // or "topdown"), timing the whole grounding phase.
-func groundWith(ds *datagen.Dataset, strategy string, dbCfg db.Config, opts grounding.Options) (*grounded, error) {
+func groundWith(ctx context.Context, ds *datagen.Dataset, strategy string, dbCfg db.Config, opts grounding.Options) (*grounded, error) {
 	d := db.Open(dbCfg)
 	start := time.Now()
 	ts, err := grounding.BuildTables(d, ds.Prog, ds.Ev)
@@ -131,9 +132,9 @@ func groundWith(ds *datagen.Dataset, strategy string, dbCfg db.Config, opts grou
 	}
 	var res *grounding.Result
 	if strategy == "topdown" {
-		res, err = grounding.GroundTopDown(ts, opts)
+		res, err = grounding.GroundTopDown(ctx, ts, opts)
 	} else {
-		res, err = grounding.GroundBottomUp(ts, opts)
+		res, err = grounding.GroundBottomUp(ctx, ts, opts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s %s grounding: %w", ds.Name, strategy, err)

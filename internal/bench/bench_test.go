@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 	drivers := []struct {
 		name string
 		rows int
-		run  func(Scale) (*Table, error)
+		run  func(context.Context, Scale) (*Table, error)
 	}{
 		{"table1", 6, Table1},
 		{"table2", 3, Table2},
@@ -69,7 +70,7 @@ func TestAllDriversAtTinyScale(t *testing.T) {
 	for _, d := range drivers {
 		d := d
 		t.Run(d.name, func(t *testing.T) {
-			tab, err := d.run(s)
+			tab, err := d.run(context.Background(), s)
 			if err != nil {
 				t.Fatalf("%s: %v", d.name, err)
 			}

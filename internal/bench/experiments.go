@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -19,7 +20,7 @@ import (
 )
 
 // Table1 reproduces the dataset-statistics table.
-func Table1(s Scale) (*Table, error) {
+func Table1(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 1: Dataset statistics",
 		Header: []string{"", "LP", "IE", "RC", "ER"},
@@ -32,7 +33,7 @@ func Table1(s Scale) (*Table, error) {
 	order := []string{"#relations", "#rules", "#entities", "#evidence tuples", "#query atoms", "#components"}
 	for _, ds := range dss {
 		st := ds.Table1Stats()
-		g, err := groundWith(ds, "bottomup", db.Config{}, grounding.Options{})
+		g, err := groundWith(ctx, ds, "bottomup", db.Config{}, grounding.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +54,7 @@ func Table1(s Scale) (*Table, error) {
 // Table2 reproduces the grounding-time comparison: Alchemy's top-down
 // strategy vs Tuffy's bottom-up RDBMS grounding (paper: Tuffy wins by up to
 // 225x on ER).
-func Table2(s Scale) (*Table, error) {
+func Table2(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 2: Grounding time",
 		Header: []string{"", "LP", "IE", "RC", "ER"},
@@ -62,11 +63,11 @@ func Table2(s Scale) (*Table, error) {
 	tuffy := []string{"Tuffy (bottom-up)"}
 	speedup := []string{"speedup"}
 	for _, ds := range s.Datasets() {
-		td, err := groundWith(ds, "topdown", db.Config{}, groundOpts())
+		td, err := groundWith(ctx, ds, "topdown", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -98,32 +99,37 @@ func sameMRFShape(a, b *grounding.Result) error {
 // component-aware search) on all four datasets. Curves are reported as
 // sampled best-cost@time points; grounding time is the curve offset as in
 // the paper ("each curve begins only when grounding is completed").
-func Figure3(s Scale) (*Table, error) {
+func Figure3(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 3: time-cost, Alchemy vs Tuffy",
 		Header: []string{"dataset", "system", "ground", "final cost", "curve (cost@t)"},
 	}
 	for _, ds := range s.Datasets() {
 		// Alchemy: top-down + monolithic.
-		td, err := groundWith(ds, "topdown", db.Config{}, groundOpts())
+		td, err := groundWith(ctx, ds, "topdown", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
 		trA := search.NewTracker()
 		trA.Offset = td.dur
-		search.Monolithic(td.res.MRF, search.Options{MaxFlips: s.Flips, Seed: 1, Tracker: trA})
+		if _, err := search.Monolithic(ctx, td.res.MRF, search.Options{MaxFlips: s.Flips, Seed: 1, Tracker: trA}); err != nil {
+			return nil, err
+		}
 
 		// Tuffy: bottom-up + component-aware.
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
 		trT := search.NewTracker()
 		trT.Offset = bu.dur
 		comps := bu.res.MRF.Components(true)
-		res := search.ComponentAware(bu.res.MRF, comps, search.ComponentOptions{
+		res, err := search.ComponentAware(ctx, bu.res.MRF, comps, search.ComponentOptions{
 			Base: search.Options{MaxFlips: s.Flips, Seed: 1, Tracker: trT},
 		})
+		if err != nil {
+			return nil, err
+		}
 		finalA := trA.Final()
 		t.Rows = append(t.Rows,
 			[]string{ds.Name, "Alchemy", fmtDur(td.dur), fmtCost(finalA), fmt.Sprint(curvePoints(trA, 4))},
@@ -135,25 +141,31 @@ func Figure3(s Scale) (*Table, error) {
 
 // Figure4 compares Alchemy vs Tuffy-p (hybrid, no partitioning) vs Tuffy-mm
 // (in-database search) on LP and RC.
-func Figure4(s Scale) (*Table, error) {
+func Figure4(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 4: Alchemy vs Tuffy-p vs Tuffy-mm",
 		Header: []string{"dataset", "system", "ground", "flips", "final cost", "flips/sec"},
 	}
 	for _, ds := range []*datagen.Dataset{datagen.LP(s.LP), datagen.RC(s.RC)} {
-		td, err := groundWith(ds, "topdown", db.Config{}, groundOpts())
+		td, err := groundWith(ctx, ds, "topdown", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
-		ra := search.Monolithic(td.res.MRF, search.Options{MaxFlips: s.Flips, Seed: 2})
+		ra, err := search.Monolithic(ctx, td.res.MRF, search.Options{MaxFlips: s.Flips, Seed: 2})
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows, []string{ds.Name, "Alchemy", fmtDur(td.dur),
 			fmt.Sprint(ra.Flips), fmtCost(ra.BestCost), fmtRate(float64(ra.Flips) / ra.Elapsed.Seconds())})
 
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
-		rp := search.Monolithic(bu.res.MRF, search.Options{MaxFlips: s.Flips, Seed: 2})
+		rp, err := search.Monolithic(ctx, bu.res.MRF, search.Options{MaxFlips: s.Flips, Seed: 2})
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows, []string{ds.Name, "Tuffy-p", fmtDur(bu.dur),
 			fmt.Sprint(rp.Flips), fmtCost(rp.BestCost), fmtRate(float64(rp.Flips) / rp.Elapsed.Seconds())})
 
@@ -167,7 +179,7 @@ func Figure4(s Scale) (*Table, error) {
 		if err := mrf.Store(bu.res.MRF, dmm, "clauses"); err != nil {
 			return nil, err
 		}
-		rmm, err := search.RDBMSWalkSATScan(dmm, "clauses", bu.res.MRF.NumAtoms,
+		rmm, err := search.RDBMSWalkSATScan(ctx, dmm, "clauses", bu.res.MRF.NumAtoms,
 			search.Options{MaxFlips: s.MMFlips, Seed: 2})
 		if err != nil {
 			return nil, err
@@ -180,7 +192,7 @@ func Figure4(s Scale) (*Table, error) {
 
 // Table3 reproduces the flipping-rate comparison (paper: Tuffy-p ~1e5/s,
 // Tuffy-mm ~1/s — three to five orders of magnitude).
-func Table3(s Scale) (*Table, error) {
+func Table3(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 3: Flipping rates (flips/sec)",
 		Header: []string{"", "LP", "IE", "RC", "ER"},
@@ -189,7 +201,7 @@ func Table3(s Scale) (*Table, error) {
 	mm := []string{"Tuffy-mm (in-DB)"}
 	tp := []string{"Tuffy-p (in-mem)"}
 	for _, ds := range s.Datasets() {
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -197,9 +209,9 @@ func Table3(s Scale) (*Table, error) {
 		// Alchemy and Tuffy-p share the in-memory WalkSAT engine; their
 		// measured rates differ only by noise (the paper's point is the
 		// contrast with Tuffy-mm).
-		r1 := search.WalkSAT(m, search.Options{MaxFlips: s.Flips / 2, Seed: 3})
+		r1 := search.WalkSAT(ctx, m, search.Options{MaxFlips: s.Flips / 2, Seed: 3})
 		alchemy = append(alchemy, fmtRate(r1.FlipRate()))
-		r2 := search.WalkSAT(m, search.Options{MaxFlips: s.Flips / 2, Seed: 4})
+		r2 := search.WalkSAT(ctx, m, search.Options{MaxFlips: s.Flips / 2, Seed: 4})
 		tp = append(tp, fmtRate(r2.FlipRate()))
 
 		disk := storage.NewMemDisk()
@@ -208,7 +220,7 @@ func Table3(s Scale) (*Table, error) {
 		if err := mrf.Store(m, dmm, "clauses"); err != nil {
 			return nil, err
 		}
-		r3, err := search.RDBMSWalkSATScan(dmm, "clauses", m.NumAtoms, search.Options{MaxFlips: s.MMFlips, Seed: 3})
+		r3, err := search.RDBMSWalkSATScan(ctx, dmm, "clauses", m.NumAtoms, search.Options{MaxFlips: s.MMFlips, Seed: 3})
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +233,7 @@ func Table3(s Scale) (*Table, error) {
 // Table4 reproduces the space-efficiency comparison: clause table size vs
 // the grounder's peak footprint (Alchemy holds everything in RAM; Tuffy
 // only needs the search structures).
-func Table4(s Scale) (*Table, error) {
+func Table4(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 4: Space efficiency",
 		Header: []string{"", "LP", "IE", "RC", "ER"},
@@ -231,11 +243,11 @@ func Table4(s Scale) (*Table, error) {
 	tuffyRAM := []string{"Tuffy-p RAM (search)"}
 	ratio := []string{"Alchemy/Tuffy"}
 	for _, ds := range s.Datasets() {
-		td, err := groundWith(ds, "topdown", db.Config{}, groundOpts())
+		td, err := groundWith(ctx, ds, "topdown", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +264,7 @@ func Table4(s Scale) (*Table, error) {
 // Table5 reproduces the partitioning-quality comparison: Tuffy (component-
 // aware) vs Tuffy-p (monolithic) at an equal flip budget, with the RAM of
 // the largest loaded unit.
-func Table5(s Scale) (*Table, error) {
+func Table5(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 5: Tuffy vs Tuffy-p (equal flip budget)",
 		Header: []string{"", "LP", "IE", "RC", "ER"},
@@ -263,7 +275,7 @@ func Table5(s Scale) (*Table, error) {
 	costP := []string{"Tuffy-p cost"}
 	costT := []string{"Tuffy cost"}
 	for _, ds := range s.Datasets() {
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -281,11 +293,17 @@ func Table5(s Scale) (*Table, error) {
 		}
 		ramT = append(ramT, fmtBytes(maxComp))
 
-		rp := search.Monolithic(m, search.Options{MaxFlips: s.Flips, Seed: 5})
+		rp, err := search.Monolithic(ctx, m, search.Options{MaxFlips: s.Flips, Seed: 5})
+		if err != nil {
+			return nil, err
+		}
 		costP = append(costP, fmtCost(rp.BestCost))
-		rt := search.ComponentAware(m, cs, search.ComponentOptions{
+		rt, err := search.ComponentAware(ctx, m, cs, search.ComponentOptions{
 			Base: search.Options{MaxFlips: s.Flips, Seed: 5},
 		})
+		if err != nil {
+			return nil, err
+		}
 		costT = append(costT, fmtCost(rt.BestCost))
 	}
 	t.Rows = [][]string{comps, ramP, ramT, costP, costT}
@@ -293,23 +311,29 @@ func Table5(s Scale) (*Table, error) {
 }
 
 // Figure5 reproduces the component-aware time-cost comparison on IE and RC.
-func Figure5(s Scale) (*Table, error) {
+func Figure5(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 5: time-cost, Tuffy vs Tuffy-p (IE, RC)",
 		Header: []string{"dataset", "system", "final cost", "curve (cost@t)"},
 	}
 	for _, ds := range []*datagen.Dataset{datagen.IE(s.IE), datagen.RC(s.RC)} {
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
 		m := bu.res.MRF
 		trP := search.NewTracker()
-		rp := search.Monolithic(m, search.Options{MaxFlips: s.Flips, Seed: 6, Tracker: trP})
+		rp, err := search.Monolithic(ctx, m, search.Options{MaxFlips: s.Flips, Seed: 6, Tracker: trP})
+		if err != nil {
+			return nil, err
+		}
 		trT := search.NewTracker()
-		rt := search.ComponentAware(m, m.Components(true), search.ComponentOptions{
+		rt, err := search.ComponentAware(ctx, m, m.Components(true), search.ComponentOptions{
 			Base: search.Options{MaxFlips: s.Flips, Seed: 6, Tracker: trT},
 		})
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows,
 			[]string{ds.Name, "Tuffy-p", fmtCost(rp.BestCost), fmt.Sprint(curvePoints(trP, 4))},
 			[]string{ds.Name, "Tuffy", fmtCost(rt.BestCost), fmt.Sprint(curvePoints(trT, 4))},
@@ -325,7 +349,7 @@ func Figure5(s Scale) (*Table, error) {
 // must hold, which is what the paper's MB labels denote. The paper's
 // shapes: sparse RC keeps improving as β shrinks; LP tolerates a coarse
 // split but degrades when cut grows; dense ER pays for any real split.
-func Figure6(s Scale) (*Table, error) {
+func Figure6(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 6: memory budgets (Algorithm 3 beta sweep + Gauss-Seidel)",
 		Header: []string{"dataset", "beta", "parts", "max part RAM", "cut clauses", "cut frac", "final cost"},
@@ -340,7 +364,7 @@ func Figure6(s Scale) (*Table, error) {
 		{datagen.ER(s.ER), []float64{1.0, 0.02, 0.005}},
 	}
 	for _, c := range cases {
-		bu, err := groundWith(c.ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, c.ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -361,18 +385,18 @@ func Figure6(s Scale) (*Table, error) {
 			}
 			var res *search.ComponentResult
 			if pt.NumCut() > 0 {
-				res, err = search.GaussSeidel(pt, search.GaussSeidelOptions{
+				res, err = search.GaussSeidel(ctx, pt, search.GaussSeidelOptions{
 					Base:   search.Options{MaxFlips: s.Flips / int64(3*len(pt.Parts)+1), Seed: 7},
 					Rounds: 3,
 				})
-				if err != nil {
-					return nil, err
-				}
 			} else {
 				comps := partsAsComponents(pt)
-				res = search.ComponentAware(m, comps, search.ComponentOptions{
+				res, err = search.ComponentAware(ctx, m, comps, search.ComponentOptions{
 					Base: search.Options{MaxFlips: s.Flips, Seed: 7},
 				})
+			}
+			if err != nil {
+				return nil, err
 			}
 			cutFrac := float64(pt.NumCut()) / float64(len(m.Clauses)+1)
 			t.Rows = append(t.Rows, []string{
@@ -395,7 +419,7 @@ func partsAsComponents(pt *partition.Partitioning) []*mrf.Component {
 // component-aware search reaches the optimum of N independent two-atom
 // components almost immediately; monolithic search (Alchemy / Tuffy-p)
 // stalls above it.
-func Figure8(s Scale) (*Table, error) {
+func Figure8(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 8: Example 1 (N independent components)",
 		Header: []string{"system", "N", "flips", "final cost", "optimum"},
@@ -404,13 +428,19 @@ func Figure8(s Scale) (*Table, error) {
 	m := datagen.Example1(n)
 	opt := float64(n)
 
-	mono := search.Monolithic(m, search.Options{MaxFlips: s.Flips, Seed: 8})
+	mono, err := search.Monolithic(ctx, m, search.Options{MaxFlips: s.Flips, Seed: 8})
+	if err != nil {
+		return nil, err
+	}
 	t.Rows = append(t.Rows, []string{"Tuffy-p/Alchemy", fmt.Sprint(n),
 		fmt.Sprint(mono.Flips), fmtCost(mono.BestCost), fmtCost(opt)})
 
-	comp := search.ComponentAware(m, m.Components(false), search.ComponentOptions{
+	comp, err := search.ComponentAware(ctx, m, m.Components(false), search.ComponentOptions{
 		Base: search.Options{MaxFlips: s.Flips, Seed: 8},
 	})
+	if err != nil {
+		return nil, err
+	}
 	t.Rows = append(t.Rows, []string{"Tuffy", fmt.Sprint(n),
 		fmt.Sprint(comp.Flips), fmtCost(comp.BestCost), fmtCost(opt)})
 	return t, nil
@@ -418,7 +448,7 @@ func Figure8(s Scale) (*Table, error) {
 
 // Theorem31 measures hitting times on Example 1 for a sweep of N,
 // demonstrating the exponential gap of Theorem 3.1.
-func Theorem31(s Scale) (*Table, error) {
+func Theorem31(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Theorem 3.1: expected hitting time to optimum, Example 1",
 		Header: []string{"N", "component-aware", "monolithic", "gap"},
@@ -438,7 +468,7 @@ func Theorem31(s Scale) (*Table, error) {
 // Table6 reproduces the grounding lesion study: full optimizer vs fixed
 // join order vs nested-loop-only joins (paper: join algorithms, not join
 // order, are the key).
-func Table6(s Scale) (*Table, error) {
+func Table6(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 6: grounding lesion study (time)",
 		Header: []string{"", "LP", "IE", "RC", "ER"},
@@ -447,17 +477,17 @@ func Table6(s Scale) (*Table, error) {
 	fixedOrder := []string{"fixed join order"}
 	nlOnly := []string{"fixed join algorithm (NLJ)"}
 	for _, ds := range s.Datasets() {
-		g1, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		g1, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
 		full = append(full, fmtDur(g1.dur))
-		g2, err := groundWith(ds, "bottomup", db.Config{Plan: plan.Options{ForceJoinOrder: true}}, groundOpts())
+		g2, err := groundWith(ctx, ds, "bottomup", db.Config{Plan: plan.Options{ForceJoinOrder: true}}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
 		fixedOrder = append(fixedOrder, fmtDur(g2.dur))
-		g3, err := groundWith(ds, "bottomup", db.Config{Plan: plan.Options{Algorithm: plan.JoinNestedLoopOnly}}, groundOpts())
+		g3, err := groundWith(ctx, ds, "bottomup", db.Config{Plan: plan.Options{Algorithm: plan.JoinNestedLoopOnly}}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -474,7 +504,7 @@ func Table6(s Scale) (*Table, error) {
 // loading vs FFD batch loading vs batch loading + parallel search, on IE
 // and RC. Loading cost is physical: clauses are read back from the RDBMS
 // clause table through a latency-injected disk.
-func Table7(s Scale) (*Table, error) {
+func Table7(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 7: data loading and parallelism (execution time)",
 		Header: []string{"", "IE", "RC"},
@@ -484,7 +514,7 @@ func Table7(s Scale) (*Table, error) {
 	parRow := []string{fmt.Sprintf("Tuffy + parallelism (%d workers)", runtime.NumCPU())}
 
 	for _, ds := range []*datagen.Dataset{datagen.IE(s.IE), datagen.RC(s.RC)} {
-		bu, err := groundWith(ds, "bottomup", db.Config{}, groundOpts())
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, groundOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -507,7 +537,7 @@ func Table7(s Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			search.WalkSAT(cm, search.Options{MaxFlips: perCompFlips, Seed: 10})
+			search.WalkSAT(ctx, cm, search.Options{MaxFlips: perCompFlips, Seed: 10})
 		}
 		batchRow = append(batchRow, fmtDur(time.Since(start)))
 
@@ -522,7 +552,7 @@ func Table7(s Scale) (*Table, error) {
 			}
 		}
 		for _, c := range comps {
-			search.WalkSAT(c.MRF, search.Options{MaxFlips: perCompFlips, Seed: 10})
+			search.WalkSAT(ctx, c.MRF, search.Options{MaxFlips: perCompFlips, Seed: 10})
 		}
 		tuffyRow = append(tuffyRow, fmtDur(time.Since(start)))
 
@@ -540,7 +570,7 @@ func Table7(s Scale) (*Table, error) {
 			go func() {
 				defer wg.Done()
 				for ci := range work {
-					search.WalkSAT(comps[ci].MRF, search.Options{MaxFlips: perCompFlips, Seed: 10})
+					search.WalkSAT(ctx, comps[ci].MRF, search.Options{MaxFlips: perCompFlips, Seed: 10})
 				}
 			}()
 		}

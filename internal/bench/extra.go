@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"tuffy/internal/datagen"
@@ -13,7 +14,7 @@ import (
 // We model the paper's 4 GB machine with a proportional cap: the cap is set
 // between Alchemy's ER peak and its ER+ peak, so ER fits and ER+ "crashes",
 // while Tuffy's search-only footprint stays under the cap on both.
-func ERPlus(s Scale) (*Table, error) {
+func ERPlus(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Section 4.3: ER+ scalability (simulated RAM cap)",
 		Header: []string{"dataset", "Alchemy peak", "Alchemy status", "Tuffy search RAM", "Tuffy status"},
@@ -36,7 +37,7 @@ func ERPlus(s Scale) (*Table, error) {
 		// Ground bottom-up (fast) and compute the Alchemy peak account
 		// analytically — running the nested-loop grounder at ER+ scale is
 		// exactly what the paper shows to be infeasible.
-		bu, err := groundWith(ds, "bottomup", db.Config{}, grounding.Options{})
+		bu, err := groundWith(ctx, ds, "bottomup", db.Config{}, grounding.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -68,17 +69,17 @@ func ERPlus(s Scale) (*Table, error) {
 // ClosureAblation measures the effect of the lazy-inference active closure
 // (Appendix A.3) on grounding output size — a design choice DESIGN.md
 // calls out for ablation.
-func ClosureAblation(s Scale) (*Table, error) {
+func ClosureAblation(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: active closure (Appendix A.3)",
 		Header: []string{"dataset", "clauses (full)", "clauses (closure)", "kept", "atoms (full)", "atoms (closure)"},
 	}
 	for _, ds := range s.Datasets() {
-		full, err := groundWith(ds, "bottomup", db.Config{}, grounding.Options{})
+		full, err := groundWith(ctx, ds, "bottomup", db.Config{}, grounding.Options{})
 		if err != nil {
 			return nil, err
 		}
-		closed, err := groundWith(ds, "bottomup", db.Config{}, grounding.Options{UseClosure: true})
+		closed, err := groundWith(ctx, ds, "bottomup", db.Config{}, grounding.Options{UseClosure: true})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,7 @@ import (
 // best cost (they are bit-identical searches); the driver fails if they
 // diverge or if the side-table flip loop does not cut physical page reads
 // per flip by at least 5x.
-func FlipBatch(s Scale) (*Table, error) {
+func FlipBatch(ctx context.Context, s Scale) (*Table, error) {
 	const blocks, atomsPer = 8, 400
 	m, _ := chainBlocksMRF(blocks, atomsPer)
 
@@ -50,7 +51,7 @@ func FlipBatch(s Scale) (*Table, error) {
 		return nil, err
 	}
 	diskScan.ResetStats()
-	scanRes, err := search.RDBMSWalkSATScan(dScan, "clauses", m.NumAtoms, opts)
+	scanRes, err := search.RDBMSWalkSATScan(ctx, dScan, "clauses", m.NumAtoms, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -62,13 +63,13 @@ func FlipBatch(s Scale) (*Table, error) {
 		return nil, err
 	}
 	setupStart := time.Now()
-	w, err := search.NewSideWalkSAT(dSide, "clauses", m.NumAtoms, opts)
+	w, err := search.NewSideWalkSAT(ctx, dSide, "clauses", m.NumAtoms, opts)
 	if err != nil {
 		return nil, err
 	}
 	setupDur := time.Since(setupStart)
 	diskSide.ResetStats()
-	sideRes, err := w.Run()
+	sideRes, err := w.Run(ctx)
 	if err != nil {
 		return nil, err
 	}

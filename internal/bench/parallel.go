@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,7 +23,7 @@ import (
 // so per-clause parallelism cannot help it (Amdahl).
 //
 // The MRF is verified to be identical at every worker count.
-func GroundParallel(s Scale) (*Table, error) {
+func GroundParallel(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Grounding parallelism: wall-clock vs workers (I/O-bound engine)",
 		Header: []string{"dataset", "1 worker", "2 workers", "4 workers", "8 workers", "speedup@4"},
@@ -56,7 +57,7 @@ func GroundParallel(s Scale) (*Table, error) {
 				return nil, fmt.Errorf("%s tables: %w", ds.Name, err)
 			}
 			start := time.Now()
-			res, err := grounding.GroundBottomUp(ts, grounding.Options{Workers: w})
+			res, err := grounding.GroundBottomUp(ctx, ts, grounding.Options{Workers: w})
 			if err != nil {
 				return nil, fmt.Errorf("%s grounding (%d workers): %w", ds.Name, w, err)
 			}
@@ -119,7 +120,7 @@ func chainBlocksMRF(blocks, atomsPer int) (*mrf.MRF, int) {
 // real RDBMS. Partitions within one color class overlap their page I/O;
 // conflicting partitions never run together, so the best cost (and the full
 // search trajectory) is bit-identical at every worker count — verified here.
-func PartParallel(s Scale) (*Table, error) {
+func PartParallel(ctx context.Context, s Scale) (*Table, error) {
 	const blocks, atomsPer = 8, 100
 	m, beta := chainBlocksMRF(blocks, atomsPer)
 	pt := partition.Algorithm3(m, beta)
@@ -148,7 +149,7 @@ func PartParallel(s Scale) (*Table, error) {
 		}
 		disk.SetLatency(20 * s.DiskLatency)
 		start := time.Now()
-		res, err := search.GaussSeidel(pt, search.GaussSeidelOptions{
+		res, err := search.GaussSeidel(ctx, pt, search.GaussSeidelOptions{
 			Base:        search.Options{MaxFlips: 2000, Seed: 7},
 			Rounds:      3,
 			Parallelism: w,

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"testing"
 
 	"tuffy/internal/db"
@@ -14,7 +15,7 @@ func ground(t *testing.T, ds *Dataset) *grounding.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := grounding.GroundBottomUp(ts, grounding.Options{})
+	res, err := grounding.GroundBottomUp(context.Background(), ts, grounding.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

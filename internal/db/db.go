@@ -42,7 +42,12 @@ type DB struct {
 	pool     *storage.BufferPool
 	tables   map[string]*Table
 	nextFile int32
-	planOpts plan.Options
+	// freeFiles holds file ids whose tables were dropped and whose pages
+	// were returned to the disk's free list; CreateTable reuses them before
+	// minting new ids, so repeated create/drop cycles (per-query helper
+	// tables) hold storage at its high-water mark.
+	freeFiles []int32
+	planOpts  plan.Options
 }
 
 // Open creates an engine.
@@ -107,11 +112,18 @@ func (db *DB) CreateTable(name string, sch tuple.Schema) (*Table, error) {
 	if _, dup := db.tables[key]; dup {
 		return nil, fmt.Errorf("db: table %q already exists", name)
 	}
+	file := db.nextFile
+	if n := len(db.freeFiles); n > 0 {
+		file = db.freeFiles[n-1]
+		db.freeFiles = db.freeFiles[:n-1]
+	} else {
+		db.nextFile++
+	}
 	t := &Table{
 		db:       db,
 		name:     name,
 		sch:      sch,
-		heap:     storage.NewHeapFile(db.pool, db.nextFile),
+		heap:     storage.NewHeapFile(db.pool, file),
 		distinct: make([]map[string]struct{}, sch.Arity()),
 		hashIdx:  make(map[string]*index.HashIndex),
 		btreeIdx: make(map[string]*index.BTree),
@@ -119,20 +131,38 @@ func (db *DB) CreateTable(name string, sch tuple.Schema) (*Table, error) {
 	for i := range t.distinct {
 		t.distinct[i] = make(map[string]struct{})
 	}
-	db.nextFile++
 	db.tables[key] = t
 	return t, nil
 }
 
-// DropTable removes a table from the catalog (storage is not reclaimed).
+// DropTable removes a table from the catalog and returns its pages to the
+// free list: the table's cached frames are discarded (without write-back),
+// its file is truncated on disk, and the file id is queued for reuse by the
+// next CreateTable. The caller must ensure no other user still reads the
+// table; if a page is still pinned the table is dropped from the catalog
+// but its storage is leaked rather than corrupted.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, ok := db.tables[key]; !ok {
+	t, ok := db.tables[key]
+	if !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("db: no table %q", name)
 	}
 	delete(db.tables, key)
+	db.mu.Unlock()
+
+	file := t.heap.FileID()
+	// Discard outside db.mu: DiscardFile may wait on an in-flight eviction
+	// write-back, and holding the catalog lock across that wait would stall
+	// unrelated queries.
+	if err := db.pool.DiscardFile(file); err != nil {
+		return nil // dropped from the catalog; storage intentionally leaked
+	}
+	db.disk.TruncateFile(file)
+	db.mu.Lock()
+	db.freeFiles = append(db.freeFiles, file)
+	db.mu.Unlock()
 	return nil
 }
 

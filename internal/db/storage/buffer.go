@@ -229,6 +229,47 @@ func (bp *BufferPool) FlushAll() error {
 	}
 }
 
+// DiscardFile drops every cached frame of the file without writing dirty
+// pages back — the pool-side half of dropping a table and reclaiming its
+// storage. In-flight eviction write-backs on the file are waited out first
+// so no stale write can land after the caller truncates the file. The
+// caller must guarantee the file is quiescent; a frame still pinned by a
+// concurrent user is an error and leaves that frame (and the file's
+// storage) untouched.
+func (bp *BufferPool) DiscardFile(file int32) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for {
+		var wb chan struct{}
+		for _, f := range bp.frames {
+			if f.id.File == file && f.wb != nil {
+				wb = f.wb
+				break
+			}
+		}
+		if wb == nil {
+			break
+		}
+		bp.mu.Unlock()
+		<-wb
+		bp.mu.Lock()
+	}
+	var victims []*frame
+	for _, f := range bp.frames {
+		if f.id.File != file {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("storage: discard of file %d: page %s still pinned", file, f.id)
+		}
+		victims = append(victims, f)
+	}
+	for _, f := range victims {
+		bp.evictFrameLocked(f)
+	}
+	return nil
+}
+
 // allocFrameLocked finds a free frame, evicting unpinned pages until a slot
 // is free. The capacity check loops because a dirty eviction releases the
 // pool lock during its disk write, and concurrent fetchers may refill the

@@ -34,6 +34,11 @@ type Disk interface {
 	AllocatePage(file int32) (PageID, error)
 	// NumPages reports the number of pages in the file.
 	NumPages(file int32) int32
+	// TruncateFile releases every page of the file, returning its storage
+	// to a free list: subsequent AllocatePage calls on the same file id
+	// reuse the freed capacity before claiming new storage. Callers must
+	// ensure no page of the file is still cached or in use.
+	TruncateFile(file int32)
 	// Stats returns cumulative I/O counters.
 	Stats() DiskStats
 }
@@ -100,13 +105,26 @@ func (d *MemDisk) WritePage(id PageID, buf []byte) error {
 	return nil
 }
 
-// AllocatePage implements Disk.
+// AllocatePage implements Disk. Capacity freed by TruncateFile is reused
+// (the page buffer is re-zeroed) before new storage is claimed, so a
+// truncate/allocate cycle holds the file at its high-water mark instead of
+// growing it.
 func (d *MemDisk) AllocatePage(file int32) (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	pages := d.files[file]
 	id := PageID{File: file, Num: int32(len(pages))}
-	d.files[file] = append(pages, make([]byte, PageSize))
+	if cap(pages) > len(pages) {
+		pages = pages[:len(pages)+1]
+		if pages[id.Num] == nil {
+			pages[id.Num] = make([]byte, PageSize)
+		} else {
+			clear(pages[id.Num])
+		}
+	} else {
+		pages = append(pages, make([]byte, PageSize))
+	}
+	d.files[file] = pages
 	return id, nil
 }
 
@@ -115,6 +133,29 @@ func (d *MemDisk) NumPages(file int32) int32 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return int32(len(d.files[file]))
+}
+
+// TruncateFile implements Disk: the file's page slice is cut to zero length
+// but its buffers are kept as free capacity for reuse by AllocatePage.
+func (d *MemDisk) TruncateFile(file int32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pages, ok := d.files[file]; ok {
+		d.files[file] = pages[:0]
+	}
+}
+
+// PageFootprint returns the total number of page buffers the disk holds,
+// including truncated files' free-listed capacity — the quantity that must
+// stay flat when repeated queries create and drop helper tables.
+func (d *MemDisk) PageFootprint() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total int64
+	for _, pages := range d.files {
+		total += int64(cap(pages))
+	}
+	return total
 }
 
 // Stats implements Disk.

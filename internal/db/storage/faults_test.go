@@ -41,6 +41,7 @@ func (d *faultDisk) AllocatePage(file int32) (PageID, error) {
 }
 
 func (d *faultDisk) NumPages(file int32) int32 { return d.inner.NumPages(file) }
+func (d *faultDisk) TruncateFile(file int32)   { d.inner.TruncateFile(file) }
 func (d *faultDisk) Stats() DiskStats          { return d.inner.Stats() }
 
 func TestBufferPoolSurfacesReadErrors(t *testing.T) {

@@ -1,6 +1,7 @@
 package grounding
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -41,7 +42,11 @@ type rawClause struct {
 // clauses' raw groundings privately and the results are merged in clause-ID
 // order, so the MRF is bit-identical to the sequential path regardless of
 // worker count or scheduling.
-func GroundBottomUp(ts *TableSet, opts Options) (*Result, error) {
+//
+// Cancellation: workers poll the context before each clause; a canceled
+// context aborts the grounding with the context's cause (there is no
+// partial grounding result).
+func GroundBottomUp(ctx context.Context, ts *TableSet, opts Options) (*Result, error) {
 	clauses := ts.Prog.Clauses
 	perClause := make([][]rawClause, len(clauses))
 	perStats := make([]Stats, len(clauses))
@@ -53,6 +58,9 @@ func GroundBottomUp(ts *TableSet, opts Options) (*Result, error) {
 	}
 	if workers <= 1 {
 		for i, clause := range clauses {
+			if err := context.Cause(ctx); ctx.Err() != nil {
+				return nil, err
+			}
 			perClause[i], perErr[i] = groundClauseSQL(ts, clause, &perStats[i])
 			if perErr[i] != nil {
 				break // fail fast; the first-in-order error is reported below
@@ -68,7 +76,7 @@ func GroundBottomUp(ts *TableSet, opts Options) (*Result, error) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(clauses) || failed.Load() {
+					if i >= len(clauses) || failed.Load() || ctx.Err() != nil {
 						return
 					}
 					perClause[i], perErr[i] = groundClauseSQL(ts, clauses[i], &perStats[i])
@@ -79,6 +87,9 @@ func GroundBottomUp(ts *TableSet, opts Options) (*Result, error) {
 			}()
 		}
 		wg.Wait()
+	}
+	if err := context.Cause(ctx); ctx.Err() != nil {
+		return nil, err
 	}
 	// Report the first error in clause order so failures are deterministic
 	// across worker counts.

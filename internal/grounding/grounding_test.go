@@ -1,6 +1,7 @@
 package grounding
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -96,7 +97,7 @@ func TestBuildTablesShape(t *testing.T) {
 
 func TestBottomUpSmokesChain(t *testing.T) {
 	ts := setup(t, tinyProg, tinyEv)
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,12 +126,12 @@ func TestTopDownMatchesBottomUp(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			ts1 := setup(t, tc.prog, tc.ev)
-			bu, err := GroundBottomUp(ts1, Options{})
+			bu, err := GroundBottomUp(context.Background(), ts1, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			ts2 := setup(t, tc.prog, tc.ev)
-			td, err := GroundTopDown(ts2, Options{})
+			td, err := GroundTopDown(context.Background(), ts2, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -147,12 +148,12 @@ func TestTopDownMatchesBottomUp(t *testing.T) {
 
 func TestTopDownMatchesBottomUpWithClosure(t *testing.T) {
 	ts1 := setup(t, tinyProg, tinyEv)
-	bu, err := GroundBottomUp(ts1, Options{UseClosure: true})
+	bu, err := GroundBottomUp(context.Background(), ts1, Options{UseClosure: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts2 := setup(t, tinyProg, tinyEv)
-	td, err := GroundTopDown(ts2, Options{UseClosure: true})
+	td, err := GroundTopDown(context.Background(), ts2, Options{UseClosure: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ cat(paper, category)
 cat(P2, A)   // known paper narrows nothing; P1 has categories A,B,X via domain
 `)
 	// domain(category) = {X, A}; P1 and P2 papers.
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ cat(paper, category)
 `, `
 cat(P1, DB)
 `)
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ q(thing)
 p(A)
 !q(A)
 `)
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ paper(P2)
 wrote(A1, P1)
 !wrote(A1, P2)
 `)
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ paper(p) => EXIST x wrote(x, p).
 paper(P1)
 wrote(A1, P2)   // establishes authors domain {A1}; P2 paper
 `)
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,12 +314,12 @@ wrote(A1, P2)
 wrote(A2, P3)
 `
 	ts1 := setup(t, prog, ev)
-	bu, err := GroundBottomUp(ts1, Options{})
+	bu, err := GroundBottomUp(context.Background(), ts1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts2 := setup(t, prog, ev)
-	td, err := GroundTopDown(ts2, Options{})
+	td, err := GroundTopDown(context.Background(), ts2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,10 +346,10 @@ r(author, thing)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := GroundBottomUp(ts, Options{}); err == nil {
+	if _, err := GroundBottomUp(context.Background(), ts, Options{}); err == nil {
 		t.Fatal("unsafe existential clause accepted")
 	}
-	if _, err := GroundTopDown(ts, Options{}); err == nil {
+	if _, err := GroundTopDown(context.Background(), ts, Options{}); err == nil {
 		t.Fatal("unsafe existential clause accepted by top-down")
 	}
 }
@@ -365,7 +366,7 @@ cat(P9, A)
 !cat(P1, B)
 `)
 	// categories {A, B}; papers {P9, P1}.
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +393,7 @@ p(thing)
 	// truth <> true (false passes); negative lit condition truth <> false
 	// prunes. So SQL returns nothing for this grounding anyway. Use an
 	// unknown atom: add another constant via domain decl.
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,12 +435,12 @@ func TestClosureReducesClauseCount(t *testing.T) {
 	// nothing is violated under all-false, so closure drops everything
 	// except seeds; with a smoker, the chain activates transitively.
 	ts := setup(t, tinyProg, tinyEv)
-	full, err := GroundBottomUp(ts, Options{})
+	full, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts2 := setup(t, tinyProg, tinyEv)
-	closed, err := GroundBottomUp(ts2, Options{UseClosure: true})
+	closed, err := GroundBottomUp(context.Background(), ts2, Options{UseClosure: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +473,7 @@ func TestCompileClauseSQLShape(t *testing.T) {
 
 func TestGroundingStats(t *testing.T) {
 	ts := setup(t, tinyProg, tinyEv)
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,12 +506,12 @@ val(node)
 	}
 	ev.WriteString("val(N0)\n")
 	ts1 := setup(t, prog, ev.String())
-	bu, err := GroundBottomUp(ts1, Options{})
+	bu, err := GroundBottomUp(context.Background(), ts1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts2 := setup(t, prog, ev.String())
-	td, err := GroundTopDown(ts2, Options{})
+	td, err := GroundTopDown(context.Background(), ts2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

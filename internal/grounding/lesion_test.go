@@ -1,6 +1,7 @@
 package grounding
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestGroundingInvariantUnderOptimizerLesions(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := GroundBottomUp(ts, Options{})
+			res, err := GroundBottomUp(context.Background(), ts, Options{})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", prog.name, cfg.name, err)
 			}
@@ -78,7 +79,7 @@ func TestGroundingUnderTinyBufferPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := GroundBottomUp(ts, Options{})
+	res, err := GroundBottomUp(context.Background(), ts, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestGroundingUnderTinyBufferPool(t *testing.T) {
 	ev2, _ := mln.ParseEvidenceString(p2, mln.Figure1Evidence)
 	d2 := db.Open(db.Config{})
 	ts2, _ := BuildTables(d2, p2, ev2)
-	res2, err := GroundBottomUp(ts2, Options{})
+	res2, err := GroundBottomUp(context.Background(), ts2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package grounding
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,7 +18,7 @@ func groundDataset(t *testing.T, ds *datagen.Dataset, workers int) (*TableSet, *
 	if err != nil {
 		t.Fatalf("%s tables: %v", ds.Name, err)
 	}
-	res, err := GroundBottomUp(ts, Options{Workers: workers})
+	res, err := GroundBottomUp(context.Background(), ts, Options{Workers: workers})
 	if err != nil {
 		t.Fatalf("%s grounding (%d workers): %v", ds.Name, workers, err)
 	}
@@ -59,7 +60,7 @@ func assertIdentical(t *testing.T, name string, seq, par *Result) {
 // example workloads.
 func exampleDatasets() []*datagen.Dataset {
 	return []*datagen.Dataset{
-		datagen.ER(datagen.ERConfig{Records: 40, Groups: 10, Seed: 3}),       // examples/entityres
+		datagen.ER(datagen.ERConfig{Records: 40, Groups: 10, Seed: 3}),                                // examples/entityres
 		datagen.RC(datagen.RCConfig{Papers: 400, Authors: 160, Categories: 5, Clusters: 80, Seed: 7}), // examples/classify
 		datagen.IE(datagen.IEConfig{Chains: 200, Seed: 12}),
 		datagen.LP(datagen.LPConfig{Profs: 10, Students: 40, Courses: 24, Seed: 13}),
@@ -90,12 +91,12 @@ func TestGroundBottomUpParallelSharedTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := GroundBottomUp(ts, Options{Workers: 1})
+	seq, err := GroundBottomUp(context.Background(), ts, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		par, err := GroundBottomUp(ts, Options{Workers: workers})
+		par, err := GroundBottomUp(context.Background(), ts, Options{Workers: workers})
 		if err != nil {
 			t.Fatalf("%d workers: %v", workers, err)
 		}
@@ -113,11 +114,11 @@ func TestGroundBottomUpParallelWithClosure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := GroundBottomUp(ts, Options{UseClosure: true, Workers: 1})
+	seq, err := GroundBottomUp(context.Background(), ts, Options{UseClosure: true, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := GroundBottomUp(ts, Options{UseClosure: true, Workers: 4})
+	par, err := GroundBottomUp(context.Background(), ts, Options{UseClosure: true, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +136,11 @@ q(person)
 `, `
 p(A, B)
 `)
-	_, errSeq := GroundBottomUp(ts, Options{Workers: 1})
+	_, errSeq := GroundBottomUp(context.Background(), ts, Options{Workers: 1})
 	if errSeq == nil {
 		t.Fatal("expected sequential grounding error")
 	}
-	_, errPar := GroundBottomUp(ts, Options{Workers: 4})
+	_, errPar := GroundBottomUp(context.Background(), ts, Options{Workers: 4})
 	if errPar == nil {
 		t.Fatal("expected parallel grounding error")
 	}

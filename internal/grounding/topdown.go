@@ -1,6 +1,7 @@
 package grounding
 
 import (
+	"context"
 	"fmt"
 
 	"tuffy/internal/mln"
@@ -14,8 +15,9 @@ import (
 // behaviour the paper's lesion study attributes to Alchemy (Table 6,
 // Appendix C.2). It holds all predicate tables and intermediate bindings in
 // memory, which is why its peak-memory account dwarfs the clause output
-// (the paper's Table 4 observation).
-func GroundTopDown(ts *TableSet, opts Options) (*Result, error) {
+// (the paper's Table 4 observation). The context is polled between clauses;
+// cancellation aborts with the context's cause.
+func GroundTopDown(ctx context.Context, ts *TableSet, opts Options) (*Result, error) {
 	// Materialize predicate tables in memory, as Alchemy does.
 	type atomRow struct {
 		aid   int64
@@ -59,6 +61,9 @@ func GroundTopDown(ts *TableSet, opts Options) (*Result, error) {
 	var raws []rawClause
 
 	for _, clause := range ts.Prog.Clauses {
+		if err := context.Cause(ctx); ctx.Err() != nil {
+			return nil, err
+		}
 		if err := validateExistSafety(clause); err != nil {
 			return nil, fmt.Errorf("grounding clause %d: %w", clause.ID, err)
 		}

@@ -3,11 +3,26 @@ package mrf
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"tuffy/internal/db"
 	"tuffy/internal/db/storage"
 	"tuffy/internal/db/tuple"
 )
+
+// tableSeq backs QueryTableName: a process-wide counter so every caller
+// gets a catalog name no concurrent (or earlier) query can collide with.
+var tableSeq atomic.Int64
+
+// QueryTableName returns a collision-free table name with the given prefix.
+// Concurrent inference queries over one engine use it to keep their
+// per-query clause and helper tables disjoint in the catalog; pairing each
+// name with a DropTable when the query ends returns the pages to the
+// engine's free list, so repeated queries hold storage at its high-water
+// mark.
+func QueryTableName(prefix string) string {
+	return fmt.Sprintf("%s_q%d", prefix, tableSeq.Add(1))
+}
 
 // This file moves MRFs between memory and the RDBMS clause table — the
 // boundary of the paper's hybrid architecture (Section 3.2): grounding

@@ -1,0 +1,44 @@
+package search
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrCanceled is matched (via errors.Is) by the error every search entry
+// point returns when its context is canceled or its deadline expires. The
+// accompanying result is still valid: it holds the best state found before
+// the cancellation, so a caller can serve a partial answer.
+var ErrCanceled = errors.New("search: canceled")
+
+// CanceledError is the typed cancellation error. It wraps the context's
+// cancellation cause, so errors.Is also matches context.Canceled /
+// context.DeadlineExceeded as appropriate.
+type CanceledError struct {
+	// Cause is context.Cause(ctx) at the time the search stopped.
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	if e.Cause == nil {
+		return "search: canceled"
+	}
+	return "search: canceled: " + e.Cause.Error()
+}
+
+// Unwrap exposes the context cause to errors.Is/As chains.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// Is makes every CanceledError match the ErrCanceled sentinel.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Canceled builds the typed cancellation error for a done context.
+func Canceled(ctx context.Context) error {
+	return &CanceledError{Cause: context.Cause(ctx)}
+}
+
+// ctxCheckMask throttles per-flip context polls: flip loops test the context
+// once every ctxCheckMask+1 iterations, bounding the cancellation latency of
+// even a >1e6 flips/sec in-memory search to well under a millisecond of
+// extra work while keeping the hot loop branch-cheap.
+const ctxCheckMask = 0x3FF

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -34,7 +35,11 @@ type ComponentResult struct {
 // keeping the lowest-cost state per component — the behaviour Theorem 3.1
 // proves exponentially better than monolithic WalkSAT on multi-component
 // MRFs. Components are scheduled round-robin over a worker pool.
-func ComponentAware(parent *mrf.MRF, comps []*mrf.Component, opts ComponentOptions) *ComponentResult {
+//
+// A canceled context stops the search promptly and returns ErrCanceled with
+// a valid best-so-far result: components already searched keep their best
+// state, unstarted components stay at the all-false baseline.
+func ComponentAware(ctx context.Context, parent *mrf.MRF, comps []*mrf.Component, opts ComponentOptions) (*ComponentResult, error) {
 	opts.Base = opts.Base.withDefaults()
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 1
@@ -49,17 +54,25 @@ func ComponentAware(parent *mrf.MRF, comps []*mrf.Component, opts ComponentOptio
 	res := &ComponentResult{PerComponent: make([]float64, len(comps))}
 	var mu sync.Mutex
 
+	// Per-component all-false baseline costs: they seed the time-cost
+	// tracking below, and they are what an unstarted component contributes
+	// when a cancellation stops the sweep early (its slice of the global
+	// state is still all-false).
+	baseline := make([]float64, len(comps))
+	for i, c := range comps {
+		baseline[i] = c.MRF.Cost(c.MRF.NewState())
+		res.PerComponent[i] = baseline[i]
+	}
+
 	// Time-cost tracking: the global state starts all-false; as each
 	// component's search completes its best is stitched in, and the global
 	// cost is the sum of finished bests plus the all-false baseline of
 	// unfinished components — the quantity the paper's time-cost curves
 	// plot for Tuffy.
 	var trackedCost float64
-	baseline := make([]float64, len(comps))
 	if opts.Base.Tracker != nil {
 		trackedCost = parent.FixedCost
-		for i, c := range comps {
-			baseline[i] = c.MRF.Cost(c.MRF.NewState())
+		for i := range comps {
 			trackedCost += baseline[i]
 		}
 		opts.Base.Tracker.Record(trackedCost)
@@ -84,12 +97,18 @@ func ComponentAware(parent *mrf.MRF, comps []*mrf.Component, opts ComponentOptio
 		go func(worker int) {
 			defer wg.Done()
 			for idx := range work {
+				if ctx.Err() != nil {
+					continue // drain the queue; baseline stands
+				}
 				comp := comps[idx]
 				o := opts.Base
 				o.MaxFlips = budget(comp)
 				o.Seed = opts.Base.Seed + int64(idx)*7919
 				o.Tracker = nil // per-component costs are not global costs
-				r := WalkSAT(comp.MRF, o)
+				r := WalkSAT(ctx, comp.MRF, o)
+				if r.Best == nil {
+					continue // canceled before the first state was recorded
+				}
 				mu.Lock()
 				res.Flips += r.Flips
 				res.PerComponent[idx] = r.BestCost
@@ -102,8 +121,13 @@ func ComponentAware(parent *mrf.MRF, comps []*mrf.Component, opts ComponentOptio
 			}
 		}(w)
 	}
+dispatch:
 	for i := range comps {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -116,19 +140,27 @@ func ComponentAware(parent *mrf.MRF, comps []*mrf.Component, opts ComponentOptio
 	// Per-component costs already include each sub-MRF's own FixedCost
 	// (components carry none), so no double counting occurs.
 	res.Elapsed = time.Since(start)
-	return res
+	if ctx.Err() != nil {
+		return res, Canceled(ctx)
+	}
+	return res, nil
 }
 
 // Monolithic runs plain WalkSAT on the whole MRF (the Tuffy-p / Alchemy
-// behaviour) and returns a ComponentResult for uniform comparison.
-func Monolithic(parent *mrf.MRF, opts Options) *ComponentResult {
-	r := WalkSAT(parent, opts)
-	return &ComponentResult{
+// behaviour) and returns a ComponentResult for uniform comparison. On
+// cancellation it returns the best-so-far result alongside ErrCanceled.
+func Monolithic(ctx context.Context, parent *mrf.MRF, opts Options) (*ComponentResult, error) {
+	r := WalkSAT(ctx, parent, opts)
+	res := &ComponentResult{
 		Best:     r.Best,
 		BestCost: r.BestCost,
 		Flips:    r.Flips,
 		Elapsed:  r.Elapsed,
 	}
+	if ctx.Err() != nil {
+		return res, Canceled(ctx)
+	}
+	return res, nil
 }
 
 // HittingTime measures the expected number of flips WalkSAT needs to first
@@ -144,7 +176,7 @@ func HittingTime(m *mrf.MRF, targetCost float64, trials int, maxFlips int64, see
 			Seed:       seed + int64(t)*104729,
 			TargetCost: targetCost,
 		}
-		r := WalkSAT(m, o)
+		r := WalkSAT(context.Background(), m, o)
 		if r.HitFlips >= 0 {
 			total += float64(r.HitFlips)
 		} else {
@@ -168,7 +200,7 @@ func ComponentHittingTime(comps []*mrf.Component, perCompTarget func(i int) floa
 				Seed:       seed + int64(t)*104729 + int64(i)*7919,
 				TargetCost: perCompTarget(i),
 			}
-			r := WalkSAT(c.MRF, o)
+			r := WalkSAT(context.Background(), c.MRF, o)
 			if r.HitFlips >= 0 {
 				sum += float64(r.HitFlips)
 			} else {

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -110,7 +111,12 @@ func runClass(class []int, workers int, fn func(pi int)) {
 // ascending partition order and the global cost is updated incrementally
 // from only the touched clauses, so the best state, best cost and tracker
 // trajectory are identical for every Parallelism value.
-func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) (*ComponentResult, error) {
+//
+// A canceled context stops the sweep at the next class boundary (partitions
+// mid-run stop early themselves and their best-so-far is merged), returning
+// ErrCanceled with the best global state found before the stop. GaussSeidel
+// never mutates pt, so one Partitioning can serve concurrent searches.
+func GaussSeidel(ctx context.Context, pt *partition.Partitioning, opts GaussSeidelOptions) (*ComponentResult, error) {
 	opts.Base = opts.Base.withDefaults()
 	if opts.Rounds == 0 {
 		opts.Rounds = 3
@@ -215,6 +221,9 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) (*Componen
 	// concurrently with any other partition of the same color class.
 	runPart := func(round, pi int) {
 		g := parts[pi]
+		if ctx.Err() != nil {
+			return // skip the clause load; g.best stays nil and merge skips
+		}
 		buf := g.clauseBuf[:g.nInternal]
 		if opts.Clauses != nil {
 			var err error
@@ -259,8 +268,8 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) (*Componen
 		o.InitState = g.initBuf
 		o.MaxTries = 1
 		o.Tracker = nil // per-partition costs are not global costs
-		r := WalkSAT(g.sub, o)
-		g.best = r.Best
+		r := WalkSAT(ctx, g.sub, o)
+		g.best = r.Best // nil if canceled before the init state was recorded
 		g.flips = r.Flips
 	}
 
@@ -269,6 +278,9 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) (*Componen
 	// order after a class's barrier, so it is single-threaded.
 	merge := func(pi int) {
 		g := parts[pi]
+		if g.best == nil {
+			return // partition never ran (canceled); global state unchanged
+		}
 		account := func(violated bool, hard bool, w float64, sign int) {
 			if !violated {
 				return
@@ -296,6 +308,14 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) (*Componen
 		record()
 	}
 
+	result := func() *ComponentResult {
+		return &ComponentResult{
+			Best:     best,
+			BestCost: bestCost,
+			Flips:    flips,
+			Elapsed:  time.Since(start),
+		}
+	}
 	for round := 0; round < opts.Rounds; round++ {
 		for _, class := range coloring.Classes {
 			round := round
@@ -305,14 +325,12 @@ func GaussSeidel(pt *partition.Partitioning, opts GaussSeidelOptions) (*Componen
 					return nil, err
 				}
 				merge(pi)
+				parts[pi].best = nil // consumed; do not re-merge next round
+			}
+			if ctx.Err() != nil {
+				return result(), Canceled(ctx)
 			}
 		}
 	}
-
-	return &ComponentResult{
-		Best:     best,
-		BestCost: bestCost,
-		Flips:    flips,
-		Elapsed:  time.Since(start),
-	}, nil
+	return result(), nil
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,8 +21,11 @@ import (
 // additivity, Section 3.3); when cut clauses are selected the conditioning
 // is the same approximation the MAP scheme makes. Results are bit-identical
 // for every parallelism value: per-partition RNGs are seeded by (round,
-// partition) and class results merge in ascending partition order.
-func GaussMCSAT(pt *partition.Partitioning, opts MCSATOptions, parallelism int) ([]float64, error) {
+// partition) and class results merge in ascending partition order. A
+// canceled context stops at the next round boundary and returns ErrCanceled
+// with the marginals of the samples collected so far. GaussMCSAT never
+// mutates pt, so one Partitioning can serve concurrent queries.
+func GaussMCSAT(ctx context.Context, pt *partition.Partitioning, opts MCSATOptions, parallelism int) ([]float64, error) {
 	opts = opts.withDefaults()
 	if parallelism < 1 {
 		parallelism = 1
@@ -29,7 +33,10 @@ func GaussMCSAT(pt *partition.Partitioning, opts MCSATOptions, parallelism int) 
 	m := pt.Source
 
 	// Initial state: satisfy hard clauses via WalkSAT, as in MCSAT.
-	init := WalkSAT(m, Options{MaxFlips: opts.SampleSATFlips, MaxTries: 3, Seed: opts.Seed})
+	init := WalkSAT(ctx, m, Options{MaxFlips: opts.SampleSATFlips, MaxTries: 3, Seed: opts.Seed})
+	if ctx.Err() != nil {
+		return make([]float64, m.NumAtoms+1), Canceled(ctx)
+	}
 	if math.IsInf(init.BestCost, 1) && hasHard(m) {
 		return nil, fmt.Errorf("search: MC-SAT could not satisfy hard clauses")
 	}
@@ -128,12 +135,12 @@ func GaussMCSAT(pt *partition.Partitioning, opts MCSATOptions, parallelism int) 
 		g.sub.Clauses = buf
 		rng := rand.New(rand.NewSource(opts.Seed + int64(round)*99991 + int64(pi)*6151))
 		localState := p.ExtractState(state)
-		g.next, g.ok = SampleSAT(g.sub, localState, opts, rng)
+		g.next, g.ok = SampleSAT(ctx, g.sub, localState, opts, rng)
 	}
 
 	counts := make([]float64, m.NumAtoms+1)
 	total := 0
-	for round := 0; round < opts.Samples+opts.BurnIn; round++ {
+	for round := 0; round < opts.Samples+opts.BurnIn && ctx.Err() == nil; round++ {
 		for _, g := range parts {
 			g.internal = g.internal[:0]
 			g.cut = g.cut[:0]
@@ -184,6 +191,9 @@ func GaussMCSAT(pt *partition.Partitioning, opts MCSATOptions, parallelism int) 
 		for a := 1; a <= m.NumAtoms; a++ {
 			probs[a] = counts[a] / float64(total)
 		}
+	}
+	if ctx.Err() != nil {
+		return probs, Canceled(ctx)
 	}
 	return probs, nil
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ func TestGaussSeidelReachesExample1Optimum(t *testing.T) {
 	if err := pt.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := GaussSeidel(pt, GaussSeidelOptions{
+	res, err := GaussSeidel(context.Background(), pt, GaussSeidelOptions{
 		Base:   Options{MaxFlips: 2000, Seed: 37},
 		Rounds: 2,
 	})
@@ -42,7 +43,7 @@ func TestGaussSeidelWithCutClauses(t *testing.T) {
 	if err := pt.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := GaussSeidel(pt, GaussSeidelOptions{
+	res, err := GaussSeidel(context.Background(), pt, GaussSeidelOptions{
 		Base:   Options{MaxFlips: 5000, Seed: 41},
 		Rounds: 4,
 	})
@@ -59,7 +60,7 @@ func TestGaussSeidelNeverWorseThanInit(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		m := datagen.Example2(4 + rng.Intn(4))
 		pt := partition.Algorithm3(m, 30)
-		res, err := GaussSeidel(pt, GaussSeidelOptions{
+		res, err := GaussSeidel(context.Background(), pt, GaussSeidelOptions{
 			Base:   Options{MaxFlips: 500, Seed: int64(trial)},
 			Rounds: 2,
 		})
@@ -77,7 +78,7 @@ func TestMCSATSingleAtomMarginal(t *testing.T) {
 	// One atom, one clause (a) with weight w: Pr[a] = 1/(1+e^{-w}).
 	m := mrf.New(1)
 	_ = m.AddClause(1, 1)
-	probs, err := MCSAT(m, MCSATOptions{Samples: 4000, BurnIn: 200, Seed: 47})
+	probs, err := MCSAT(context.Background(), m, MCSATOptions{Samples: 4000, BurnIn: 200, Seed: 47})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestMCSATHardClauseForcesAtom(t *testing.T) {
 	m := mrf.New(2)
 	_ = m.AddClause(math.Inf(1), 1) // a must be true
 	_ = m.AddClause(1, 2)
-	probs, err := MCSAT(m, MCSATOptions{Samples: 600, BurnIn: 50, Seed: 53})
+	probs, err := MCSAT(context.Background(), m, MCSATOptions{Samples: 600, BurnIn: 50, Seed: 53})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestMCSATNegativeWeightSuppresses(t *testing.T) {
 	// (a, -1): worlds with a true cost 1 => Pr[a] = e^{-1}/(1+e^{-1}) ≈ 0.269.
 	m := mrf.New(1)
 	_ = m.AddClause(-1, 1)
-	probs, err := MCSAT(m, MCSATOptions{Samples: 4000, BurnIn: 200, Seed: 59})
+	probs, err := MCSAT(context.Background(), m, MCSATOptions{Samples: 4000, BurnIn: 200, Seed: 59})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSampleSATSatisfiesAll(t *testing.T) {
 	_ = m.AddClause(1, -3, -4)
 	_ = m.AddClause(1, 5, 6)
 	init := m.NewState()
-	state, ok := SampleSAT(m, init, MCSATOptions{}, rng)
+	state, ok := SampleSAT(context.Background(), m, init, MCSATOptions{}, rng)
 	if !ok {
 		t.Fatal("SampleSAT failed on satisfiable set")
 	}
@@ -142,7 +143,7 @@ func TestRDBMSWalkSATMatchesInMemoryOptimum(t *testing.T) {
 	if err := mrf.Store(m, d, "clauses"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := RDBMSWalkSAT(d, "clauses", m.NumAtoms, Options{MaxFlips: 400, Seed: 67})
+	res, err := RDBMSWalkSAT(context.Background(), d, "clauses", m.NumAtoms, Options{MaxFlips: 400, Seed: 67})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestRDBMSWalkSATCausesIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Disk().(interface{ ResetStats() }).ResetStats()
-	_, err := RDBMSWalkSAT(d, "clauses", m.NumAtoms, Options{MaxFlips: 3, Seed: 71})
+	_, err := RDBMSWalkSAT(context.Background(), d, "clauses", m.NumAtoms, Options{MaxFlips: 3, Seed: 71})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestRDBMSWalkSATCausesIO(t *testing.T) {
 
 func TestRDBMSWalkSATMissingTable(t *testing.T) {
 	d := db.Open(db.Config{})
-	if _, err := RDBMSWalkSAT(d, "nope", 1, Options{MaxFlips: 1}); err == nil {
+	if _, err := RDBMSWalkSAT(context.Background(), d, "nope", 1, Options{MaxFlips: 1}); err == nil {
 		t.Fatal("missing table accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -21,7 +22,7 @@ func gsRun(t *testing.T, parallelism int, src ClauseSource) (*ComponentResult, [
 		t.Fatal("workload has no cut clauses")
 	}
 	tr := NewTracker()
-	res, err := GaussSeidel(pt, GaussSeidelOptions{
+	res, err := GaussSeidel(context.Background(), pt, GaussSeidelOptions{
 		Base:        Options{MaxFlips: 3000, Seed: 11, Tracker: tr},
 		Rounds:      3,
 		Parallelism: parallelism,
@@ -60,7 +61,7 @@ func TestGaussSeidelParallelReachesOptimum(t *testing.T) {
 	m := datagen.Example2(5)
 	want := OptimalCost(m)
 	pt := partition.Algorithm3(m, 40)
-	res, err := GaussSeidel(pt, GaussSeidelOptions{
+	res, err := GaussSeidel(context.Background(), pt, GaussSeidelOptions{
 		Base:        Options{MaxFlips: 5000, Seed: 41},
 		Rounds:      4,
 		Parallelism: 4,
@@ -125,7 +126,7 @@ func TestGaussSeidelParallelRace(t *testing.T) {
 	}
 	var baseRes *ComponentResult
 	for _, src := range []ClauseSource{nil, store} {
-		res, err := GaussSeidel(pt, GaussSeidelOptions{
+		res, err := GaussSeidel(context.Background(), pt, GaussSeidelOptions{
 			Base:        Options{MaxFlips: 500, Seed: 3},
 			Rounds:      3,
 			Parallelism: 8,
@@ -188,7 +189,7 @@ func TestGaussMCSATMatchesExhaustive(t *testing.T) {
 		t.Fatalf("want 2 parts 1 cut, got %d parts %d cut", len(pt.Parts), pt.NumCut())
 	}
 	want := exhaustiveMarginals(m)
-	got, err := GaussMCSAT(pt, MCSATOptions{Samples: 4000, BurnIn: 300, Seed: 29}, 2)
+	got, err := GaussMCSAT(context.Background(), pt, MCSATOptions{Samples: 4000, BurnIn: 300, Seed: 29}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,12 +206,12 @@ func TestGaussMCSATDeterministicAcrossParallelism(t *testing.T) {
 	if pt.NumCut() == 0 {
 		t.Fatal("workload has no cut clauses")
 	}
-	base, err := GaussMCSAT(pt, MCSATOptions{Samples: 200, BurnIn: 20, Seed: 31}, 1)
+	base, err := GaussMCSAT(context.Background(), pt, MCSATOptions{Samples: 200, BurnIn: 20, Seed: 31}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []int{2, 4} {
-		got, err := GaussMCSAT(pt, MCSATOptions{Samples: 200, BurnIn: 20, Seed: 31}, p)
+		got, err := GaussMCSAT(context.Background(), pt, MCSATOptions{Samples: 200, BurnIn: 20, Seed: 31}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,7 +241,7 @@ func TestGaussMCSATHardClauses(t *testing.T) {
 	if pt.NumCut() == 0 {
 		t.Fatalf("want a cut clause, got %d parts", len(pt.Parts))
 	}
-	probs, err := GaussMCSAT(pt, MCSATOptions{Samples: 400, BurnIn: 40, Seed: 37}, 2)
+	probs, err := GaussMCSAT(context.Background(), pt, MCSATOptions{Samples: 400, BurnIn: 40, Seed: 37}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,12 +50,19 @@ func (o MCSATOptions) withDefaults() MCSATOptions {
 // always) and draws a near-uniform satisfying assignment of M with
 // SampleSAT. Negative-weight clauses participate through their negation
 // semantics: a round keeps them *unsatisfied*.
-func MCSAT(m *mrf.MRF, opts MCSATOptions) ([]float64, error) {
+//
+// A canceled context stops sampling at the next round boundary and returns
+// ErrCanceled together with the marginals estimated from the samples
+// collected so far (all-zero if no post-burn-in sample completed).
+func MCSAT(ctx context.Context, m *mrf.MRF, opts MCSATOptions) ([]float64, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Initial state: satisfy hard clauses via WalkSAT.
-	init := WalkSAT(m, Options{MaxFlips: opts.SampleSATFlips, MaxTries: 3, Seed: opts.Seed})
+	init := WalkSAT(ctx, m, Options{MaxFlips: opts.SampleSATFlips, MaxTries: 3, Seed: opts.Seed})
+	if ctx.Err() != nil {
+		return make([]float64, m.NumAtoms+1), Canceled(ctx)
+	}
 	if math.IsInf(init.BestCost, 1) && hasHard(m) {
 		return nil, fmt.Errorf("search: MC-SAT could not satisfy hard clauses")
 	}
@@ -62,7 +71,7 @@ func MCSAT(m *mrf.MRF, opts MCSATOptions) ([]float64, error) {
 	counts := make([]float64, m.NumAtoms+1)
 	total := 0
 
-	for round := 0; round < opts.Samples+opts.BurnIn; round++ {
+	for round := 0; round < opts.Samples+opts.BurnIn && ctx.Err() == nil; round++ {
 		// Select clause subset M. For a positive clause satisfied by the
 		// current state, include it with p = 1 - exp(-w): the next state
 		// must keep it satisfied. For a negative clause FALSIFIED by the
@@ -92,7 +101,7 @@ func MCSAT(m *mrf.MRF, opts MCSATOptions) ([]float64, error) {
 		}
 		sub := mrf.New(m.NumAtoms)
 		sub.Clauses = sel
-		next, ok := SampleSAT(sub, state, opts, rng)
+		next, ok := SampleSAT(ctx, sub, state, opts, rng)
 		if ok {
 			state = next
 		}
@@ -111,6 +120,9 @@ func MCSAT(m *mrf.MRF, opts MCSATOptions) ([]float64, error) {
 			probs[a] = counts[a] / float64(total)
 		}
 	}
+	if ctx.Err() != nil {
+		return probs, Canceled(ctx)
+	}
 	return probs, nil
 }
 
@@ -120,7 +132,10 @@ func MCSAT(m *mrf.MRF, opts MCSATOptions) ([]float64, error) {
 // approximation — and each chain mixes over an exponentially smaller state
 // space, the marginal-inference analogue of Theorem 3.1. Components are
 // sampled in parallel by up to parallelism workers.
-func MCSATComponents(parent *mrf.MRF, comps []*mrf.Component, opts MCSATOptions, parallelism int) ([]float64, error) {
+//
+// A canceled context returns ErrCanceled with the marginals of the
+// components that finished sampling (unfinished components report zeros).
+func MCSATComponents(ctx context.Context, parent *mrf.MRF, comps []*mrf.Component, opts MCSATOptions, parallelism int) ([]float64, error) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -134,15 +149,18 @@ func MCSATComponents(parent *mrf.MRF, comps []*mrf.Component, opts MCSATOptions,
 		go func() {
 			defer wg.Done()
 			for idx := range work {
+				if ctx.Err() != nil {
+					continue // drain; cancellation is reported below
+				}
 				comp := comps[idx]
 				o := opts
 				o.Seed = opts.Seed + int64(idx)*6151
-				local, err := MCSAT(comp.MRF, o)
+				local, err := MCSAT(ctx, comp.MRF, o)
 				mu.Lock()
-				if err != nil && firstErr == nil {
+				if err != nil && !errors.Is(err, ErrCanceled) && firstErr == nil {
 					firstErr = err
 				}
-				if err == nil {
+				if local != nil {
 					for i := 1; i <= comp.MRF.NumAtoms; i++ {
 						probs[comp.GlobalAtom[i]] = local[i]
 					}
@@ -151,13 +169,21 @@ func MCSATComponents(parent *mrf.MRF, comps []*mrf.Component, opts MCSATOptions,
 			}
 		}()
 	}
+dispatch:
 	for i := range comps {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if ctx.Err() != nil {
+		return probs, Canceled(ctx)
 	}
 	return probs, nil
 }
@@ -175,8 +201,9 @@ func hasHard(m *mrf.MRF) bool {
 // (all clauses treated as mandatory) by mixing WalkSAT moves with simulated
 // annealing moves [Wei, Erenrich, Selman 2004]. It starts from init and
 // returns (state, true) when all clauses are satisfied within the flip
-// budget, or (init, false) otherwise.
-func SampleSAT(m *mrf.MRF, init []bool, opts MCSATOptions, rng *rand.Rand) ([]bool, bool) {
+// budget, or (init, false) otherwise — including when the context cancels
+// the walk early.
+func SampleSAT(ctx context.Context, m *mrf.MRF, init []bool, opts MCSATOptions, rng *rand.Rand) ([]bool, bool) {
 	opts = opts.withDefaults()
 	e := newEngine(m, 1)
 	start := make([]bool, m.NumAtoms+1)
@@ -188,6 +215,9 @@ func SampleSAT(m *mrf.MRF, init []bool, opts MCSATOptions, rng *rand.Rand) ([]bo
 		return init, true
 	}
 	for flip := int64(0); flip < opts.SampleSATFlips; flip++ {
+		if flip&ctxCheckMask == 0 && ctx.Err() != nil {
+			return init, false
+		}
 		if len(e.viol) == 0 {
 			out := make([]bool, len(e.state))
 			copy(out, e.state)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestMCSATComponentsMatchesClosedForm(t *testing.T) {
 	if len(comps) != 2 {
 		t.Fatalf("components = %d", len(comps))
 	}
-	probs, err := MCSATComponents(m, comps, MCSATOptions{Samples: 4000, BurnIn: 200, Seed: 77}, 2)
+	probs, err := MCSATComponents(context.Background(), m, comps, MCSATOptions{Samples: 4000, BurnIn: 200, Seed: 77}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +44,11 @@ func TestMCSATComponentsAgreesWithMonolithic(t *testing.T) {
 	if len(comps) != 2 {
 		t.Fatalf("components = %d", len(comps))
 	}
-	mono, err := MCSAT(m, MCSATOptions{Samples: 6000, BurnIn: 300, Seed: 79})
+	mono, err := MCSAT(context.Background(), m, MCSATOptions{Samples: 6000, BurnIn: 300, Seed: 79})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fact, err := MCSATComponents(m, comps, MCSATOptions{Samples: 6000, BurnIn: 300, Seed: 79}, 2)
+	fact, err := MCSATComponents(context.Background(), m, comps, MCSATOptions{Samples: 6000, BurnIn: 300, Seed: 79}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestMCSATComponentsParallelDeterministicPerComponent(t *testing.T) {
 		_ = m.AddClause(1, mrf.AtomID(i))
 	}
 	comps := m.Components(false)
-	a, err := MCSATComponents(m, comps, MCSATOptions{Samples: 500, BurnIn: 50, Seed: 81}, 1)
+	a, err := MCSATComponents(context.Background(), m, comps, MCSATOptions{Samples: 500, BurnIn: 50, Seed: 81}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MCSATComponents(m, comps, MCSATOptions{Samples: 500, BurnIn: 50, Seed: 81}, 4)
+	b, err := MCSATComponents(context.Background(), m, comps, MCSATOptions{Samples: 500, BurnIn: 50, Seed: 81}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -23,18 +24,21 @@ import (
 // duration of the search (O(|clauses|) for the cid index, released when
 // the search returns); the clause data, inverted-index chunks and side
 // table rows stay disk-resident behind the buffer pool.
-func RDBMSWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Result, error) {
+//
+// A canceled context stops the flip loop promptly; the helper tables are
+// dropped as on a normal return and the best-so-far result accompanies
+// ErrCanceled.
+func RDBMSWalkSAT(ctx context.Context, d *db.DB, clauseTable string, numAtoms int, opts Options) (*Result, error) {
 	start := time.Now()
-	w, err := NewSideWalkSAT(d, clauseTable, numAtoms, opts)
+	w, err := NewSideWalkSAT(ctx, d, clauseTable, numAtoms, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := w.Run()
-	if err != nil {
-		return nil, err
+	res, err := w.Run(ctx)
+	if res != nil {
+		res.Elapsed = time.Since(start) // include the setup scans
 	}
-	res.Elapsed = time.Since(start) // include the setup scans
-	return res, nil
+	return res, err
 }
 
 // RDBMSWalkSATScan is the naive in-RDBMS WalkSAT the paper lesions
@@ -44,13 +48,13 @@ func RDBMSWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Re
 // paper's Table 3 / Figure 4 observation; injecting per-page latency on the
 // engine's disk reproduces the wall-clock gap, and the flipbatch experiment
 // measures it against the set-oriented RDBMSWalkSAT.
-func RDBMSWalkSATScan(d *db.DB, clauseTable string, numAtoms int, opts Options) (*Result, error) {
-	return rdbmsWalkSATScan(d, clauseTable, numAtoms, opts, nil)
+func RDBMSWalkSATScan(ctx context.Context, d *db.DB, clauseTable string, numAtoms int, opts Options) (*Result, error) {
+	return rdbmsWalkSATScan(ctx, d, clauseTable, numAtoms, opts, nil)
 }
 
 // rdbmsWalkSATScan is RDBMSWalkSATScan with a test hook observing every
 // flip (the equivalence tests compare flip sequences across variants).
-func rdbmsWalkSATScan(d *db.DB, clauseTable string, numAtoms int, opts Options, onFlip func(flip int64, atom mrf.AtomID) error) (*Result, error) {
+func rdbmsWalkSATScan(ctx context.Context, d *db.DB, clauseTable string, numAtoms int, opts Options, onFlip func(flip int64, atom mrf.AtomID) error) (*Result, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	t, ok := d.Table(clauseTable)
@@ -98,6 +102,14 @@ func rdbmsWalkSATScan(d *db.DB, clauseTable string, numAtoms int, opts Options, 
 	}
 
 	for flip := int64(0); flip < opts.MaxFlips; flip++ {
+		if ctx.Err() != nil {
+			// Every flip here costs a full table scan, so poll each
+			// iteration; the best-so-far state accompanies the error.
+			res.Best = best
+			res.BestCost = bestCost
+			res.Elapsed = time.Since(start)
+			return res, Canceled(ctx)
+		}
 		picked, have, cost, hard, err := scanPick()
 		if err != nil {
 			return nil, err

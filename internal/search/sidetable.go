@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -405,8 +406,13 @@ type SideWalkSAT struct {
 }
 
 // NewSideWalkSAT draws the initial atom state (same RNG stream as the
-// full-scan variant) and builds the set-oriented search state for it.
-func NewSideWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*SideWalkSAT, error) {
+// full-scan variant) and builds the set-oriented search state for it. A
+// context canceled before the setup scans complete aborts the build with
+// Canceled(ctx) and leaves no helper tables behind.
+func NewSideWalkSAT(ctx context.Context, d *db.DB, clauseTable string, numAtoms int, opts Options) (*SideWalkSAT, error) {
+	if ctx.Err() != nil {
+		return nil, Canceled(ctx)
+	}
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	state := make([]bool, numAtoms+1)
@@ -417,16 +423,22 @@ func NewSideWalkSAT(d *db.DB, clauseTable string, numAtoms int, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
+	if ctx.Err() != nil {
+		side.drop(d)
+		return nil, Canceled(ctx)
+	}
 	return &SideWalkSAT{d: d, opts: opts, rng: rng, state: state, side: side}, nil
 }
 
 // Run executes the flip loop. It may be called once; the helper tables are
-// dropped from the catalog when it returns.
-func (w *SideWalkSAT) Run() (*Result, error) { return w.run(nil) }
+// dropped from the catalog when it returns — including when the context
+// cancels the loop, in which case the best-so-far result accompanies
+// ErrCanceled.
+func (w *SideWalkSAT) Run(ctx context.Context) (*Result, error) { return w.run(ctx, nil) }
 
 // run is Run with a test hook observing every flip after the side table has
 // absorbed it.
-func (w *SideWalkSAT) run(onFlip func(flip int64, atom mrf.AtomID) error) (*Result, error) {
+func (w *SideWalkSAT) run(ctx context.Context, onFlip func(flip int64, atom mrf.AtomID) error) (*Result, error) {
 	if w.ran {
 		return nil, fmt.Errorf("search: SideWalkSAT.Run called twice")
 	}
@@ -440,6 +452,13 @@ func (w *SideWalkSAT) run(onFlip func(flip int64, atom mrf.AtomID) error) (*Resu
 	start := time.Now()
 
 	for flip := int64(0); ; flip++ {
+		if ctx.Err() != nil {
+			// Each flip pays page I/O, so poll every iteration.
+			res.Best = best
+			res.BestCost = bestCost
+			res.Elapsed = time.Since(start)
+			return res, Canceled(ctx)
+		}
 		picked, have, cost, hard, err := w.side.pickViolated(rng)
 		if err != nil {
 			return nil, err

@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -270,8 +271,11 @@ func (e *engine) reportedCost() float64 {
 	return e.softCost + e.fixedExtra
 }
 
-// WalkSAT runs Algorithm 1 on the MRF.
-func WalkSAT(m *mrf.MRF, opts Options) *Result {
+// WalkSAT runs Algorithm 1 on the MRF. A canceled context stops the search
+// early (polled every few hundred flips); the returned Result then holds the
+// best state found so far — callers that need the typed error wrap the stop
+// with Canceled(ctx) themselves.
+func WalkSAT(ctx context.Context, m *mrf.MRF, opts Options) *Result {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	e := newEngine(m, opts.HardWeight)
@@ -280,7 +284,7 @@ func WalkSAT(m *mrf.MRF, opts Options) *Result {
 	start := time.Now()
 	var best []bool
 
-	for try := 0; try < opts.MaxTries; try++ {
+	for try := 0; try < opts.MaxTries && ctx.Err() == nil; try++ {
 		var init []bool
 		if try == 0 && opts.InitState != nil {
 			init = opts.InitState
@@ -305,6 +309,9 @@ func WalkSAT(m *mrf.MRF, opts Options) *Result {
 		}
 
 		for flip := int64(0); flip < opts.MaxFlips; flip++ {
+			if flip&ctxCheckMask == 0 && ctx.Err() != nil {
+				break
+			}
 			if len(e.viol) == 0 {
 				break // zero-cost world (w.r.t. guided cost): optimal
 			}

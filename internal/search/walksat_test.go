@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -15,7 +16,7 @@ func TestWalkSATSolvesTinySAT(t *testing.T) {
 	_ = m.AddClause(1, 1, 2)
 	_ = m.AddClause(1, -1, 2)
 	_ = m.AddClause(1, 1, -2)
-	r := WalkSAT(m, Options{MaxFlips: 10_000, Seed: 1})
+	r := WalkSAT(context.Background(), m, Options{MaxFlips: 10_000, Seed: 1})
 	if r.BestCost != 0 {
 		t.Fatalf("cost = %v", r.BestCost)
 	}
@@ -26,7 +27,7 @@ func TestWalkSATSolvesTinySAT(t *testing.T) {
 
 func TestWalkSATExample1SingleComponent(t *testing.T) {
 	m := datagen.Example1(1)
-	r := WalkSAT(m, Options{MaxFlips: 1000, Seed: 2})
+	r := WalkSAT(context.Background(), m, Options{MaxFlips: 1000, Seed: 2})
 	if r.BestCost != 1 {
 		t.Fatalf("Example1 N=1 optimum cost = %v, want 1", r.BestCost)
 	}
@@ -38,7 +39,7 @@ func TestWalkSATRespectsHardClauses(t *testing.T) {
 	m := mrf.New(1)
 	_ = m.AddClause(math.Inf(1), 1)
 	_ = m.AddClause(3, -1)
-	r := WalkSAT(m, Options{MaxFlips: 1000, Seed: 3})
+	r := WalkSAT(context.Background(), m, Options{MaxFlips: 1000, Seed: 3})
 	if r.BestCost != 3 {
 		t.Fatalf("cost = %v, want 3", r.BestCost)
 	}
@@ -51,7 +52,7 @@ func TestWalkSATNegativeWeights(t *testing.T) {
 	// (x1, -2): violated when true. Optimum: x1 false, cost 0.
 	m := mrf.New(1)
 	_ = m.AddClause(-2, 1)
-	r := WalkSAT(m, Options{MaxFlips: 1000, Seed: 4})
+	r := WalkSAT(context.Background(), m, Options{MaxFlips: 1000, Seed: 4})
 	if r.BestCost != 0 {
 		t.Fatalf("cost = %v", r.BestCost)
 	}
@@ -64,7 +65,7 @@ func TestWalkSATFixedCostIncluded(t *testing.T) {
 	m := mrf.New(1)
 	m.FixedCost = 2.5
 	_ = m.AddClause(1, 1)
-	r := WalkSAT(m, Options{MaxFlips: 100, Seed: 5})
+	r := WalkSAT(context.Background(), m, Options{MaxFlips: 100, Seed: 5})
 	if r.BestCost != 2.5 {
 		t.Fatalf("cost = %v, want 2.5 (fixed)", r.BestCost)
 	}
@@ -77,7 +78,7 @@ func TestWalkSATInitState(t *testing.T) {
 	for i := 1; i <= m.NumAtoms; i++ {
 		init[i] = true // the optimal state
 	}
-	r := WalkSAT(m, Options{MaxFlips: 1, Seed: 6, InitState: init})
+	r := WalkSAT(context.Background(), m, Options{MaxFlips: 1, Seed: 6, InitState: init})
 	if r.BestCost != 10 {
 		t.Fatalf("cost from optimal init = %v, want 10", r.BestCost)
 	}
@@ -85,7 +86,7 @@ func TestWalkSATInitState(t *testing.T) {
 
 func TestWalkSATTargetCostStopsEarly(t *testing.T) {
 	m := datagen.Example1(3)
-	r := WalkSAT(m, Options{MaxFlips: 1_000_000, Seed: 7, TargetCost: 3})
+	r := WalkSAT(context.Background(), m, Options{MaxFlips: 1_000_000, Seed: 7, TargetCost: 3})
 	if r.HitFlips < 0 {
 		t.Fatal("target never hit")
 	}
@@ -96,8 +97,8 @@ func TestWalkSATTargetCostStopsEarly(t *testing.T) {
 
 func TestWalkSATDeterministicWithSeed(t *testing.T) {
 	m := datagen.Example1(5)
-	r1 := WalkSAT(m, Options{MaxFlips: 500, Seed: 42})
-	r2 := WalkSAT(m, Options{MaxFlips: 500, Seed: 42})
+	r1 := WalkSAT(context.Background(), m, Options{MaxFlips: 500, Seed: 42})
+	r2 := WalkSAT(context.Background(), m, Options{MaxFlips: 500, Seed: 42})
 	if r1.BestCost != r2.BestCost || r1.Flips != r2.Flips {
 		t.Fatalf("nondeterministic: %v/%v vs %v/%v", r1.BestCost, r1.Flips, r2.BestCost, r2.Flips)
 	}
@@ -192,9 +193,12 @@ func TestComponentAwareFindsOptimum(t *testing.T) {
 	if len(comps) != n {
 		t.Fatalf("components = %d", len(comps))
 	}
-	res := ComponentAware(m, comps, ComponentOptions{
+	res, err := ComponentAware(context.Background(), m, comps, ComponentOptions{
 		Base: Options{MaxFlips: int64(400 * n), Seed: 17},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.BestCost != n {
 		t.Fatalf("component-aware cost = %v, want %d", res.BestCost, n)
 	}
@@ -207,8 +211,14 @@ func TestComponentAwareFindsOptimum(t *testing.T) {
 func TestComponentAwareParallelMatches(t *testing.T) {
 	m := datagen.Example1(30)
 	comps := m.Components(false)
-	seq := ComponentAware(m, comps, ComponentOptions{Base: Options{MaxFlips: 12000, Seed: 19}, Parallelism: 1})
-	par := ComponentAware(m, comps, ComponentOptions{Base: Options{MaxFlips: 12000, Seed: 19}, Parallelism: 8})
+	seq, err := ComponentAware(context.Background(), m, comps, ComponentOptions{Base: Options{MaxFlips: 12000, Seed: 19}, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ComponentAware(context.Background(), m, comps, ComponentOptions{Base: Options{MaxFlips: 12000, Seed: 19}, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if seq.BestCost != par.BestCost {
 		t.Fatalf("parallel cost %v != sequential %v", par.BestCost, seq.BestCost)
 	}
@@ -234,7 +244,10 @@ func TestTheorem31HittingTimeGap(t *testing.T) {
 
 func TestMonolithicWrapper(t *testing.T) {
 	m := datagen.Example1(2)
-	res := Monolithic(m, Options{MaxFlips: 5000, Seed: 29})
+	res, err := Monolithic(context.Background(), m, Options{MaxFlips: 5000, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.BestCost < 2 {
 		t.Fatalf("impossible cost %v", res.BestCost)
 	}
@@ -246,7 +259,7 @@ func TestMonolithicWrapper(t *testing.T) {
 func TestTrackerRecordsMonotoneReadings(t *testing.T) {
 	m := datagen.Example1(5)
 	tr := NewTracker()
-	WalkSAT(m, Options{MaxFlips: 2000, Seed: 31, Tracker: tr})
+	WalkSAT(context.Background(), m, Options{MaxFlips: 2000, Seed: 31, Tracker: tr})
 	pts := tr.Points()
 	if len(pts) == 0 {
 		t.Fatal("no trace points")

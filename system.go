@@ -1,0 +1,161 @@
+package tuffy
+
+// This file keeps the pre-Engine fused API compiling: System bundled the
+// one-time grounding phase and the per-call search knobs in a single
+// struct, which made concurrent queries over one grounded network unsafe.
+// It is now a thin shim over Engine; new code should use Open / Ground /
+// InferMAP / InferMarginal directly.
+
+import (
+	"context"
+	"time"
+
+	"tuffy/internal/db"
+	"tuffy/internal/db/plan"
+	"tuffy/internal/grounding"
+	"tuffy/internal/mln"
+	"tuffy/internal/mrf"
+	"tuffy/internal/search"
+)
+
+// Config tunes a System: the union of EngineConfig (one-time phase) and
+// InferOptions (per-call search knobs), fused the way the old API was.
+//
+// Deprecated: use EngineConfig for Open and InferOptions per query.
+type Config struct {
+	Grounder   GrounderKind
+	Mode       SearchMode
+	UseClosure bool // lazy-inference active closure (Appendix A.3)
+
+	// Partitioning: 0 keeps whole connected components (Section 3.3); a
+	// positive MemoryBudgetBytes further splits components so each
+	// partition's search footprint fits (Section 3.4), searched with
+	// Gauss-Seidel when clauses are cut.
+	MemoryBudgetBytes int64
+	// GaussSeidelRounds is T in the partition-aware scheme (default 3).
+	GaussSeidelRounds int
+	// Parallelism is the number of search workers (default 1).
+	Parallelism int
+	// GroundWorkers is the number of concurrent clause-grounding workers
+	// for the bottom-up grounder (default 1).
+	GroundWorkers int
+
+	// Search budget.
+	MaxFlips int64 // total flips (default 1e6)
+	MaxTries int
+	Seed     int64
+
+	// Tracker receives best-cost-over-time samples (time-cost plots).
+	Tracker *search.Tracker
+
+	// DB overrides the embedded engine configuration.
+	DB db.Config
+}
+
+// System is one inference instance over a program and its evidence, with
+// the search configuration fixed at New.
+//
+// Deprecated: use Engine, which separates the ground-once state from the
+// per-call InferOptions and is safe for concurrent queries.
+type System struct {
+	eng *Engine
+	cfg Config
+
+	Prog *mln.Program
+	Ev   *mln.Evidence
+
+	DB       *db.DB
+	Tables   *grounding.TableSet
+	Grounded *grounding.Result
+
+	GroundTime time.Duration
+}
+
+// New creates a system. Call Ground (or InferMAP, which grounds on demand)
+// next.
+//
+// Deprecated: use Open.
+func New(prog *mln.Program, ev *mln.Evidence, cfg Config) *System {
+	eng := Open(prog, ev, EngineConfig{
+		Grounder:          cfg.Grounder,
+		UseClosure:        cfg.UseClosure,
+		MemoryBudgetBytes: cfg.MemoryBudgetBytes,
+		GroundWorkers:     cfg.GroundWorkers,
+		DB:                cfg.DB,
+	})
+	return &System{eng: eng, cfg: cfg, Prog: prog, Ev: ev, DB: eng.DB()}
+}
+
+// Engine returns the Engine the shim delegates to, for incremental
+// migration.
+func (s *System) Engine() *Engine { return s.eng }
+
+// inferOptions maps the fused Config onto one query's options.
+func (s *System) inferOptions() InferOptions {
+	return InferOptions{
+		Mode:              s.cfg.Mode,
+		Seed:              s.cfg.Seed,
+		MaxFlips:          s.cfg.MaxFlips,
+		MaxTries:          s.cfg.MaxTries,
+		GaussSeidelRounds: s.cfg.GaussSeidelRounds,
+		Parallelism:       s.cfg.Parallelism,
+		Tracker:           s.cfg.Tracker,
+	}
+}
+
+// syncFromEngine mirrors the engine's ground-once state into the exported
+// fields old callers read.
+func (s *System) syncFromEngine() {
+	s.Tables = s.eng.Tables()
+	s.Grounded = s.eng.Grounded()
+	s.GroundTime = s.eng.GroundTime()
+}
+
+// SetPlanOptions adjusts the engine's optimizer knobs before grounding.
+func (s *System) SetPlanOptions(o plan.Options) { s.eng.SetPlanOptions(o) }
+
+// Ground builds the predicate tables and runs the configured grounder.
+func (s *System) Ground() error {
+	if err := s.eng.Ground(context.Background()); err != nil {
+		return err
+	}
+	s.syncFromEngine()
+	return nil
+}
+
+// InferMAP runs the full pipeline: grounding (if not already done),
+// partitioning per the configuration, then search.
+func (s *System) InferMAP() (*MAPResult, error) {
+	res, err := s.eng.InferMAP(context.Background(), s.inferOptions())
+	if err != nil {
+		return nil, err
+	}
+	s.syncFromEngine()
+	return res, nil
+}
+
+// InferMarginal estimates marginal probabilities with MC-SAT (Appendix
+// A.5). Samples defaults to 200.
+func (s *System) InferMarginal(samples int) (*MarginalResult, error) {
+	opts := s.inferOptions()
+	opts.Samples = samples
+	res, err := s.eng.InferMarginal(context.Background(), opts)
+	if err != nil {
+		return nil, err
+	}
+	s.syncFromEngine()
+	return res, nil
+}
+
+// FormatAtom renders a ground atom with the system's symbol table.
+func (s *System) FormatAtom(a mln.GroundAtom) string { return s.eng.FormatAtom(a) }
+
+// Stats exposes grounding statistics after Ground.
+func (s *System) Stats() (grounding.Stats, error) { return s.eng.Stats() }
+
+// MRFStats exposes the grounded network's size accounting.
+func (s *System) MRFStats() (mrf.Stats, error) { return s.eng.MRFStats() }
+
+// OptimalIsInfeasible reports whether grounding already proved the hard
+// constraints unsatisfiable.
+func (s *System) OptimalIsInfeasible() bool { return s.eng.OptimalIsInfeasible() }

@@ -5,19 +5,36 @@
 // parallel component search, Gauss-Seidel partition-aware search and MC-SAT
 // marginal inference.
 //
+// The API splits the pipeline the way the paper does: an Engine owns the
+// expensive one-time phase (parsing, evidence load, bottom-up grounding in
+// the RDBMS, partitioning) and is immutable after Ground; each inference is
+// a per-call query with its own options, safe to issue from many goroutines
+// at once over the same grounded network.
+//
 // Quick start:
 //
 //	prog, _ := tuffy.LoadProgramString(src)
 //	ev, _ := tuffy.LoadEvidenceString(prog, evidence)
-//	sys := tuffy.New(prog, ev, tuffy.Config{})
-//	res, _ := sys.InferMAP()
-//	for _, atom := range res.TrueAtoms { fmt.Println(atom.Format(prog.Syms)) }
+//	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+//	if err := eng.Ground(ctx); err != nil { ... }
+//	res, _ := eng.InferMAP(ctx, tuffy.InferOptions{Seed: 1})
+//	for _, atom := range res.TrueAtoms { fmt.Println(eng.FormatAtom(atom)) }
+//
+// Concurrent serving: after Ground, any number of goroutines may call
+// InferMAP / InferMarginal concurrently with distinct InferOptions; each
+// call owns its RNG, tracker and helper tables (collision-free names), and
+// every result is bit-identical to the same call run alone. Cancellation:
+// every method takes a context; a canceled search returns ErrCanceled
+// together with the best result found so far.
 package tuffy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"tuffy/internal/db"
@@ -40,7 +57,8 @@ const (
 	TopDown
 )
 
-// SearchMode selects where search runs.
+// SearchMode selects where search runs. It is a per-query choice: one
+// grounded Engine can serve all three modes.
 type SearchMode int
 
 const (
@@ -54,73 +72,130 @@ const (
 	InDatabase
 )
 
-// Config tunes the system. The zero value is the paper's default Tuffy:
-// bottom-up grounding, component partitioning, single-threaded search.
-type Config struct {
+// ErrCanceled is matched (via errors.Is) by the error inference methods
+// return when their context is canceled or times out. The accompanying
+// result is still valid: it holds the best answer found before the stop.
+var ErrCanceled = search.ErrCanceled
+
+// EngineConfig fixes the one-time phase of an Engine: grounding strategy
+// and partitioning budget. Everything per-query lives in InferOptions.
+// The zero value is the paper's default Tuffy: bottom-up grounding,
+// component partitioning, single-threaded grounding.
+type EngineConfig struct {
 	Grounder   GrounderKind
-	Mode       SearchMode
 	UseClosure bool // lazy-inference active closure (Appendix A.3)
 
-	// Partitioning: 0 keeps whole connected components (Section 3.3); a
-	// positive MemoryBudgetBytes further splits components so each
-	// partition's search footprint fits (Section 3.4), searched with
-	// Gauss-Seidel when clauses are cut.
+	// MemoryBudgetBytes controls partitioning: 0 keeps whole connected
+	// components (Section 3.3); a positive budget further splits components
+	// so each partition's search footprint fits (Section 3.4), searched
+	// with Gauss-Seidel when clauses are cut.
 	MemoryBudgetBytes int64
-	// GaussSeidelRounds is T in the partition-aware scheme (default 3).
-	GaussSeidelRounds int
-	// Parallelism is the number of search workers (default 1, matching the
-	// paper's single-thread experiments). It drives component-aware search,
-	// the partitions within one color class of a Gauss-Seidel round, and
-	// per-component/partitioned MC-SAT; results are identical for every
-	// value.
-	Parallelism int
-	// GroundWorkers is the number of concurrent clause-grounding workers for
-	// the bottom-up grounder (default 1). Results are identical for every
-	// worker count; see grounding.Options.Workers.
+
+	// GroundWorkers is the number of concurrent clause-grounding workers
+	// for the bottom-up grounder (default 1). Results are identical for
+	// every worker count; see grounding.Options.Workers.
 	GroundWorkers int
-
-	// Search budget.
-	MaxFlips int64 // total flips (default 1e6)
-	MaxTries int
-	Seed     int64
-
-	// Tracker receives best-cost-over-time samples (time-cost plots).
-	Tracker *search.Tracker
 
 	// DB overrides the embedded engine configuration (buffer pool size,
 	// optimizer lesion knobs, disk latency injection).
 	DB db.Config
 }
 
-// System is one inference instance over a program and its evidence.
-type System struct {
-	cfg  Config
-	Prog *mln.Program
-	Ev   *mln.Evidence
-
-	DB       *db.DB
-	Tables   *grounding.TableSet
-	Grounded *grounding.Result
-
-	GroundTime time.Duration
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.GroundWorkers == 0 {
+		c.GroundWorkers = 1
+	}
+	return c
 }
 
-// New creates a system. Call Ground (or InferMAP, which grounds on demand)
-// next.
-func New(prog *mln.Program, ev *mln.Evidence, cfg Config) *System {
-	if cfg.MaxFlips == 0 {
-		cfg.MaxFlips = 1_000_000
+// InferOptions are the per-query knobs of one InferMAP / InferMarginal
+// call. The zero value runs the paper's defaults. Distinct concurrent
+// queries may use any mix of options; none of them mutates Engine state.
+type InferOptions struct {
+	// Mode selects where this query's search runs (Auto by default).
+	Mode SearchMode
+
+	// Seed drives the query's deterministic RNG streams.
+	Seed int64
+	// MaxFlips is the total WalkSAT flip budget (default 1e6).
+	MaxFlips int64
+	// MaxTries restarts WalkSAT with fresh random states (default 1).
+	MaxTries int
+
+	// GaussSeidelRounds is T in the partition-aware scheme (default 3).
+	GaussSeidelRounds int
+	// Parallelism is the number of search workers for this query (default
+	// 1, matching the paper's single-thread experiments). It drives
+	// component-aware search, the partitions within one color class of a
+	// Gauss-Seidel round, and per-component/partitioned MC-SAT; results
+	// are identical for every value.
+	Parallelism int
+
+	// Samples is the number of MC-SAT samples for InferMarginal (default
+	// 200); ignored by InferMAP.
+	Samples int
+
+	// Tracker receives this query's best-cost-over-time samples; may be
+	// nil. Each query should use its own Tracker.
+	Tracker *search.Tracker
+}
+
+func (o InferOptions) withDefaults() InferOptions {
+	if o.MaxFlips == 0 {
+		o.MaxFlips = 1_000_000
 	}
-	if cfg.GaussSeidelRounds == 0 {
-		cfg.GaussSeidelRounds = 3
+	if o.GaussSeidelRounds == 0 {
+		o.GaussSeidelRounds = 3
 	}
-	if cfg.Parallelism == 0 {
-		cfg.Parallelism = 1
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
 	}
-	if cfg.GroundWorkers == 0 {
-		cfg.GroundWorkers = 1
+	if o.Samples == 0 {
+		o.Samples = 200
 	}
-	return &System{cfg: cfg, Prog: prog, Ev: ev, DB: db.Open(cfg.DB)}
+	return o
+}
+
+// Engine owns one program, its evidence and the grounded network. Ground
+// runs the one-time phase; after it returns the Engine is immutable and
+// InferMAP / InferMarginal may be called from any number of goroutines
+// concurrently.
+type Engine struct {
+	cfg  EngineConfig
+	prog *mln.Program
+	ev   *mln.Evidence
+	db   *db.DB
+
+	// groundMu guards the ground-once state; after groundDone the fields
+	// are read-only and queries read them without locking.
+	groundMu   sync.Mutex
+	groundDone bool
+	groundErr  error
+	tables     *grounding.TableSet
+	grounded   *grounding.Result
+	groundTime time.Duration
+
+	// partOnce caches the partitioning (Algorithm 3 under the configured
+	// budget); it is deterministic, so all queries share one copy.
+	partOnce sync.Once
+	part     *partition.Partitioning
+
+	// compOnce caches the connected components used by marginal inference.
+	compOnce sync.Once
+	comps    []*mrf.Component
+
+	// clauseOnce stores the grounded MRF into the shared read-only clause
+	// table that InDatabase-mode queries search over.
+	clauseOnce  sync.Once
+	clauseErr   error
+	clauseTable string
+}
+
+// Open creates an Engine over a parsed program and its evidence. Call
+// Ground next (or InferMAP / InferMarginal, which ground on demand).
+func Open(prog *mln.Program, ev *mln.Evidence, cfg EngineConfig) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{cfg: cfg, prog: prog, ev: ev, db: db.Open(cfg.DB)}
 }
 
 // LoadProgram parses an MLN program.
@@ -139,30 +214,132 @@ func LoadEvidenceString(prog *mln.Program, s string) (*mln.Evidence, error) {
 	return mln.ParseEvidenceString(prog, s)
 }
 
-// SetPlanOptions adjusts the engine's optimizer knobs (the Table 6 lesion
-// study) before grounding.
-func (s *System) SetPlanOptions(o plan.Options) { s.DB.SetPlanOptions(o) }
+// SetPlanOptions adjusts the embedded engine's optimizer knobs (the Table 6
+// lesion study). Call it before Ground.
+func (e *Engine) SetPlanOptions(o plan.Options) { e.db.SetPlanOptions(o) }
 
-// Ground builds the predicate tables and runs the configured grounder.
-func (s *System) Ground() error {
+// DB exposes the embedded relational engine (for experiments and stats).
+func (e *Engine) DB() *db.DB { return e.db }
+
+// Prog returns the program the engine serves.
+func (e *Engine) Prog() *mln.Program { return e.prog }
+
+// Ev returns the evidence the engine was opened with.
+func (e *Engine) Ev() *mln.Evidence { return e.ev }
+
+// Tables returns the predicate tables built by Ground (nil before). Safe
+// to call concurrently with an in-flight Ground.
+func (e *Engine) Tables() *grounding.TableSet {
+	e.groundMu.Lock()
+	defer e.groundMu.Unlock()
+	return e.tables
+}
+
+// Grounded returns the grounding result (nil before Ground). Safe to call
+// concurrently with an in-flight Ground.
+func (e *Engine) Grounded() *grounding.Result {
+	e.groundMu.Lock()
+	defer e.groundMu.Unlock()
+	return e.grounded
+}
+
+// GroundTime reports how long the grounding phase took.
+func (e *Engine) GroundTime() time.Duration {
+	e.groundMu.Lock()
+	defer e.groundMu.Unlock()
+	return e.groundTime
+}
+
+// Ground builds the predicate tables and runs the configured grounder. It
+// is idempotent: concurrent and repeated calls share one grounding run and
+// its outcome. A failed (or canceled) Ground is latched — the Engine must
+// be discarded and reopened, since the half-built predicate tables cannot
+// be rebuilt in place.
+func (e *Engine) Ground(ctx context.Context) error {
+	e.groundMu.Lock()
+	defer e.groundMu.Unlock()
+	if e.groundDone {
+		return e.groundErr
+	}
+	e.groundDone = true
+	e.groundErr = e.ground(ctx)
+	return e.groundErr
+}
+
+func (e *Engine) ground(ctx context.Context) error {
 	start := time.Now()
-	ts, err := grounding.BuildTables(s.DB, s.Prog, s.Ev)
+	ts, err := grounding.BuildTables(e.db, e.prog, e.ev)
 	if err != nil {
 		return err
 	}
-	s.Tables = ts
-	opts := grounding.Options{UseClosure: s.cfg.UseClosure, Workers: s.cfg.GroundWorkers}
-	switch s.cfg.Grounder {
+	e.tables = ts
+	opts := grounding.Options{UseClosure: e.cfg.UseClosure, Workers: e.cfg.GroundWorkers}
+	var res *grounding.Result
+	switch e.cfg.Grounder {
 	case TopDown:
-		s.Grounded, err = grounding.GroundTopDown(ts, opts)
+		res, err = grounding.GroundTopDown(ctx, ts, opts)
 	default:
-		s.Grounded, err = grounding.GroundBottomUp(ts, opts)
+		res, err = grounding.GroundBottomUp(ctx, ts, opts)
 	}
 	if err != nil {
+		// Wrap only genuine cancellations (the grounders return the
+		// context's cause when they stop); a real grounding failure that
+		// merely coincides with an expired deadline keeps its own error.
+		if ctx.Err() != nil && errors.Is(err, context.Cause(ctx)) {
+			return search.Canceled(ctx)
+		}
 		return err
 	}
-	s.GroundTime = time.Since(start)
+	e.grounded = res
+	e.groundTime = time.Since(start)
 	return nil
+}
+
+// ensureGround grounds on demand for the inference entry points; Ground's
+// mutex both latches the single run and publishes the grounded fields to
+// queries racing the first call.
+func (e *Engine) ensureGround(ctx context.Context) error {
+	return e.Ground(ctx)
+}
+
+// partitionBeta converts the memory budget to Algorithm 3's size-unit
+// bound (SearchBytes ≈ 20 bytes per size unit, i.e. per atom or literal);
+// 0 means no budget, which keeps whole connected components.
+func (e *Engine) partitionBeta() int {
+	if e.cfg.MemoryBudgetBytes <= 0 {
+		return 0
+	}
+	return int(e.cfg.MemoryBudgetBytes / 20)
+}
+
+// partitioning lazily computes (once) the Algorithm 3 partitioning every
+// Auto-mode query shares. Algorithm 3 is deterministic and the searches
+// never mutate the Partitioning, so sharing preserves bit-identical
+// results.
+func (e *Engine) partitioning() *partition.Partitioning {
+	e.partOnce.Do(func() {
+		e.part = partition.Algorithm3(e.grounded.MRF, e.partitionBeta())
+	})
+	return e.part
+}
+
+// components lazily computes (once) the connected components marginal
+// inference factorizes over.
+func (e *Engine) components() []*mrf.Component {
+	e.compOnce.Do(func() {
+		e.comps = e.grounded.MRF.Components(true)
+	})
+	return e.comps
+}
+
+// ensureClauseTable stores the grounded MRF into the shared read-only
+// clause table for InDatabase queries (once; concurrent queries share it).
+func (e *Engine) ensureClauseTable() (string, error) {
+	e.clauseOnce.Do(func() {
+		e.clauseTable = "mrf_clauses"
+		e.clauseErr = mrf.Store(e.grounded.MRF, e.db, e.clauseTable)
+	})
+	return e.clauseTable, e.clauseErr
 }
 
 // MAPResult is the outcome of MAP inference.
@@ -188,122 +365,150 @@ type MAPResult struct {
 	InDBComponents int
 }
 
-// InferMAP runs the full pipeline: grounding (if not already done),
-// partitioning per the configuration, then search.
-func (s *System) InferMAP() (*MAPResult, error) {
-	if s.Grounded == nil {
-		if err := s.Ground(); err != nil {
-			return nil, err
-		}
+// InferMAP runs one MAP query: grounding (if not already done), then
+// search per the per-call options. Safe for concurrent use: any number of
+// goroutines may query one grounded Engine at once, and each result is
+// bit-identical to the same query run alone.
+//
+// If ctx is canceled mid-search, InferMAP returns the best result found so
+// far together with an error matching ErrCanceled.
+func (e *Engine) InferMAP(ctx context.Context, opts InferOptions) (*MAPResult, error) {
+	opts = opts.withDefaults()
+	if err := e.ensureGround(ctx); err != nil {
+		return nil, err
 	}
-	m := s.Grounded.MRF
-	res := &MAPResult{GroundTime: s.GroundTime}
+	m := e.grounded.MRF
+	res := &MAPResult{GroundTime: e.groundTime}
 	searchStart := time.Now()
 
 	base := search.Options{
-		MaxFlips: s.cfg.MaxFlips,
-		MaxTries: s.cfg.MaxTries,
-		Seed:     s.cfg.Seed,
-		Tracker:  s.cfg.Tracker,
+		MaxFlips: opts.MaxFlips,
+		MaxTries: opts.MaxTries,
+		Seed:     opts.Seed,
+		Tracker:  opts.Tracker,
 	}
 
-	switch s.cfg.Mode {
+	finish := func(err error) (*MAPResult, error) {
+		res.SearchTime = time.Since(searchStart)
+		res.TrueAtoms = e.trueAtoms(res.State)
+		return res, err
+	}
+
+	switch opts.Mode {
 	case InDatabase:
-		if err := mrf.Store(m, s.DB, "mrf_clauses"); err != nil {
-			return nil, err
-		}
-		r, err := search.RDBMSWalkSAT(s.DB, "mrf_clauses", m.NumAtoms, base)
+		table, err := e.ensureClauseTable()
 		if err != nil {
 			return nil, err
 		}
+		r, err := search.RDBMSWalkSAT(ctx, e.db, table, m.NumAtoms, base)
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			return nil, err
+		}
+		if r == nil { // canceled before the search state was built
+			res.Cost = math.Inf(1)
+			return finish(err)
+		}
 		res.Cost = r.BestCost
 		res.State = r.Best
 		res.Flips = r.Flips
+		return finish(err)
 
 	case InMemoryMonolithic:
-		r := search.Monolithic(m, base)
+		r, err := search.Monolithic(ctx, m, base)
 		res.Cost = r.BestCost
 		res.State = r.Best
 		res.Flips = r.Flips
+		return finish(err)
 
 	default: // Auto: partitioned
-		pt := partition.Algorithm3(m, s.partitionBeta())
+		pt := e.partitioning()
 		res.Partitions = len(pt.Parts)
 		res.CutClauses = pt.NumCut()
 		if pt.NumCut() > 0 {
-			r, err := search.GaussSeidel(pt, search.GaussSeidelOptions{
+			r, err := search.GaussSeidel(ctx, pt, search.GaussSeidelOptions{
 				Base:        base,
-				Rounds:      s.cfg.GaussSeidelRounds,
-				Parallelism: s.cfg.Parallelism,
+				Rounds:      opts.GaussSeidelRounds,
+				Parallelism: opts.Parallelism,
 			})
-			if err != nil {
+			if err != nil && !errors.Is(err, ErrCanceled) {
 				return nil, err
 			}
 			res.Cost = r.BestCost
 			res.State = r.Best
 			res.Flips = r.Flips
-		} else {
-			// Hybrid fallback (Section 3.2): components whose search
-			// footprint exceeds the memory budget are searched inside the
-			// RDBMS (Tuffy-mm); the rest run in memory.
-			var inMem []*mrf.Component
-			var oversized []*partition.Part
-			for _, p := range pt.Parts {
-				if s.cfg.MemoryBudgetBytes > 0 && p.Bytes() > s.cfg.MemoryBudgetBytes {
-					oversized = append(oversized, p)
-					continue
-				}
-				inMem = append(inMem, &mrf.Component{MRF: p.Local, GlobalAtom: p.GlobalAtom})
+			return finish(err)
+		}
+		// Hybrid fallback (Section 3.2): components whose search footprint
+		// exceeds the memory budget are searched inside the RDBMS
+		// (Tuffy-mm); the rest run in memory.
+		var inMem []*mrf.Component
+		var oversized []*partition.Part
+		for _, p := range pt.Parts {
+			if e.cfg.MemoryBudgetBytes > 0 && p.Bytes() > e.cfg.MemoryBudgetBytes {
+				oversized = append(oversized, p)
+				continue
 			}
-			r := search.ComponentAware(m, inMem, search.ComponentOptions{
-				Base:        base,
-				Parallelism: s.cfg.Parallelism,
+			inMem = append(inMem, &mrf.Component{MRF: p.Local, GlobalAtom: p.GlobalAtom})
+		}
+		r, err := search.ComponentAware(ctx, m, inMem, search.ComponentOptions{
+			Base:        base,
+			Parallelism: opts.Parallelism,
+		})
+		res.Cost = r.BestCost
+		res.State = r.Best
+		res.Flips = r.Flips
+		if err != nil {
+			return finish(err)
+		}
+		// In-DB flips are orders of magnitude slower, so oversized
+		// components get 1% of the budget — clamped to at least one flip so
+		// they still search when the total budget is tiny.
+		inDBFlips := base.MaxFlips / 100
+		if inDBFlips < 1 {
+			inDBFlips = 1
+		}
+		for i, p := range oversized {
+			if ctx.Err() != nil {
+				return finish(search.Canceled(ctx))
+			}
+			// Per-query table name: concurrent queries must not collide in
+			// the catalog; dropping the table afterwards returns its pages
+			// to the engine's free list.
+			table := mrf.QueryTableName("mrf_part")
+			if err := mrf.Store(p.Local, e.db, table); err != nil {
+				return nil, err
+			}
+			rp, rerr := search.RDBMSWalkSAT(ctx, e.db, table, p.Local.NumAtoms, search.Options{
+				MaxFlips: inDBFlips,
+				Seed:     base.Seed + int64(i),
 			})
-			res.Cost = r.BestCost
-			res.State = r.Best
-			res.Flips = r.Flips
-			for i, p := range oversized {
-				table := fmt.Sprintf("mrf_part_%d", i)
-				if err := mrf.Store(p.Local, s.DB, table); err != nil {
-					return nil, err
-				}
-				rp, err := search.RDBMSWalkSAT(s.DB, table, p.Local.NumAtoms, search.Options{
-					MaxFlips: base.MaxFlips / 100, // in-DB flips are ~orders slower
-					Seed:     base.Seed + int64(i),
-				})
-				if err != nil {
-					return nil, err
-				}
+			if derr := e.db.DropTable(table); derr != nil && rerr == nil {
+				rerr = derr
+			}
+			if rerr != nil && !errors.Is(rerr, ErrCanceled) {
+				return nil, rerr
+			}
+			if rp != nil && rp.Best != nil {
 				p.ProjectState(rp.Best, res.State)
 				res.Cost += rp.BestCost
 				res.Flips += rp.Flips
 				res.InDBComponents++
 			}
+			if rerr != nil {
+				return finish(rerr)
+			}
 		}
+		return finish(nil)
 	}
-
-	res.SearchTime = time.Since(searchStart)
-	res.TrueAtoms = s.trueAtoms(res.State)
-	return res, nil
-}
-
-// partitionBeta converts the memory budget to Algorithm 3's size-unit bound
-// (SearchBytes ≈ 20 bytes per size unit, i.e. per atom or literal); 0 means
-// no budget, which keeps whole connected components.
-func (s *System) partitionBeta() int {
-	if s.cfg.MemoryBudgetBytes <= 0 {
-		return 0
-	}
-	return int(s.cfg.MemoryBudgetBytes / 20)
 }
 
 // trueAtoms maps the best state back to ground atoms inferred true.
-func (s *System) trueAtoms(state []bool) []mln.GroundAtom {
+func (e *Engine) trueAtoms(state []bool) []mln.GroundAtom {
 	if state == nil {
 		return nil
 	}
 	var out []mln.GroundAtom
-	m := s.Grounded.MRF
+	m := e.grounded.MRF
 	for a := 1; a <= m.NumAtoms && a < len(state); a++ {
 		if state[a] && m.Atoms != nil {
 			out = append(out, m.Atoms[a])
@@ -324,75 +529,72 @@ type AtomProb struct {
 	P    float64
 }
 
-// InferMarginal estimates marginal probabilities with MC-SAT (Appendix
-// A.5). Samples defaults to 200.
-func (s *System) InferMarginal(samples int) (*MarginalResult, error) {
-	if s.Grounded == nil {
-		if err := s.Ground(); err != nil {
-			return nil, err
-		}
+// InferMarginal runs one marginal-inference query with MC-SAT (Appendix
+// A.5), using opts.Samples sampling rounds. Like InferMAP it is safe for
+// concurrent use over one grounded Engine, and a canceled context returns
+// the marginals estimated so far together with an error matching
+// ErrCanceled.
+func (e *Engine) InferMarginal(ctx context.Context, opts InferOptions) (*MarginalResult, error) {
+	opts = opts.withDefaults()
+	if err := e.ensureGround(ctx); err != nil {
+		return nil, err
 	}
-	if samples == 0 {
-		samples = 200
-	}
-	m := s.Grounded.MRF
-	opts := search.MCSATOptions{
-		Samples: samples,
-		BurnIn:  samples / 10,
-		Seed:    s.cfg.Seed,
+	m := e.grounded.MRF
+	mo := search.MCSATOptions{
+		Samples: opts.Samples,
+		BurnIn:  opts.Samples / 10,
+		Seed:    opts.Seed,
 	}
 	// The distribution factorizes over connected components, so sample
 	// each independently (and in parallel) — the marginal-inference
 	// counterpart of component-aware MAP search. With a memory budget that
 	// splits components, the partitioned Gauss-Seidel MC-SAT path samples
 	// partitions color class by color class instead. Partitioning is only
-	// attempted when a budget is set: with beta=0 Algorithm3 would yield
-	// the connected components (never a cut), so running it would
-	// duplicate the MRF's clauses for nothing.
+	// consulted when a budget is set: with beta=0 Algorithm 3 yields the
+	// connected components (never a cut), so the component path below is
+	// the same factorization without duplicating the MRF's clauses.
 	var probs []float64
 	var err error
-	var pt *partition.Partitioning
-	if beta := s.partitionBeta(); beta > 0 && s.cfg.Mode == Auto {
-		pt = partition.Algorithm3(m, beta)
-	}
-	if pt != nil && pt.NumCut() > 0 {
-		probs, err = search.GaussMCSAT(pt, opts, s.cfg.Parallelism)
-	} else if comps := m.Components(true); len(comps) > 1 && s.cfg.Mode == Auto {
-		probs, err = search.MCSATComponents(m, comps, opts, s.cfg.Parallelism)
+	if e.partitionBeta() > 0 && opts.Mode == Auto && e.partitioning().NumCut() > 0 {
+		probs, err = search.GaussMCSAT(ctx, e.partitioning(), mo, opts.Parallelism)
+	} else if comps := e.components(); len(comps) > 1 && opts.Mode == Auto {
+		probs, err = search.MCSATComponents(ctx, m, comps, mo, opts.Parallelism)
 	} else {
-		probs, err = search.MCSAT(m, opts)
+		probs, err = search.MCSAT(ctx, m, mo)
 	}
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrCanceled) {
 		return nil, err
 	}
 	out := &MarginalResult{}
-	for a := 1; a <= m.NumAtoms; a++ {
-		out.Probs = append(out.Probs, AtomProb{Atom: m.Atoms[a], P: probs[a]})
+	if probs != nil {
+		for a := 1; a <= m.NumAtoms; a++ {
+			out.Probs = append(out.Probs, AtomProb{Atom: m.Atoms[a], P: probs[a]})
+		}
 	}
-	return out, nil
+	return out, err
 }
 
-// FormatAtom renders a ground atom with the system's symbol table.
-func (s *System) FormatAtom(a mln.GroundAtom) string { return a.Format(s.Prog.Syms) }
+// FormatAtom renders a ground atom with the engine's symbol table.
+func (e *Engine) FormatAtom(a mln.GroundAtom) string { return a.Format(e.prog.Syms) }
 
 // Stats exposes grounding statistics after Ground.
-func (s *System) Stats() (grounding.Stats, error) {
-	if s.Grounded == nil {
+func (e *Engine) Stats() (grounding.Stats, error) {
+	if e.grounded == nil {
 		return grounding.Stats{}, fmt.Errorf("tuffy: not grounded yet")
 	}
-	return s.Grounded.Stats, nil
+	return e.grounded.Stats, nil
 }
 
 // MRFStats exposes the grounded network's size accounting.
-func (s *System) MRFStats() (mrf.Stats, error) {
-	if s.Grounded == nil {
+func (e *Engine) MRFStats() (mrf.Stats, error) {
+	if e.grounded == nil {
 		return mrf.Stats{}, fmt.Errorf("tuffy: not grounded yet")
 	}
-	return s.Grounded.MRF.ComputeStats(), nil
+	return e.grounded.MRF.ComputeStats(), nil
 }
 
 // OptimalIsInfeasible reports whether grounding already proved the hard
 // constraints unsatisfiable (a hard clause violated by evidence).
-func (s *System) OptimalIsInfeasible() bool {
-	return s.Grounded != nil && math.IsInf(s.Grounded.MRF.FixedCost, 1)
+func (e *Engine) OptimalIsInfeasible() bool {
+	return e.grounded != nil && math.IsInf(e.grounded.MRF.FixedCost, 1)
 }
