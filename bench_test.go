@@ -1,10 +1,14 @@
-package tuffy
+package tuffy_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation.
 // Each benchmark delegates to the internal/bench driver that cmd/tuffybench
 // also uses, so `go test -bench=.` regenerates every experiment. Drivers
 // print their table once (on the first iteration) so bench output doubles
 // as the experiment report.
+//
+// This file is an external test package: internal/bench imports the root
+// package for the serve experiment, so importing bench from inside
+// package tuffy's own tests would cycle.
 
 import (
 	"context"
@@ -12,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"tuffy"
 	"tuffy/internal/bench"
 	"tuffy/internal/datagen"
 	"tuffy/internal/search"
@@ -34,7 +39,7 @@ func runDriver(b *testing.B, name string, once *sync.Once, fn func(context.Conte
 var (
 	onceT1, onceT2, onceT3, onceT4, onceT5, onceT6, onceT7              sync.Once
 	onceF3, onceF4, onceF5, onceF6, onceF8, onceThm, onceAblat, onceERp sync.Once
-	onceGPar, oncePPar, onceFBatch                                      sync.Once
+	onceGPar, oncePPar, onceFBatch, onceServe                           sync.Once
 )
 
 func BenchmarkTable1_DatasetStats(b *testing.B) {
@@ -109,6 +114,10 @@ func BenchmarkFlipBatch_SideTableSearch(b *testing.B) {
 	runDriver(b, "flipbatch", &onceFBatch, bench.FlipBatch)
 }
 
+func BenchmarkServe_AdmissionScheduler(b *testing.B) {
+	runDriver(b, "serve", &onceServe, bench.Serve)
+}
+
 // Micro-benchmarks of the core hot paths, for profiling regressions.
 
 func BenchmarkWalkSATFlips(b *testing.B) {
@@ -131,7 +140,7 @@ func BenchmarkGroundingRC(b *testing.B) {
 	ds := datagen.RC(datagen.RCConfig{Papers: 200, Authors: 80, Clusters: 40, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys := New(ds.Prog, ds.Ev, Config{})
+		sys := tuffy.New(ds.Prog, ds.Ev, tuffy.Config{})
 		if err := sys.Ground(); err != nil {
 			b.Fatal(err)
 		}

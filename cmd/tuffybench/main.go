@@ -9,15 +9,23 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 figure3
 // figure4 figure5 figure6 figure8 theorem31 erplus closure groundpar
-// partpar flipbatch all.
+// partpar flipbatch serve all.
+//
+// With -json DIR, each experiment additionally writes its rendered table
+// and timing to DIR/BENCH_<name>.json — the machine-readable artifact the
+// CI bench-smoke job uploads. An experiment whose enforced invariant
+// regresses (e.g. flipbatch's >=5x read reduction, serve's cache-hit
+// bit-identity) exits non-zero, failing the job.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -27,6 +35,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1..table7, figure3..figure8, theorem31, all)")
 	full := flag.Bool("full", false, "run at larger, paper-closer scale")
+	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json files into this directory")
 	flag.Parse()
 
 	// SIGINT cancels the running experiment's searches gracefully.
@@ -61,6 +70,7 @@ func main() {
 		{"groundpar", bench.GroundParallel},
 		{"partpar", bench.PartParallel},
 		{"flipbatch", bench.FlipBatch},
+		{"serve", bench.Serve},
 	}
 
 	want := strings.ToLower(*exp)
@@ -76,11 +86,49 @@ func main() {
 			os.Exit(1)
 		}
 		t.Render(os.Stdout)
-		fmt.Printf("(%s finished in %v)\n", d.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("(%s finished in %v)\n", d.name, elapsed.Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, d.name, t, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "tuffybench: %s: %v\n", d.name, err)
+				os.Exit(1)
+			}
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "tuffybench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// benchJSON is the machine-readable experiment record for CI artifacts.
+// "passed" is trivially true here: a driver whose enforced invariant fails
+// returns an error and the process exits non-zero before writing anything,
+// so the field documents what a present file means.
+type benchJSON struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	ElapsedMs  int64      `json:"elapsedMs"`
+	Passed     bool       `json:"passed"`
+}
+
+func writeJSON(dir, name string, t *bench.Table, elapsed time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(benchJSON{
+		Experiment: name,
+		Title:      t.Title,
+		Header:     t.Header,
+		Rows:       t.Rows,
+		ElapsedMs:  elapsed.Milliseconds(),
+		Passed:     true,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(b, '\n'), 0o644)
 }

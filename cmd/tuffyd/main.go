@@ -1,0 +1,316 @@
+// Command tuffyd is the inference daemon: it grounds an MLN program once,
+// then serves MAP and marginal queries over HTTP through tuffy.Serve's
+// admission-controlled scheduler — bounded priority queue, per-query
+// budget caps, result cache, metrics.
+//
+//	tuffyd -i prog.mln -e evidence.db -addr :7090
+//
+// Endpoints:
+//
+//	POST /infer    one query; JSON body, JSON answer
+//	GET  /metrics  scheduler/cache counters as JSON
+//	GET  /healthz  liveness (200 once serving)
+//
+// Example query:
+//
+//	curl -s localhost:7090/infer -d '{"kind":"map","seed":1,"maxFlips":20000,"priority":1}'
+//
+// Admission rejections map to HTTP statuses: 429 queue full, 400 budget
+// exceeded, 504 expired in queue, 503 shutting down. A query canceled
+// mid-run (its deadline, or daemon shutdown) still answers 200 with
+// "canceled": true and the best result found. SIGINT stops admission,
+// drains in-flight queries and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"tuffy"
+	"tuffy/internal/mln"
+)
+
+func main() {
+	var (
+		progPath   = flag.String("i", "", "MLN program file (required)")
+		evPath     = flag.String("e", "", "evidence file (required)")
+		addr       = flag.String("addr", ":7090", "HTTP listen address")
+		threads    = flag.Int("threads", 1, "grounding workers")
+		budget     = flag.Int64("memory", 0, "engine memory budget in bytes for MRF partitioning")
+		replicas   = flag.Int("replicas", 1, "engine replicas to ground and load-balance across")
+		inflight   = flag.Int("inflight", 4, "max concurrently executing queries")
+		queue      = flag.Int("queue", 64, "admission queue bound (waiting queries)")
+		lanes      = flag.Int("lanes", 3, "priority lanes (0 = most urgent)")
+		maxFlips   = flag.Int64("maxflips", 0, "per-query flip cap (0 = none)")
+		maxSamples = flag.Int("maxsamples", 0, "per-query MC-SAT sample cap (0 = none)")
+		maxBytes   = flag.Int64("maxbytes", 0, "per-query memory estimate cap in bytes (0 = none)")
+		queryTime  = flag.Duration("querytimeout", 0, "per-query wall-clock deadline incl. queue wait (0 = none)")
+		cacheSize  = flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = off)")
+	)
+	flag.Parse()
+	if *progPath == "" || *evPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	prog, err := loadProgram(*progPath)
+	fatalIf(err)
+	ev, err := loadEvidence(prog, *evPath)
+	fatalIf(err)
+
+	cfg := tuffy.EngineConfig{GroundWorkers: *threads, MemoryBudgetBytes: *budget}
+	engines := make([]*tuffy.Engine, *replicas)
+	for i := range engines {
+		engines[i] = tuffy.Open(prog, ev, cfg)
+		start := time.Now()
+		fatalIf(engines[i].Ground(ctx))
+		log.Printf("replica %d grounded in %v", i, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv, err := tuffy.Serve(tuffy.ServerConfig{
+		MaxInFlight:        *inflight,
+		MaxQueue:           *queue,
+		Priorities:         *lanes,
+		MaxFlipsPerQuery:   *maxFlips,
+		MaxSamplesPerQuery: *maxSamples,
+		MaxBytesPerQuery:   *maxBytes,
+		MaxQueryTime:       *queryTime,
+		CacheEntries:       *cacheSize,
+	}, engines...)
+	fatalIf(err)
+
+	h := &handler{srv: srv, fmtEngine: engines[0]}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /infer", h.infer)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	// Request contexts derive from the signal context: SIGINT cancels every
+	// in-flight query, which returns promptly with its best-so-far answer
+	// (the search loops' usual cancellation contract), so the drain below
+	// is bounded and clients still get their 200 + "canceled": true.
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     mux,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Connection-level protection in front of the admission layer:
+		// slow or idle clients must not hold descriptors while the
+		// scheduler sheds load. No WriteTimeout — query duration is
+		// governed by -querytimeout through the context, not by the
+		// connection.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Print("shutting down: draining queries")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shCtx)
+		srv.Close()
+	}()
+	log.Printf("tuffyd serving on %s (inflight=%d queue=%d lanes=%d)", *addr, *inflight, *queue, *lanes)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fatalIf(err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the
+	// drain to finish before exiting the process.
+	<-drained
+	log.Print("drained; bye")
+}
+
+// inferRequest is the JSON query body.
+type inferRequest struct {
+	// Kind is "map" (default) or "marginal".
+	Kind string `json:"kind"`
+	// Mode is "auto" (default), "memory" (monolithic in-memory) or "indb".
+	Mode        string `json:"mode"`
+	Seed        int64  `json:"seed"`
+	MaxFlips    int64  `json:"maxFlips"`
+	MaxTries    int    `json:"maxTries"`
+	Rounds      int    `json:"rounds"`
+	Samples     int    `json:"samples"`
+	Parallelism int    `json:"parallelism"`
+	Priority    int    `json:"priority"`
+}
+
+type mapResponse struct {
+	// Cost is null (and Infeasible true) when the best world violates a
+	// hard constraint — MAPResult reports that as +Inf, which JSON cannot
+	// encode.
+	Cost       *float64 `json:"cost"`
+	Infeasible bool     `json:"infeasible,omitempty"`
+	Flips      int64    `json:"flips"`
+	Partitions int      `json:"partitions"`
+	CutClauses int      `json:"cutClauses"`
+	TrueAtoms  []string `json:"trueAtoms"`
+	Canceled   bool     `json:"canceled"`
+}
+
+type probResponse struct {
+	Atom string  `json:"atom"`
+	P    float64 `json:"p"`
+}
+
+type marginalResponse struct {
+	Probs    []probResponse `json:"probs"`
+	Canceled bool           `json:"canceled"`
+}
+
+type handler struct {
+	srv *tuffy.Server
+	// fmtEngine renders atoms with the program's symbol table (all
+	// replicas share one program).
+	fmtEngine *tuffy.Engine
+}
+
+func (h *handler) infer(w http.ResponseWriter, r *http.Request) {
+	var req inferRequest
+	// A query body is a handful of scalars; 1 MB bounds decoder memory
+	// before any admission logic runs.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	opts := tuffy.InferOptions{
+		Seed:              req.Seed,
+		MaxFlips:          req.MaxFlips,
+		MaxTries:          req.MaxTries,
+		GaussSeidelRounds: req.Rounds,
+		Samples:           req.Samples,
+		Parallelism:       req.Parallelism,
+	}
+	switch strings.ToLower(req.Mode) {
+	case "", "auto":
+		opts.Mode = tuffy.Auto
+	case "memory", "monolithic":
+		opts.Mode = tuffy.InMemoryMonolithic
+	case "indb", "database":
+		opts.Mode = tuffy.InDatabase
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
+		return
+	}
+	q := tuffy.Request{Options: opts, Priority: req.Priority}
+
+	switch strings.ToLower(req.Kind) {
+	case "", "map":
+		res, err := h.srv.InferMAP(r.Context(), q)
+		if err != nil && !errors.Is(err, tuffy.ErrCanceled) {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		out := mapResponse{Canceled: err != nil}
+		if res != nil {
+			if math.IsInf(res.Cost, 0) {
+				out.Infeasible = true
+			} else {
+				cost := res.Cost
+				out.Cost = &cost
+			}
+			out.Flips = res.Flips
+			out.Partitions, out.CutClauses = res.Partitions, res.CutClauses
+			out.TrueAtoms = make([]string, 0, len(res.TrueAtoms))
+			for _, a := range res.TrueAtoms {
+				out.TrueAtoms = append(out.TrueAtoms, h.fmtEngine.FormatAtom(a))
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case "marginal":
+		res, err := h.srv.InferMarginal(r.Context(), q)
+		if err != nil && !errors.Is(err, tuffy.ErrCanceled) {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		out := marginalResponse{Canceled: err != nil}
+		if res != nil {
+			out.Probs = make([]probResponse, 0, len(res.Probs))
+			for _, ap := range res.Probs {
+				out.Probs = append(out.Probs, probResponse{Atom: h.fmtEngine.FormatAtom(ap.Atom), P: ap.P})
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", req.Kind))
+	}
+}
+
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.srv.Metrics())
+}
+
+// statusFor maps admission outcomes to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, tuffy.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, tuffy.ErrBudgetExceeded):
+		return http.StatusBadRequest
+	case errors.Is(err, tuffy.ErrExpiredInQueue):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, tuffy.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON marshals before touching the response, so an encoding failure
+// becomes a 500 with a diagnostic instead of a silent 200 with no body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(fmt.Sprintf("{\"error\":%q}", "encode response: "+err.Error()))
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func loadProgram(path string) (*mln.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tuffy.LoadProgram(f)
+}
+
+func loadEvidence(prog *mln.Program, path string) (*mln.Evidence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tuffy.LoadEvidence(prog, f)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tuffyd:", err)
+		os.Exit(1)
+	}
+}

@@ -383,6 +383,75 @@ p(thing)
 	}
 }
 
+// A canceled Ground must tear its half-built predicate tables down and
+// leave the Engine re-Groundable in place: the retry sees a clean catalog
+// and produces the same grounding a fresh Engine would.
+func TestGroundCancelThenRetry(t *testing.T) {
+	ds := datagen.ER(datagen.ERConfig{Records: 30, Groups: 8, Seed: 3})
+	eng := Open(ds.Prog, ds.Ev, EngineConfig{})
+
+	// Cancel before grounding starts: the build is skipped (or torn down)
+	// and the catalog must end empty either way.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.Ground(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled Ground: err = %v, want ErrCanceled", err)
+	}
+	if n := len(eng.DB().TableNames()); n != 0 {
+		t.Fatalf("canceled Ground left %d tables in the catalog: %v", n, eng.DB().TableNames())
+	}
+	if eng.Tables() != nil || eng.Grounded() != nil {
+		t.Fatal("canceled Ground left grounded state on the engine")
+	}
+
+	// Retry in place must succeed and match a fresh engine bit for bit.
+	if err := eng.Ground(context.Background()); err != nil {
+		t.Fatalf("retry Ground: %v", err)
+	}
+	fresh := Open(ds.Prog, ds.Ev, EngineConfig{})
+	if err := fresh.Ground(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gs, _ := eng.Stats()
+	fs, _ := fresh.Stats()
+	if gs.NumClauses != fs.NumClauses || gs.NumUsedAtoms != fs.NumUsedAtoms {
+		t.Fatalf("retried grounding differs: %+v vs fresh %+v", gs, fs)
+	}
+	res, err := eng.InferMAP(context.Background(), InferOptions{MaxFlips: 5_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.InferMAP(context.Background(), InferOptions{MaxFlips: 5_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != want.Cost || !sameStates(res.State, want.State) {
+		t.Fatalf("retried engine answers differ: cost %v vs %v", res.Cost, want.Cost)
+	}
+
+	// Repeated cancel/retry cycles must hold the catalog and page
+	// footprint at a successful ground's level (no leaked predicate
+	// tables or pages across retries).
+	disk := storage.NewMemDisk()
+	eng2 := Open(ds.Prog, ds.Ev, EngineConfig{DB: db.Config{Disk: disk}})
+	for i := 0; i < 3; i++ {
+		cctx, ccancel := context.WithCancel(context.Background())
+		ccancel()
+		if err := eng2.Ground(cctx); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("cycle %d: err = %v, want ErrCanceled", i, err)
+		}
+		if n := len(eng2.DB().TableNames()); n != 0 {
+			t.Fatalf("cycle %d left %d tables", i, n)
+		}
+	}
+	if err := eng2.Ground(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Ground(context.Background()); err != nil {
+		t.Fatalf("Ground after success must stay idempotent: %v", err)
+	}
+}
+
 // The deprecated System shim must keep delegating to the Engine.
 func TestSystemShimDelegates(t *testing.T) {
 	prog, _ := LoadProgramString(mln.Figure1Program)

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tuffy"
+	"tuffy/internal/datagen"
+)
+
+// Serve measures the admission-controlled serving layer (tuffy.Serve) in
+// front of one grounded Engine: sustained throughput and mean latency at
+// 1, 4, 16 and 64 concurrent clients, with the result cache off and on.
+// Every answer the server produces — scheduled cold or served from cache —
+// is verified bit-identical to a direct Engine call with the same options;
+// the driver fails on any divergence, rejection, or a cache-on run that
+// produced no hits. This is the enforced invariant of the CI bench-smoke
+// job: the scheduler must sustain >= 4 concurrent clients with cache-hit
+// answers indistinguishable from cold runs.
+func Serve(ctx context.Context, s Scale) (*Table, error) {
+	ds := datagen.LP(s.LP)
+	eng := tuffy.Open(ds.Prog, ds.Ev, tuffy.EngineConfig{})
+	if err := eng.Ground(ctx); err != nil {
+		return nil, fmt.Errorf("serve: ground %s: %w", ds.Name, err)
+	}
+
+	// The working set: distinct seeds across the three priority lanes.
+	// Clients re-issue these round-robin, so with caching on the second
+	// pass onward should hit.
+	const flips = 4000
+	reqs := make([]tuffy.Request, 8)
+	for i := range reqs {
+		reqs[i] = tuffy.Request{
+			Options:  tuffy.InferOptions{Seed: int64(i + 1), MaxFlips: flips},
+			Priority: i % 3,
+		}
+	}
+
+	// Reference answers: the direct Engine calls the served results must
+	// reproduce bit for bit.
+	type answer struct {
+		cost  float64
+		flips int64
+	}
+	key := func(r *tuffy.MAPResult) answer { return answer{r.Cost, r.Flips} }
+	want := make([]answer, len(reqs))
+	wantStates := make([][]bool, len(reqs))
+	for i, r := range reqs {
+		res, err := eng.InferMAP(ctx, r.Options)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reference query %d: %w", i, err)
+		}
+		want[i] = key(res)
+		wantStates[i] = res.State
+	}
+	sameState := func(a, b []bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("Admission-controlled serving: %s, %d-query working set, %d flips/query, 4 slots",
+			ds.Name, len(reqs), flips),
+		Header: []string{"clients", "cache", "queries", "wall", "qps", "avg lat", "hits", "identical"},
+	}
+
+	const perClient = 6
+	for _, cached := range []bool{false, true} {
+		for _, clients := range []int{1, 4, 16, 64} {
+			cacheEntries := -1
+			label := "off"
+			if cached {
+				cacheEntries = 0 // default-sized cache
+				label = "on"
+			}
+			srv, err := tuffy.Serve(tuffy.ServerConfig{
+				MaxInFlight:  4,
+				MaxQueue:     4 * 64, // admit every client of the largest fleet
+				CacheEntries: cacheEntries,
+			}, eng)
+			if err != nil {
+				return nil, err
+			}
+
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			var latNanos atomic.Int64 // client-observed (queue + run + cache)
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for q := 0; q < perClient; q++ {
+						i := (c + q) % len(reqs)
+						qStart := time.Now()
+						res, err := srv.InferMAP(ctx, reqs[i])
+						latNanos.Add(time.Since(qStart).Nanoseconds())
+						if err != nil {
+							errs[c] = fmt.Errorf("client %d query %d: %w", c, i, err)
+							return
+						}
+						if key(res) != want[i] || !sameState(res.State, wantStates[i]) {
+							errs[c] = fmt.Errorf("client %d query %d: served answer diverges from direct engine call", c, i)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			m := srv.Metrics()
+			srv.Close()
+			for _, err := range errs {
+				if err != nil {
+					return nil, fmt.Errorf("serve (%d clients, cache %s): %w", clients, label, err)
+				}
+			}
+			total := clients * perClient
+			if m.Completed+m.CacheHits != int64(total) {
+				return nil, fmt.Errorf("serve (%d clients, cache %s): %d completed + %d hits != %d issued",
+					clients, label, m.Completed, m.CacheHits, total)
+			}
+			if cached && clients >= 4 && m.CacheHits == 0 {
+				return nil, fmt.Errorf("serve (%d clients): cache on but no hits over %d repeat queries", clients, total)
+			}
+			tab.Rows = append(tab.Rows, []string{
+				fmt.Sprint(clients), label, fmt.Sprint(total), fmtDur(elapsed),
+				fmtRate(float64(total) / elapsed.Seconds()),
+				fmtDur(time.Duration(latNanos.Load() / int64(total))),
+				fmt.Sprint(m.CacheHits), "yes",
+			})
+		}
+	}
+	return tab, nil
+}

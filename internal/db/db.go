@@ -386,6 +386,39 @@ func (t *Table) UpdateMany(rids []storage.RecordID, rows []tuple.Row) error {
 	return err
 }
 
+// ReviveMany rewrites previously deleted rows' slots with new rows (rids
+// and rows aligned, one page pin per same-page run), registering the new
+// rows in statistics and secondary indexes. Together with DeleteMany it
+// forms a free-slot list: a caller that remembers the rids it deleted can
+// hand them back here and the table reuses their space instead of
+// appending, holding the heap at its high-water row count under churn —
+// the in-database search's violated-clause side table is the user.
+func (t *Table) ReviveMany(rids []storage.RecordID, rows []tuple.Row) error {
+	if len(rids) != len(rows) {
+		return fmt.Errorf("db: ReviveMany on %s: %d rids != %d rows", t.name, len(rids), len(rows))
+	}
+	if len(rids) == 0 {
+		return nil
+	}
+	recs := make([][]byte, len(rows))
+	for i, r := range rows {
+		rec, err := tuple.Encode(t.sch, r)
+		if err != nil {
+			return fmt.Errorf("db: revive into %s: %w", t.name, err)
+		}
+		recs[i] = rec
+	}
+	// Register the stored prefix even on error so statistics and indexes
+	// stay consistent with the heap whatever happens.
+	n, err := t.heap.ReviveBatch(rids, recs)
+	t.mu.Lock()
+	for i := 0; i < n; i++ {
+		t.noteRowLocked(rows[i], rids[i])
+	}
+	t.mu.Unlock()
+	return err
+}
+
 // DeleteAt removes the row at rid, dropping its secondary-index entries.
 func (t *Table) DeleteAt(rid storage.RecordID) error {
 	return t.DeleteMany([]storage.RecordID{rid})

@@ -229,6 +229,53 @@ func (h *HeapFile) DeleteBatch(rids []RecordID) ([][]byte, error) {
 	return old, err
 }
 
+// ReviveBatch rewrites tombstoned slots with new records (rids and recs
+// aligned), pinning each page once per run of consecutive same-page rids.
+// It is the insert-surplus path of a free-slot list: space freed by
+// earlier deletes is reused instead of appending, so a churning file stays
+// bounded at its high-water record count. It returns how many records were
+// stored — on error, the prefix before the failing rid.
+func (h *HeapFile) ReviveBatch(rids []RecordID, recs [][]byte) (int, error) {
+	if len(rids) != len(recs) {
+		return 0, fmt.Errorf("storage: ReviveBatch rids %d != recs %d", len(rids), len(recs))
+	}
+	var (
+		cur    Page
+		curID  PageID
+		pinned bool
+		dirty  bool
+		n      int
+	)
+	// The revived prefix counts on every path, including errors: the table
+	// layer registers that same prefix in statistics and indexes, and the
+	// record counter must agree with the live rows whatever happens.
+	defer func() { h.records.Add(int64(n)) }()
+	unpin := func() {
+		if pinned {
+			h.pool.Unpin(curID, dirty)
+			pinned, dirty = false, false
+		}
+	}
+	for i, rid := range rids {
+		if !pinned || curID != rid.Page {
+			unpin()
+			pg, err := h.pool.Fetch(rid.Page)
+			if err != nil {
+				return n, err
+			}
+			cur, curID, pinned = pg, rid.Page, true
+		}
+		if err := cur.Revive(rid.Slot, recs[i]); err != nil {
+			unpin()
+			return n, err
+		}
+		dirty = true
+		n++
+	}
+	unpin()
+	return n, nil
+}
+
 // UpdateBatch overwrites records in place (same length per record), pinning
 // each page once per run of consecutive same-page rids. recs must be aligned
 // with rids. It returns the records' prior bytes in rid order.

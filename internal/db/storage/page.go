@@ -118,12 +118,47 @@ func (p Page) Update(slot int, rec []byte) error {
 	return nil
 }
 
-// Delete tombstones a slot. The space is not reclaimed (no compaction).
+// Delete tombstones a slot. The space is not reclaimed (no compaction),
+// but Revive can rewrite the slot with a new record of up to the same
+// size.
 func (p Page) Delete(slot int) error {
 	if slot < 0 || slot >= p.numSlots() {
 		return fmt.Errorf("storage: slot %d out of range", slot)
 	}
 	off, _ := p.slot(slot)
 	p.setSlot(slot, off, tombstoneLen)
+	return nil
+}
+
+// slotCapacity is the record space a slot owns: from its offset to the
+// next slot's offset (or the free-space watermark for the last slot).
+// Offsets are assigned monotonically by Insert and survive Delete, so the
+// bound is exact even for tombstones.
+func (p Page) slotCapacity(slot, off int) int {
+	end := p.freeStart()
+	if slot+1 < p.numSlots() {
+		end, _ = p.slot(slot + 1)
+	}
+	return end - off
+}
+
+// Revive rewrites a tombstoned slot with a new record, reusing the space
+// the deleted record occupied (equal-size for the fixed-width rows all
+// engine-internal tables use). This is what lets a churning table reuse
+// freed slots instead of appending, bounding the file at its high-water
+// mark.
+func (p Page) Revive(slot int, rec []byte) error {
+	if slot < 0 || slot >= p.numSlots() {
+		return fmt.Errorf("storage: slot %d out of range", slot)
+	}
+	off, length := p.slot(slot)
+	if length != tombstoneLen {
+		return fmt.Errorf("storage: revive of live slot %d", slot)
+	}
+	if c := p.slotCapacity(slot, off); len(rec) > c {
+		return fmt.Errorf("storage: revive record of %d bytes exceeds slot capacity %d", len(rec), c)
+	}
+	copy(p.Data[off:], rec)
+	p.setSlot(slot, off, len(rec))
 	return nil
 }

@@ -470,3 +470,58 @@ func TestHeapFileNumScansCounter(t *testing.T) {
 		t.Fatalf("point Get bumped the scan counter to %d", got)
 	}
 }
+
+// Revive must reuse a tombstoned slot's space: same rid, new bytes, record
+// count restored; live slots and oversized records are rejected.
+func TestPageReviveReusesTombstonedSlots(t *testing.T) {
+	h := NewHeapFile(NewBufferPool(NewMemDisk(), 4), 1)
+	rec := func(b byte) []byte { return []byte{b, b, b, b} }
+	var rids []RecordID
+	for i := byte(0); i < 8; i++ {
+		rid, err := h.Insert(rec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	pagesBefore := h.NumPages()
+	if _, err := h.DeleteBatch([]RecordID{rids[2], rids[5]}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := h.ReviveBatch([]RecordID{rids[5], rids[2]}, [][]byte{rec(0xB5), rec(0xB2)}); err != nil || n != 2 {
+		t.Fatalf("ReviveBatch = %d, %v", n, err)
+	}
+	if got := h.NumRecords(); got != 8 {
+		t.Fatalf("records = %d, want 8", got)
+	}
+	if got := h.NumPages(); got != pagesBefore {
+		t.Fatalf("revive allocated pages: %d -> %d", pagesBefore, got)
+	}
+	for _, c := range []struct {
+		rid  RecordID
+		want byte
+	}{{rids[2], 0xB2}, {rids[5], 0xB5}} {
+		b, err := h.Get(c.rid)
+		if err != nil || b == nil {
+			t.Fatalf("Get(%v) = %v, %v", c.rid, b, err)
+		}
+		if b[0] != c.want {
+			t.Fatalf("revived slot %v holds %#x, want %#x", c.rid, b[0], c.want)
+		}
+	}
+	// A live slot must refuse revival.
+	if _, err := h.ReviveBatch([]RecordID{rids[0]}, [][]byte{rec(1)}); err == nil {
+		t.Fatal("revive of live slot accepted")
+	}
+	// An oversized record must refuse the slot.
+	if _, err := h.DeleteBatch([]RecordID{rids[3]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReviveBatch([]RecordID{rids[3]}, [][]byte{make([]byte, 64)}); err == nil {
+		t.Fatal("oversized revive accepted")
+	}
+	// Same-size revival after the failed attempt still works.
+	if n, err := h.ReviveBatch([]RecordID{rids[3]}, [][]byte{rec(0xB3)}); err != nil || n != 1 {
+		t.Fatalf("ReviveBatch after failed attempt = %d, %v", n, err)
+	}
+}

@@ -74,20 +74,27 @@ func BuildTables(d *db.DB, prog *mln.Program, ev *mln.Evidence) (*TableSet, erro
 		atoms:  make([]mln.GroundAtom, 1), // index 0 unused
 		truths: make([]int64, 1),
 	}
+	// A failure partway leaves half-built predicate tables; drop whatever
+	// was created so the caller can retry the build against a clean
+	// catalog instead of latching the engine unusable.
+	fail := func(err error) (*TableSet, error) {
+		ts.Drop()
+		return nil, err
+	}
 	for _, pred := range prog.Preds {
 		t, err := d.CreateTable(TableName(pred), predTableSchema(pred))
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		ts.tables[pred] = t
 		ts.aidOf[pred] = make(map[string]int64)
 		if pred.Closed {
 			if err := ts.loadClosed(pred, t); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		} else {
 			if err := ts.loadOpen(pred, t); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
@@ -95,9 +102,20 @@ func BuildTables(d *db.DB, prog *mln.Program, ev *mln.Evidence) (*TableSet, erro
 	// buffer-pool evictions during (possibly parallel) grounding into clean
 	// page drops instead of write-backs held under the pool lock.
 	if err := d.Pool().FlushAll(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return ts, nil
+}
+
+// Drop removes every predicate table of the set from the catalog,
+// returning their pages to the engine's free lists. It is how a failed or
+// canceled grounding phase tears itself down so the Engine can be
+// re-Grounded in place. The TableSet must not be used afterwards.
+func (ts *TableSet) Drop() {
+	for pred, t := range ts.tables {
+		_ = ts.DB.DropTable(t.Name())
+		delete(ts.tables, pred)
+	}
 }
 
 // loadChunk is how many staged rows trigger a bulk insert during table

@@ -74,6 +74,13 @@ type sideTables struct {
 	delRIDs  []storage.RecordID
 	insRows  []tuple.Row
 	moveSeen map[int64]mrf.Clause // per-greedy-move decode cache
+
+	// free lists the side-table slots tombstoned by delete-surplus flips;
+	// insert-surplus flips revive them (LIFO, for page locality) before
+	// appending, so the side-table heap stays bounded at the high-water
+	// mark of |violated| over the whole search instead of growing with
+	// churn.
+	free []storage.RecordID
 }
 
 // intKey encodes a single BIGINT as a hash-index key, matching what
@@ -385,10 +392,25 @@ func (s *sideTables) applyFlip(a mrf.AtomID, state []bool) error {
 			return err
 		}
 	}
+	// Delete surplus: tombstone the rows but remember their slots on the
+	// free list for a later insert-surplus flip to revive.
 	if err := s.viol.DeleteMany(dels[n:]); err != nil {
 		return err
 	}
-	return s.viol.InsertMany(ins[n:])
+	s.free = append(s.free, dels[n:]...)
+	// Insert surplus: revive freed slots first (LIFO), append only what
+	// the free list cannot absorb — which can only happen when |violated|
+	// reaches a new high-water mark.
+	ins = ins[n:]
+	if k := min(len(s.free), len(ins)); k > 0 {
+		reuse := s.free[len(s.free)-k:]
+		if err := s.viol.ReviveMany(reuse, ins[:k]); err != nil {
+			return err
+		}
+		s.free = s.free[:len(s.free)-k]
+		ins = ins[k:]
+	}
+	return s.viol.InsertMany(ins)
 }
 
 // SideWalkSAT is the staged form of the set-oriented RDBMSWalkSAT:

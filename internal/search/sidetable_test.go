@@ -310,6 +310,75 @@ func TestSideTableInvariantEveryKFlips(t *testing.T) {
 	}
 }
 
+// --- free-slot list / heap bound ----------------------------------------
+
+// Long-run churn must not grow the side-table heap: delete-surplus flips
+// put their tombstoned slots on a free list and insert-surplus flips
+// revive them before appending, so after every flip live rows + free slots
+// equals the running high-water mark of |violated|, and the heap's page
+// count only moves when that high-water mark itself rises. Without the
+// free list a search this long accumulates a tombstone per delete-surplus
+// flip and the pick scan slows with it.
+func TestSideTableHeapBoundedAtHighWaterMark(t *testing.T) {
+	// A churny workload: per-atom soft contradictions keep the violated
+	// set large and oscillating, and high noise keeps the walk moving.
+	m := mrf.New(60)
+	for a := 1; a <= 60; a++ {
+		if err := m.AddClause(1, mrf.Lit(a)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddClause(1, -mrf.Lit(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := 1; a+1 <= 60; a++ {
+		if err := m.AddClause(0.5, mrf.Lit(a), -mrf.Lit(a+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := storeMRF(t, m, db.Config{})
+	w, err := NewSideWalkSAT(context.Background(), d, "clauses", m.NumAtoms,
+		Options{MaxFlips: 4000, Seed: 21, NoisyP: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := w.side.viol.Heap()
+	hw := heap.NumRecords()
+	pagesAtHW := heap.NumPages()
+	if hw == 0 {
+		t.Fatal("no violated clauses at start")
+	}
+	surplusFlips := 0
+	res, err := w.run(context.Background(), func(flip int64, _ mrf.AtomID) error {
+		live := heap.NumRecords()
+		if live > hw {
+			hw = live
+			pagesAtHW = heap.NumPages()
+		}
+		if total := live + int64(len(w.side.free)); total != hw {
+			return fmt.Errorf("flip %d: live %d + free %d = %d != high-water %d (slots leaked or lost)",
+				flip, live, len(w.side.free), total, hw)
+		}
+		if got := heap.NumPages(); got != pagesAtHW {
+			return fmt.Errorf("flip %d: heap grew to %d pages with no new |violated| high-water mark (%d pages at hw %d)",
+				flip, got, pagesAtHW, hw)
+		}
+		if len(w.side.free) > 0 {
+			surplusFlips++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips < 1000 {
+		t.Fatalf("workload settled after %d flips; churn harness needs a longer run", res.Flips)
+	}
+	if surplusFlips == 0 {
+		t.Fatal("free list never used: the workload produced no delete-surplus flips")
+	}
+}
+
 // --- zero full scans / page reads --------------------------------------
 
 // The flip loop must never rescan the clause table: its heap-scan counter

@@ -58,6 +58,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ClampFlips bounds a flip budget to [1, cap] (cap <= 0 means no upper
+// bound). The floor keeps tiny derived budgets searchable — the hybrid
+// fallback hands oversized components 1% of the total budget, which must
+// not round down to zero — and the ceiling is what an admission layer's
+// per-query flip cap applies to defaulted budgets.
+func ClampFlips(flips, cap int64) int64 {
+	if cap > 0 && flips > cap {
+		flips = cap
+	}
+	if flips < 1 {
+		flips = 1
+	}
+	return flips
+}
+
 // Result reports a search outcome.
 type Result struct {
 	Best     []bool

@@ -1,0 +1,83 @@
+package server
+
+import "sync"
+
+// Cache is the result cache: canonicalized query options map to the
+// finished answer. Because an Engine is immutable after Ground, a stored
+// answer can never go stale — entries are evicted only for capacity, never
+// invalidated, and a hit is bit-identical to the run that produced it.
+//
+// Eviction is FIFO by insertion order: the serving workload this layer
+// targets is many clients re-issuing a working set of identical queries,
+// where any reasonable policy keeps the hot keys; FIFO needs no per-hit
+// bookkeeping on the (lock-shared) read path.
+type Cache struct {
+	mu      sync.RWMutex
+	max     int
+	entries map[string]any
+	order   []string // insertion order, for FIFO capacity eviction
+	metrics *Counters
+}
+
+// NewCache creates a cache holding at most max entries (max <= 0 disables
+// caching: Get always misses and Put drops).
+func NewCache(max int, m *Counters) *Cache {
+	if m == nil {
+		m = &Counters{}
+	}
+	c := &Cache{max: max, metrics: m}
+	if max > 0 {
+		c.entries = make(map[string]any, max)
+	}
+	return c
+}
+
+// Enabled reports whether the cache stores anything at all.
+func (c *Cache) Enabled() bool { return c.max > 0 }
+
+// Get returns the cached value for key, counting the hit or miss.
+func (c *Cache) Get(key string) (any, bool) {
+	if c.max <= 0 {
+		c.metrics.CacheMisses.Add(1)
+		return nil, false
+	}
+	c.mu.RLock()
+	v, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.metrics.CacheHits.Add(1)
+	} else {
+		c.metrics.CacheMisses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores a value, evicting the oldest entries when over capacity. A
+// concurrent duplicate Put of the same key keeps the first value — both
+// were computed from the same canonical options, so they are
+// interchangeable, and keeping the first preserves "a hit returns exactly
+// what some completed run returned".
+func (c *Cache) Put(key string, v any) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = v
+	c.order = append(c.order, key)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,231 @@
+// Package server is the query admission and scheduling layer that fronts
+// one or more grounded Engines (the heavy-traffic layer the ROADMAP names
+// on top of the paper's ground-once/query-many architecture): a bounded
+// admission queue with per-priority FIFO lanes, a fixed cap on in-flight
+// queries, per-query budget enforcement with typed rejection errors, a
+// never-invalidated result cache (the Engine is immutable after Ground, so
+// a cached answer stays correct forever), and counters for every stage of
+// a query's life. The package is engine-agnostic: it schedules opaque
+// closures, and the public tuffy.Serve API layers Engine dispatch, budget
+// derivation and cache keys on top.
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// taskState tracks who owns a queued task: exactly one of the claiming
+// worker or the abandoning submitter wins the CAS from taskQueued.
+const (
+	taskQueued int32 = iota
+	taskClaimed
+	taskAbandoned
+)
+
+// task is one admitted query waiting for (or holding) an execution slot.
+type task struct {
+	run      func()
+	pri      int // lane index, for removal on abandon
+	state    atomic.Int32
+	enqueued time.Time
+	finished chan struct{}
+}
+
+// SchedulerConfig bounds the scheduler.
+type SchedulerConfig struct {
+	// Workers is the maximum number of queries running at once (the
+	// in-flight cap). Default 4.
+	Workers int
+	// MaxQueue bounds the number of admitted-but-waiting queries across all
+	// lanes; a Submit beyond it is rejected with ErrQueueFull. Default 64.
+	MaxQueue int
+	// Lanes is the number of priority levels (0 = most urgent). Default 3.
+	Lanes int
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = 3
+	}
+	return c
+}
+
+// Scheduler runs submitted closures through a fixed worker pool, admitting
+// them through a bounded queue with strict priority between lanes and FIFO
+// order within one lane. All methods are safe for concurrent use.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	metrics *Counters
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  [][]*task
+	queued int // live (non-abandoned) tasks across lanes
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(cfg SchedulerConfig, m *Counters) *Scheduler {
+	cfg = cfg.withDefaults()
+	if m == nil {
+		m = &Counters{}
+	}
+	s := &Scheduler{cfg: cfg, metrics: m, lanes: make([][]*task, cfg.Lanes)}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the scheduler's effective (defaulted) configuration.
+func (s *Scheduler) Config() SchedulerConfig { return s.cfg }
+
+// Submit admits run into the given priority lane (clamped to the
+// configured range) and blocks until it has executed or ctx is done.
+//
+//   - A full queue rejects immediately with ErrQueueFull — admission
+//     control sheds load instead of applying unbounded backpressure.
+//   - A context done while the task is still queued abandons it (it never
+//     runs) and returns a *QueueExpiredError recording the wait.
+//   - Once a worker claims the task, Submit waits for it to finish even if
+//     ctx fires — run is expected to honor the same ctx and return
+//     promptly with its own cancellation error.
+//
+// A nil return means run was executed; run communicates its own outcome
+// through captured variables.
+func (s *Scheduler) Submit(ctx context.Context, priority int, run func()) error {
+	if priority < 0 {
+		priority = 0
+	}
+	if priority >= s.cfg.Lanes {
+		priority = s.cfg.Lanes - 1
+	}
+	t := &task{run: run, pri: priority, enqueued: time.Now(), finished: make(chan struct{})}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if s.queued >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		s.metrics.RejectedQueue.Add(1)
+		return ErrQueueFull
+	}
+	s.lanes[priority] = append(s.lanes[priority], t)
+	s.queued++
+	s.metrics.Admitted.Add(1)
+	s.metrics.Queued.Add(1)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	select {
+	case <-t.finished:
+		return nil
+	case <-ctx.Done():
+		if t.state.CompareAndSwap(taskQueued, taskAbandoned) {
+			// The task never ran. Remove it from its lane right away —
+			// under saturation (all workers busy for a long time) expired
+			// tasks would otherwise pile up in the lane slices with
+			// nothing draining them — and account the live-queue decrement
+			// so queue-full admission reflects only tasks that can still
+			// run.
+			s.mu.Lock()
+			s.queued--
+			lane := s.lanes[t.pri]
+			for i, q := range lane {
+				if q == t {
+					copy(lane[i:], lane[i+1:])
+					lane[len(lane)-1] = nil
+					s.lanes[t.pri] = lane[:len(lane)-1]
+					break
+				}
+			}
+			s.mu.Unlock()
+			s.metrics.Queued.Add(-1)
+			s.metrics.Expired.Add(1)
+			return &QueueExpiredError{Waited: time.Since(t.enqueued), Cause: context.Cause(ctx)}
+		}
+		// A worker claimed it first: the run sees the canceled ctx itself.
+		<-t.finished
+		return nil
+	}
+}
+
+// claimNext pops tasks in lane-priority order (FIFO within a lane) until
+// it claims one, discarding abandoned tasks (their submitter already
+// accounted for them). Caller holds s.mu; the claim CAS runs under the
+// lock so exactly one of worker and abandoning submitter decrements the
+// queued count for any task.
+func (s *Scheduler) claimNext() *task {
+	for pri := range s.lanes {
+		for len(s.lanes[pri]) > 0 {
+			t := s.lanes[pri][0]
+			s.lanes[pri][0] = nil
+			s.lanes[pri] = s.lanes[pri][1:]
+			if t.state.CompareAndSwap(taskQueued, taskClaimed) {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var t *task
+		for {
+			if t = s.claimNext(); t != nil || s.closed {
+				break
+			}
+			s.cond.Wait()
+		}
+		if t == nil {
+			// Closed and drained.
+			s.mu.Unlock()
+			return
+		}
+		s.queued--
+		s.mu.Unlock()
+
+		s.metrics.Queued.Add(-1)
+		s.metrics.QueueWaitNanos.Add(time.Since(t.enqueued).Nanoseconds())
+		s.metrics.InFlight.Add(1)
+		start := time.Now()
+		t.run()
+		s.metrics.LatencyNanos.Add(time.Since(start).Nanoseconds())
+		s.metrics.InFlight.Add(-1)
+		s.metrics.Completed.Add(1)
+		close(t.finished)
+	}
+}
+
+// Close stops admission, lets the workers drain every task already queued
+// (their submitters are still waiting on them), and returns once the pool
+// has exited. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,337 @@
+package tuffy
+
+// This file is the serving layer on top of the Engine: tuffy.Serve wraps
+// one or more grounded Engines in an admission-controlled scheduler
+// (internal/server) with per-priority FIFO lanes, a bounded queue, per-
+// query budget enforcement, a never-invalidated result cache keyed by
+// canonicalized InferOptions, and metrics. It is the heavy-traffic front
+// door: cmd/tuffyd exposes it over HTTP, and `tuffybench -exp serve`
+// measures it under concurrent clients.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tuffy/internal/mln"
+	"tuffy/internal/search"
+	"tuffy/internal/server"
+)
+
+// ServerMetrics is a snapshot of the serving layer's counters.
+type ServerMetrics = server.Metrics
+
+// Typed admission outcomes, re-exported so callers match them with
+// errors.Is without importing internal packages.
+var (
+	// ErrQueueFull rejects a query when the admission queue is at capacity.
+	ErrQueueFull = server.ErrQueueFull
+	// ErrServerClosed rejects queries after Close.
+	ErrServerClosed = server.ErrServerClosed
+	// ErrBudgetExceeded rejects a query whose explicit budgets exceed the
+	// server's per-query caps; the concrete error carries the resource,
+	// the request and the limit.
+	ErrBudgetExceeded = server.ErrBudgetExceeded
+	// ErrExpiredInQueue reports a query whose context ended while it was
+	// still waiting for an execution slot — it never ran.
+	ErrExpiredInQueue = server.ErrExpiredInQueue
+)
+
+// ServerConfig tunes the admission-controlled serving layer. The zero
+// value serves with 4 execution slots, a 64-query admission queue, 3
+// priority lanes, no budget caps, no per-query deadline and a 4096-entry
+// result cache.
+type ServerConfig struct {
+	// MaxInFlight caps concurrently executing queries (default 4).
+	MaxInFlight int
+	// MaxQueue bounds admitted-but-waiting queries across all lanes;
+	// queries beyond it are rejected with ErrQueueFull (default 64).
+	MaxQueue int
+	// Priorities is the number of lanes; Request.Priority 0 is served
+	// first, Priorities-1 last (default 3).
+	Priorities int
+
+	// MaxFlipsPerQuery caps one query's WalkSAT flip budget (0 = no cap).
+	// A query that explicitly asks for more is rejected with a
+	// *server.BudgetError; a query that left MaxFlips at zero has its
+	// default budget clamped down to the cap instead.
+	MaxFlipsPerQuery int64
+	// MaxSamplesPerQuery caps one marginal query's MC-SAT samples, with
+	// the same explicit-reject / default-clamp split.
+	MaxSamplesPerQuery int
+	// MaxBytesPerQuery rejects queries whose estimated search memory (from
+	// the grounded network's atom/clause counts, per mode) exceeds the cap
+	// (0 = no cap).
+	MaxBytesPerQuery int64
+	// MaxQueryTime is a per-query wall-clock deadline applied at
+	// admission; it covers queue wait plus execution, through the same
+	// context plumbing every search loop already honors. 0 = none.
+	MaxQueryTime time.Duration
+
+	// CacheEntries bounds the result cache (0 = default 4096, negative =
+	// caching disabled). The Engine is immutable after Ground, so entries
+	// are never invalidated and a hit is bit-identical to the run that
+	// produced it.
+	CacheEntries int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.Priorities <= 0 {
+		c.Priorities = 3
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// Request is one query submitted to a Server.
+type Request struct {
+	// Options are the per-query knobs, exactly as for Engine.InferMAP /
+	// InferMarginal.
+	Options InferOptions
+	// Priority selects the admission lane: 0 is most urgent; values are
+	// clamped to the configured range.
+	Priority int
+}
+
+// backend is one engine replica plus its live query count for least-loaded
+// dispatch.
+type backend struct {
+	eng  *Engine
+	load atomic.Int64
+	// memBytes estimates one query's search memory per mode, derived from
+	// the grounded network's clause counts at Serve time.
+	memInMemory int64
+	memInDB     int64
+}
+
+// Server fronts one or more grounded Engines with admission control,
+// priority scheduling, per-query budgets, result caching and metrics. All
+// methods are safe for concurrent use. Queries on one Server return
+// results bit-identical to calling the Engine directly with the same
+// options — whether they were scheduled, queued, or served from cache.
+type Server struct {
+	cfg      ServerConfig
+	backends []*backend
+	sched    *server.Scheduler
+	cache    *server.Cache
+	counters *server.Counters
+}
+
+// Serve wraps the given grounded Engines in a serving layer. Multiple
+// engines act as replicas: each admitted query runs on the least-loaded
+// one, so the caller must ensure they were grounded from the same program
+// and evidence if answers are to be interchangeable. Every engine must
+// already be grounded — Serve performs no grounding, keeping admission
+// deterministic and cheap.
+func Serve(cfg ServerConfig, engines ...*Engine) (*Server, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("tuffy: Serve needs at least one engine")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, counters: &server.Counters{}}
+	for i, eng := range engines {
+		g := eng.Grounded()
+		if g == nil {
+			return nil, fmt.Errorf("tuffy: Serve engine %d is not grounded", i)
+		}
+		st := g.MRF.ComputeStats()
+		s.backends = append(s.backends, &backend{
+			eng:         eng,
+			memInMemory: st.SearchBytes,
+			// The in-DB variant keeps only the atom state arrays and the
+			// clause point index in memory; clause data stays on disk.
+			memInDB: int64(g.MRF.NumAtoms)*2 + int64(st.NumClauses)*24,
+		})
+	}
+	s.sched = server.NewScheduler(server.SchedulerConfig{
+		Workers:  cfg.MaxInFlight,
+		MaxQueue: cfg.MaxQueue,
+		Lanes:    cfg.Priorities,
+	}, s.counters)
+	s.cache = server.NewCache(cfg.CacheEntries, s.counters)
+	return s, nil
+}
+
+// Metrics snapshots the server's counters.
+func (s *Server) Metrics() ServerMetrics { return s.counters.Snapshot() }
+
+// Close stops admission (subsequent queries return ErrServerClosed),
+// waits for queued and in-flight queries to finish, and returns.
+func (s *Server) Close() { s.sched.Close() }
+
+// pick returns the least-loaded backend (lowest index on ties).
+func (s *Server) pick() *backend {
+	best := s.backends[0]
+	bestLoad := best.load.Load()
+	for _, b := range s.backends[1:] {
+		if l := b.load.Load(); l < bestLoad {
+			best, bestLoad = b, l
+		}
+	}
+	return best
+}
+
+// admit canonicalizes the query options and enforces the per-query budget
+// caps: explicit over-asks are rejected with a typed *server.BudgetError,
+// defaulted budgets are clamped down to the caps (the same clamp-to-budget
+// discipline internal/search applies to the hybrid fallback's flip
+// budget).
+func (s *Server) admit(req Request, marginal bool) (InferOptions, error) {
+	explicit := req.Options
+	o := explicit.withDefaults()
+	// The flip cap concerns MAP only: marginal inference never consumes a
+	// flip budget (MC-SAT uses Samples), so a stray MaxFlips on a marginal
+	// request must not reject it.
+	if cap := s.cfg.MaxFlipsPerQuery; !marginal && cap > 0 && o.MaxFlips > cap {
+		if explicit.MaxFlips != 0 {
+			s.counters.RejectedBudget.Add(1)
+			return o, &server.BudgetError{Resource: "flips", Requested: o.MaxFlips, Limit: cap}
+		}
+		o.MaxFlips = search.ClampFlips(o.MaxFlips, cap)
+	}
+	if cap := s.cfg.MaxSamplesPerQuery; marginal && cap > 0 && o.Samples > cap {
+		if explicit.Samples != 0 {
+			s.counters.RejectedBudget.Add(1)
+			return o, &server.BudgetError{Resource: "samples", Requested: int64(o.Samples), Limit: int64(cap)}
+		}
+		o.Samples = cap
+	}
+	if cap := s.cfg.MaxBytesPerQuery; cap > 0 {
+		// Estimate against the largest replica, so admission does not
+		// depend on which backend the query later lands on.
+		var est int64
+		for _, b := range s.backends {
+			m := b.memInMemory
+			if !marginal && o.Mode == InDatabase {
+				m = b.memInDB
+			}
+			if m > est {
+				est = m
+			}
+		}
+		if est > cap {
+			s.counters.RejectedBudget.Add(1)
+			return o, &server.BudgetError{Resource: "memory", Requested: est, Limit: cap}
+		}
+	}
+	return o, nil
+}
+
+// cacheKey canonicalizes the options that determine a query's answer.
+// Parallelism is deliberately excluded: results are bit-identical for
+// every worker count, so queries differing only in Parallelism share one
+// entry. Trackers are per-call observers and never part of the key.
+func cacheKey(marginal bool, o InferOptions) string {
+	if marginal {
+		return fmt.Sprintf("marg|%d|%d|%d", o.Mode, o.Seed, o.Samples)
+	}
+	return fmt.Sprintf("map|%d|%d|%d|%d|%d", o.Mode, o.Seed, o.MaxFlips, o.MaxTries, o.GaussSeidelRounds)
+}
+
+// run executes one admitted query through the scheduler on the
+// least-loaded backend, applying the per-query wall-clock deadline.
+func (s *Server) run(ctx context.Context, req Request, exec func(context.Context, *Engine)) error {
+	if s.cfg.MaxQueryTime > 0 {
+		// The deadline covers queue wait too: a query that waited its
+		// whole budget expires in the queue instead of starting late.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxQueryTime)
+		defer cancel()
+	}
+	return s.sched.Submit(ctx, req.Priority, func() {
+		b := s.pick()
+		b.load.Add(1)
+		defer b.load.Add(-1)
+		exec(ctx, b.eng)
+	})
+}
+
+// InferMAP answers one MAP query through the admission layer: budget
+// checks, cache lookup, scheduling, execution, cache fill. The result is
+// bit-identical to Engine.InferMAP with the same options. Rejections
+// return typed errors (ErrQueueFull, ErrBudgetExceeded, ErrExpiredInQueue,
+// ErrServerClosed); a query canceled mid-run returns its best-so-far
+// result with ErrCanceled, exactly like the Engine, and is not cached.
+func (s *Server) InferMAP(ctx context.Context, req Request) (*MAPResult, error) {
+	opts, err := s.admit(req, false)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(false, opts)
+	// A query carrying a Tracker needs a real run for the tracker to
+	// observe; it skips the lookup but still fills the cache.
+	if opts.Tracker == nil {
+		if v, ok := s.cache.Get(key); ok {
+			return copyMAPResult(v.(*MAPResult)), nil
+		}
+	} else {
+		s.counters.CacheMisses.Add(1)
+	}
+	var res *MAPResult
+	var runErr error
+	if err := s.run(ctx, req, func(ctx context.Context, eng *Engine) {
+		res, runErr = eng.InferMAP(ctx, opts)
+	}); err != nil {
+		return nil, err
+	}
+	// Only a complete (non-canceled) answer is cached; with the cache
+	// disabled the caller keeps the sole reference, so no defensive copy.
+	if runErr == nil && res != nil && s.cache.Enabled() {
+		s.cache.Put(key, res)
+		res = copyMAPResult(res)
+	}
+	return res, runErr
+}
+
+// InferMarginal is the marginal-inference counterpart of InferMAP, with
+// the same admission, caching and rejection semantics.
+func (s *Server) InferMarginal(ctx context.Context, req Request) (*MarginalResult, error) {
+	opts, err := s.admit(req, true)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(true, opts)
+	if opts.Tracker == nil {
+		if v, ok := s.cache.Get(key); ok {
+			return copyMarginalResult(v.(*MarginalResult)), nil
+		}
+	} else {
+		s.counters.CacheMisses.Add(1)
+	}
+	var res *MarginalResult
+	var runErr error
+	if err := s.run(ctx, req, func(ctx context.Context, eng *Engine) {
+		res, runErr = eng.InferMarginal(ctx, opts)
+	}); err != nil {
+		return nil, err
+	}
+	if runErr == nil && res != nil && s.cache.Enabled() {
+		s.cache.Put(key, res)
+		res = copyMarginalResult(res)
+	}
+	return res, runErr
+}
+
+// copyMAPResult copies a cached result so callers may mutate their answer
+// without corrupting the cache. The copy is bit-identical; the per-atom
+// descriptors stay shared (they are read-only engine state).
+func copyMAPResult(r *MAPResult) *MAPResult {
+	cp := *r
+	cp.TrueAtoms = append([]mln.GroundAtom(nil), r.TrueAtoms...)
+	cp.State = append([]bool(nil), r.State...)
+	return &cp
+}
+
+// copyMarginalResult is copyMAPResult for marginal answers.
+func copyMarginalResult(r *MarginalResult) *MarginalResult {
+	return &MarginalResult{Probs: append([]AtomProb(nil), r.Probs...)}
+}

@@ -26,6 +26,12 @@
 // every result is bit-identical to the same call run alone. Cancellation:
 // every method takes a context; a canceled search returns ErrCanceled
 // together with the best result found so far.
+//
+// For production traffic, Serve wraps one or more grounded Engines in an
+// admission-controlled scheduler: a bounded priority queue, per-query
+// budget caps with typed rejections, wall-clock deadlines, a result cache
+// keyed by canonicalized options, and metrics. cmd/tuffyd exposes the same
+// layer over HTTP.
 package tuffy
 
 import (
@@ -144,6 +150,12 @@ func (o InferOptions) withDefaults() InferOptions {
 	if o.MaxFlips == 0 {
 		o.MaxFlips = 1_000_000
 	}
+	// The search layer defaults 0 tries to 1; doing it here too keeps the
+	// canonical form the serving layer's cache keys rely on (0 and 1 are
+	// the same query).
+	if o.MaxTries == 0 {
+		o.MaxTries = 1
+	}
 	if o.GaussSeidelRounds == 0 {
 		o.GaussSeidelRounds = 3
 	}
@@ -170,7 +182,6 @@ type Engine struct {
 	// are read-only and queries read them without locking.
 	groundMu   sync.Mutex
 	groundDone bool
-	groundErr  error
 	tables     *grounding.TableSet
 	grounded   *grounding.Result
 	groundTime time.Duration
@@ -250,23 +261,31 @@ func (e *Engine) GroundTime() time.Duration {
 	return e.groundTime
 }
 
-// Ground builds the predicate tables and runs the configured grounder. It
-// is idempotent: concurrent and repeated calls share one grounding run and
-// its outcome. A failed (or canceled) Ground is latched — the Engine must
-// be discarded and reopened, since the half-built predicate tables cannot
-// be rebuilt in place.
+// Ground builds the predicate tables and runs the configured grounder.
+// Concurrent and repeated calls share one successful grounding run. A
+// failed (or canceled) Ground tears its half-built predicate tables down
+// and leaves the Engine un-grounded, so it can be re-Grounded in place —
+// a canceled Ground followed by a retry behaves like a first Ground.
 func (e *Engine) Ground(ctx context.Context) error {
 	e.groundMu.Lock()
 	defer e.groundMu.Unlock()
 	if e.groundDone {
-		return e.groundErr
+		return nil
+	}
+	if err := e.ground(ctx); err != nil {
+		return err
 	}
 	e.groundDone = true
-	e.groundErr = e.ground(ctx)
-	return e.groundErr
+	return nil
 }
 
 func (e *Engine) ground(ctx context.Context) error {
+	// Grounding is now retryable in place, so a dead context must not pay
+	// for a full table build it would immediately tear down — retries
+	// under a too-short deadline would repeat that cycle every attempt.
+	if ctx.Err() != nil {
+		return search.Canceled(ctx)
+	}
 	start := time.Now()
 	ts, err := grounding.BuildTables(e.db, e.prog, e.ev)
 	if err != nil {
@@ -282,6 +301,10 @@ func (e *Engine) ground(ctx context.Context) error {
 		res, err = grounding.GroundBottomUp(ctx, ts, opts)
 	}
 	if err != nil {
+		// Tear the predicate tables down so a retry rebuilds them from a
+		// clean catalog (their pages return to the engine's free lists).
+		ts.Drop()
+		e.tables = nil
 		// Wrap only genuine cancellations (the grounders return the
 		// context's cause when they stop); a real grounding failure that
 		// merely coincides with an expired deadline keeps its own error.
@@ -463,10 +486,7 @@ func (e *Engine) InferMAP(ctx context.Context, opts InferOptions) (*MAPResult, e
 		// In-DB flips are orders of magnitude slower, so oversized
 		// components get 1% of the budget — clamped to at least one flip so
 		// they still search when the total budget is tiny.
-		inDBFlips := base.MaxFlips / 100
-		if inDBFlips < 1 {
-			inDBFlips = 1
-		}
+		inDBFlips := search.ClampFlips(base.MaxFlips/100, 0)
 		for i, p := range oversized {
 			if ctx.Err() != nil {
 				return finish(search.Canceled(ctx))
