@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 figure3
 // figure4 figure5 figure6 figure8 theorem31 erplus closure groundpar
-// partpar flipbatch serve all.
+// partpar flipbatch serve incground all.
 //
 // With -json DIR, each experiment additionally writes its rendered table
 // and timing to DIR/BENCH_<name>.json — the machine-readable artifact the
@@ -71,6 +71,7 @@ func main() {
 		{"partpar", bench.PartParallel},
 		{"flipbatch", bench.FlipBatch},
 		{"serve", bench.Serve},
+		{"incground", bench.IncGround},
 	}
 
 	want := strings.ToLower(*exp)

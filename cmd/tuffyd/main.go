@@ -1,25 +1,31 @@
-// Command tuffyd is the inference daemon: it grounds an MLN program once,
-// then serves MAP and marginal queries over HTTP through tuffy.Serve's
+// Command tuffyd is the inference daemon: it grounds an MLN program, then
+// serves MAP and marginal queries over HTTP through tuffy.Serve's
 // admission-controlled scheduler — bounded priority queue, per-query
-// budget caps, result cache, metrics.
+// budget caps, epoch-keyed result cache, metrics — and accepts live
+// evidence updates that re-ground incrementally and publish a new epoch.
 //
 //	tuffyd -i prog.mln -e evidence.db -addr :7090
 //
 // Endpoints:
 //
-//	POST /infer    one query; JSON body, JSON answer
-//	GET  /metrics  scheduler/cache counters as JSON
-//	GET  /healthz  liveness (200 once serving)
+//	POST /infer     one query; JSON body, JSON answer
+//	POST /evidence  apply an evidence delta; publishes the next epoch
+//	GET  /metrics   scheduler/cache/epoch counters as JSON
+//	GET  /healthz   liveness (200 once serving; "regrounding" true while
+//	                an evidence update is re-grounding — queries still run)
 //
-// Example query:
+// Example query and update:
 //
 //	curl -s localhost:7090/infer -d '{"kind":"map","seed":1,"maxFlips":20000,"priority":1}'
+//	curl -s localhost:7090/evidence -d '{"ops":[{"pred":"friend","args":["Anna","Bob"]},{"pred":"smokes","args":["Carl"],"truth":"retract"}]}'
 //
 // Admission rejections map to HTTP statuses: 429 queue full, 400 budget
 // exceeded, 504 expired in queue, 503 shutting down. A query canceled
 // mid-run (its deadline, or daemon shutdown) still answers 200 with
-// "canceled": true and the best result found. SIGINT stops admission,
-// drains in-flight queries and exits.
+// "canceled": true and the best result found. A rejected evidence delta
+// (unknown predicate or constant, wrong arity) answers 400 and changes
+// nothing; a failed one leaves the previous epoch serving and is safely
+// retried. SIGINT stops admission, drains in-flight queries and exits.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 
 	"tuffy"
 	"tuffy/internal/mln"
+	"tuffy/internal/search"
 )
 
 func main() {
@@ -96,9 +103,14 @@ func main() {
 	h := &handler{srv: srv, fmtEngine: engines[0]}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /infer", h.infer)
+	mux.HandleFunc("POST /evidence", h.evidence)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":          true,
+			"epoch":       srv.Metrics().Epoch,
+			"regrounding": srv.Updating(),
+		})
 	})
 
 	// Request contexts derive from the signal context: SIGINT cancels every
@@ -253,8 +265,112 @@ func (h *handler) infer(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// evidenceOp is one JSON evidence mutation: constants by name, truth
+// "true" (default), "false", or "retract".
+type evidenceOp struct {
+	Pred  string   `json:"pred"`
+	Args  []string `json:"args"`
+	Truth string   `json:"truth"`
+}
+
+type evidenceRequest struct {
+	Ops []evidenceOp `json:"ops"`
+}
+
+type evidenceResponse struct {
+	Epoch             uint64 `json:"epoch"`
+	Identical         bool   `json:"identical"`
+	ClausesRerun      int    `json:"clausesRerun"`
+	ClausesTotal      int    `json:"clausesTotal"`
+	RawsAdded         int    `json:"rawsAdded"`
+	RawsRemoved       int    `json:"rawsRemoved"`
+	TouchedAtoms      int    `json:"touchedAtoms"`
+	ClausesAdded      int    `json:"clausesAdded"`
+	ClausesRemoved    int    `json:"clausesRemoved"`
+	ClausesReweighted int    `json:"clausesReweighted"`
+	ComponentsReused  int    `json:"componentsReused"`
+	PartsReused       int    `json:"partsReused"`
+	UpdateMillis      int64  `json:"updateMillis"`
+}
+
+// evidence applies one evidence delta to every replica and publishes the
+// next epoch. Constants are resolved by name without interning: a name the
+// program has never seen is a 400, not a new constant (new constants would
+// change the grounding universe, which is a full re-ground, not an update).
+func (h *handler) evidence(w http.ResponseWriter, r *http.Request) {
+	var req evidenceRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty delta: no ops"))
+		return
+	}
+	prog := h.fmtEngine.Prog()
+	var d mln.Delta
+	for i, op := range req.Ops {
+		pred, ok := prog.Predicate(op.Pred)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown predicate %q", i, op.Pred))
+			return
+		}
+		if len(op.Args) != pred.Arity() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: %s expects %d args, got %d", i, pred.Name, pred.Arity(), len(op.Args)))
+			return
+		}
+		args := make([]int32, len(op.Args))
+		for j, name := range op.Args {
+			id, ok := prog.Syms.Lookup(name)
+			if !ok {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown constant %q", i, name))
+				return
+			}
+			args[j] = id
+		}
+		switch strings.ToLower(op.Truth) {
+		case "", "true":
+			d.Upsert(pred, args, mln.True)
+		case "false":
+			d.Upsert(pred, args, mln.False)
+		case "retract", "remove", "unknown":
+			d.Remove(pred, args)
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: unknown truth %q (want true/false/retract)", i, op.Truth))
+			return
+		}
+	}
+	ur, err := h.srv.UpdateEvidence(r.Context(), d)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, mln.ErrConstantNotInDomain) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, evidenceResponse{
+		Epoch:             ur.Epoch,
+		Identical:         ur.Identical,
+		ClausesRerun:      ur.ClausesRerun,
+		ClausesTotal:      ur.ClausesTotal,
+		RawsAdded:         ur.RawsAdded,
+		RawsRemoved:       ur.RawsRemoved,
+		TouchedAtoms:      ur.TouchedAtoms,
+		ClausesAdded:      ur.ClausesAdded,
+		ClausesRemoved:    ur.ClausesRemoved,
+		ClausesReweighted: ur.ClausesReweighted,
+		ComponentsReused:  ur.ComponentsReused,
+		PartsReused:       ur.PartsReused,
+		UpdateMillis:      ur.UpdateTime.Milliseconds(),
+	})
+}
+
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.srv.Metrics())
+	writeJSON(w, http.StatusOK, struct {
+		tuffy.ServerMetrics
+		Memo search.MemoStats `json:"memo"`
+	}{h.srv.Metrics(), h.fmtEngine.MemoStats()})
 }
 
 // statusFor maps admission outcomes to HTTP statuses.

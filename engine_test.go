@@ -135,7 +135,7 @@ func TestConcurrentGaussSeidelQueries(t *testing.T) {
 	}
 	ms, _ := probe.MRFStats()
 
-	eng := Open(ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 3})
+	eng := Open(ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 8})
 	if err := eng.Ground(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestCancelGaussSeidelSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	ms, _ := probe.MRFStats()
-	eng := Open(ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 3})
+	eng := Open(ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 8})
 	if err := eng.Ground(ctx); err != nil {
 		t.Fatal(err)
 	}

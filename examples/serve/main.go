@@ -32,9 +32,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The expensive one-time phase: parse, load evidence, ground in the
-	// embedded RDBMS. After this the Engine is immutable and serves any
-	// number of concurrent queries.
+	// The expensive phase: parse, load evidence, ground in the embedded
+	// RDBMS. This publishes the first epoch — an immutable snapshot serving
+	// any number of concurrent queries (UpdateEvidence would publish the
+	// next one without disturbing them).
 	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
 	if err := eng.Ground(ctx); err != nil {
 		log.Fatal(err)

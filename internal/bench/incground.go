@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"tuffy"
+	"tuffy/internal/datagen"
+	"tuffy/internal/mln"
+)
+
+// IncGround measures incremental re-grounding (Engine.UpdateEvidence)
+// against a full Ground over the merged evidence, sweeping delta sizes of
+// 0.1%, 1% and 10% of the mutated predicate's evidence on the IE and RC
+// workloads. For every point the driver verifies the updated engine's MAP
+// answer bit-identical to a freshly grounded engine's, and that applying
+// the update's Inverse returns the engine to its baseline answer. Enforced
+// invariants of the CI bench-smoke job: bit-identity at every delta size,
+// >= 5x wall-clock advantage over a full re-ground at deltas <= 1%, and
+// component-memo survival (the post-update query must serve untouched
+// components as memo hits, not re-search them).
+func IncGround(ctx context.Context, s Scale) (*Table, error) {
+	cases := []struct {
+		ds   *datagen.Dataset
+		pred string
+	}{
+		{datagen.IE(s.IE), "hint"},
+		{datagen.RC(s.RC), "refers"},
+	}
+	q := tuffy.InferOptions{MaxFlips: 20_000, Seed: 7}
+
+	tab := &Table{
+		Title:  "Incremental grounding vs full re-ground (UpdateEvidence, bit-identity enforced)",
+		Header: []string{"dataset", "delta", "ops", "rerun", "full ground", "update", "speedup", "parts kept", "memo hits", "identical"},
+	}
+
+	for _, tc := range cases {
+		eng := tuffy.Open(tc.ds.Prog, tc.ds.Ev.Clone(), tuffy.EngineConfig{})
+		if err := eng.Ground(ctx); err != nil {
+			return nil, fmt.Errorf("incground: ground %s: %w", tc.ds.Name, err)
+		}
+		base, err := eng.InferMAP(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("incground: %s baseline query: %w", tc.ds.Name, err)
+		}
+
+		pred, ok := tc.ds.Prog.Predicate(tc.pred)
+		if !ok {
+			return nil, fmt.Errorf("incground: %s has no predicate %s", tc.ds.Name, tc.pred)
+		}
+		predRows := 0
+		tc.ds.Ev.ForEach(pred, func([]int32, mln.Truth) { predRows++ })
+
+		for pi, pct := range []float64{0.001, 0.01, 0.10} {
+			n := int(pct * float64(predRows))
+			if n < 1 {
+				n = 1
+			}
+			delta := datagen.RandomDelta(tc.ds, tc.pred, n, int64(1000+pi))
+
+			// Full-re-ground baseline: a fresh engine over the merged evidence,
+			// timing only its Ground (the work UpdateEvidence avoids).
+			merged := tc.ds.Ev.Clone()
+			if _, err := merged.Apply(delta); err != nil {
+				return nil, fmt.Errorf("incground: %s merge: %w", tc.ds.Name, err)
+			}
+			fresh := tuffy.Open(tc.ds.Prog, merged, tuffy.EngineConfig{})
+			runtime.GC() // fence: don't charge leftover garbage to the timed ground
+			fullStart := time.Now()
+			if err := fresh.Ground(ctx); err != nil {
+				return nil, fmt.Errorf("incground: %s fresh ground: %w", tc.ds.Name, err)
+			}
+			fullDur := time.Since(fullStart)
+
+			h0 := eng.MemoStats().Hits
+			// Same fence before the timed update: grounding the baseline engine
+			// just allocated heavily, and GC assists would otherwise charge that
+			// debt to the first allocations of the update we are measuring.
+			runtime.GC()
+			ur, err := eng.UpdateEvidence(ctx, delta)
+			if err != nil {
+				return nil, fmt.Errorf("incground: %s %.1f%% update: %w", tc.ds.Name, 100*pct, err)
+			}
+
+			got, err := eng.InferMAP(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			want, err := fresh.InferMAP(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			if got.Cost != want.Cost || got.Flips != want.Flips || !sameState(got.State, want.State) {
+				return nil, fmt.Errorf("incground: %s %.1f%% delta: updated answer diverges from fresh ground (cost %v vs %v, flips %d vs %d)",
+					tc.ds.Name, 100*pct, got.Cost, want.Cost, got.Flips, want.Flips)
+			}
+			hits := eng.MemoStats().Hits - h0
+			if !ur.Identical && hits == 0 {
+				return nil, fmt.Errorf("incground: %s %.1f%% delta: no memo hits on the post-update query (memo did not survive the epoch swap)",
+					tc.ds.Name, 100*pct)
+			}
+
+			speedup := float64(fullDur) / float64(ur.UpdateTime)
+			if pct <= 0.01 && !ur.Identical && speedup < 5 {
+				return nil, fmt.Errorf("incground: %s %.1f%% delta: update %v vs full ground %v (%.1fx < 5x)",
+					tc.ds.Name, 100*pct, ur.UpdateTime, fullDur, speedup)
+			}
+
+			// Undo and verify the engine is back at its baseline answer, so
+			// the next delta size starts from the same evidence.
+			if _, err := eng.UpdateEvidence(ctx, ur.Inverse); err != nil {
+				return nil, fmt.Errorf("incground: %s inverse: %w", tc.ds.Name, err)
+			}
+			back, err := eng.InferMAP(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			if back.Cost != base.Cost || back.Flips != base.Flips || !sameState(back.State, base.State) {
+				return nil, fmt.Errorf("incground: %s %.1f%% delta: inverse did not restore the baseline answer", tc.ds.Name, 100*pct)
+			}
+
+			tab.Rows = append(tab.Rows, []string{
+				tc.ds.Name, fmt.Sprintf("%.1f%%", 100*pct), fmt.Sprint(delta.Len()),
+				fmt.Sprintf("%d/%d", ur.ClausesRerun, ur.ClausesTotal),
+				fmtDur(fullDur), fmtDur(ur.UpdateTime), fmt.Sprintf("%.0fx", speedup),
+				fmt.Sprint(ur.PartsReused), fmt.Sprint(hits), "yes",
+			})
+		}
+	}
+	return tab, nil
+}
+
+func sameState(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tuffy/internal/mln"
+)
+
+// RandomDelta builds a deterministic evidence delta of n ops against the
+// named predicate of ds: a mix of retractions of existing tuples and
+// insertions (closed predicates) or truth flips (open predicates) over
+// tuples drawn from the predicate's existing typed domains. It never
+// introduces new constants, so the delta is always admissible for
+// Engine.UpdateEvidence (see mln.ErrConstantNotInDomain).
+//
+// The result depends only on the dataset's content and the seed. The
+// generators intern symbols in a fixed order, so regenerating a dataset with
+// the same config yields identical int32 constant ids — a RandomDelta built
+// against one instance applies tuple-for-tuple to another.
+func RandomDelta(ds *Dataset, predName string, n int, seed int64) mln.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	pred, ok := ds.Prog.Predicate(predName)
+	if !ok {
+		panic(fmt.Sprintf("datagen: unknown predicate %q", predName))
+	}
+
+	type tuple struct {
+		args []int32
+	}
+	var existing []tuple
+	present := make(map[string]bool)
+	key := func(args []int32) string {
+		b := make([]byte, 0, 4*len(args))
+		for _, a := range args {
+			b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+		}
+		return string(b)
+	}
+	ds.Ev.ForEach(pred, func(args []int32, _ mln.Truth) {
+		cp := append([]int32(nil), args...)
+		existing = append(existing, tuple{args: cp})
+		present[key(cp)] = true
+	})
+	doms := make([][]int32, pred.Arity())
+	for i, tn := range pred.Args {
+		doms[i] = ds.Prog.Domain(tn).Sorted()
+	}
+
+	var d mln.Delta
+	for len(d.Ops) < n {
+		if rng.Intn(2) == 0 && len(existing) > 0 {
+			i := rng.Intn(len(existing))
+			t := existing[i]
+			existing[i] = existing[len(existing)-1]
+			existing = existing[:len(existing)-1]
+			delete(present, key(t.args))
+			d.Remove(pred, t.args)
+			continue
+		}
+		// Fresh tuple from the existing domains; a few retries to avoid
+		// colliding with current evidence (collisions would be no-ops for
+		// closed predicates).
+		var args []int32
+		found := false
+		for try := 0; try < 32; try++ {
+			args = make([]int32, pred.Arity())
+			for j, dom := range doms {
+				args[j] = dom[rng.Intn(len(dom))]
+			}
+			if !present[key(args)] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			if len(existing) == 0 {
+				break // predicate space saturated and nothing left to remove
+			}
+			continue
+		}
+		truth := mln.True
+		if !pred.Closed && rng.Intn(2) == 1 {
+			truth = mln.False
+		}
+		present[key(args)] = true
+		existing = append(existing, tuple{args: args})
+		d.Upsert(pred, args, truth)
+	}
+	return d
+}

@@ -1,0 +1,352 @@
+package grounding
+
+import (
+	"sort"
+
+	"tuffy/internal/mln"
+	"tuffy/internal/mrf"
+)
+
+// Incremental assembly of the grounded MRF.
+//
+// assembleResult re-folds every cached raw grounding on each call — O(total
+// raws) even when a Reground changed a handful of them. Because finish()
+// emits the descriptor-canonical form (atoms sorted by aid-independent
+// descriptor, clauses sorted by renumbered literal sequence, duplicate
+// clauses weight-summed in first-order-clause order), the assembled Result
+// is a pure function of the multiset of raw groundings. incAssembler
+// maintains exactly that function under raw-level diffs: per-clause-key
+// contribution counts, per-atom occurrence counts, and the two sorted
+// orders, so one update costs O(diff) bookkeeping plus an O(output) array
+// rebuild — no maps on the hot path — while staying bit-identical to a
+// fresh finish() over the same raws.
+//
+// Weight exactness: all raws of one first-order clause carry the same
+// weight, and finish() sums duplicate ground clauses in first-order-clause
+// order. recalc reproduces that exact floating-point order from the counts,
+// so maintained weights equal freshly accumulated ones bit for bit (and
+// likewise the evidence-decided fixed cost).
+
+// accEntry is one canonical ground clause with its contribution counts.
+type accEntry struct {
+	key    string  // concatenated literal descriptors: identity and sort key
+	aids   []int64 // canonical literals (descriptor order, deduplicated)
+	pos    []bool
+	counts []int32 // contributing raws per first-order clause index
+	total  int32
+	weight float64
+	lits   []mrf.Lit // translation under the current atom numbering
+}
+
+type incAssembler struct {
+	ts   *TableSet
+	wPer []float64 // raw weight observed per first-order clause
+
+	fixedCounts []int32 // positive evidence-decided raws per clause
+	fixedN      int
+	raw         int // total raws (NumGroundedRaw)
+
+	atomCount  map[int64]int32
+	descOf     map[int64]string // atom descriptor cache
+	atomKeys   []string         // sorted atom descriptors
+	atomAids   []int64          // aids aligned with atomKeys
+	atomsDirty bool
+
+	entries map[string]*accEntry
+	keys    []string // sorted entry keys
+	live    bool     // sorted orders maintained eagerly (post-build)
+
+	// Epoch-shared caches, replaced (never mutated) when the atom set
+	// changes so previously returned Results stay frozen.
+	aidToID  map[int64]mrf.AtomID
+	tableAid []int64
+	atoms    []mln.GroundAtom
+}
+
+func newIncAssembler(ts *TableSet, nClauses int) *incAssembler {
+	return &incAssembler{
+		ts:          ts,
+		wPer:        make([]float64, nClauses),
+		fixedCounts: make([]int32, nClauses),
+		atomCount:   make(map[int64]int32),
+		descOf:      make(map[int64]string),
+		entries:     make(map[string]*accEntry),
+	}
+}
+
+func (a *incAssembler) desc(aid int64) string {
+	if d, ok := a.descOf[aid]; ok {
+		return d
+	}
+	d := atomDescKey(a.ts, aid)
+	a.descOf[aid] = d
+	return d
+}
+
+// build ingests every cached raw grounding, then establishes the sorted
+// orders. Used once at NewIncremental; later diffs go through apply.
+func (a *incAssembler) build(perClause [][]rawClause) {
+	for i, raws := range perClause {
+		for _, r := range raws {
+			a.addRaw(i, r, nil)
+		}
+	}
+	a.atomKeys = make([]string, 0, len(a.atomCount))
+	for aid := range a.atomCount {
+		a.atomKeys = append(a.atomKeys, a.desc(aid))
+	}
+	sort.Strings(a.atomKeys)
+	a.atomAids = make([]int64, len(a.atomKeys))
+	byDesc := make(map[string]int64, len(a.atomCount))
+	for aid := range a.atomCount {
+		byDesc[a.desc(aid)] = aid
+	}
+	for i, k := range a.atomKeys {
+		a.atomAids[i] = byDesc[k]
+	}
+	a.keys = make([]string, 0, len(a.entries))
+	for k := range a.entries {
+		a.keys = append(a.keys, k)
+	}
+	sort.Strings(a.keys)
+	for _, e := range a.entries {
+		a.recalc(e)
+	}
+	a.atomsDirty = true
+	a.live = true
+}
+
+// apply folds one clause's raw-level diff into the maintained state.
+func (a *incAssembler) apply(clauseIdx int, added, removed []rawClause) {
+	dirty := make(map[string]*accEntry)
+	for _, r := range removed {
+		a.removeRaw(clauseIdx, r, dirty)
+	}
+	for _, r := range added {
+		a.addRaw(clauseIdx, r, dirty)
+	}
+	for _, e := range dirty {
+		a.recalc(e)
+	}
+}
+
+// canonLits sorts one raw's literals into descriptor order and
+// deduplicates, mirroring sortLits+dedupLits. ok=false means tautology.
+func (a *incAssembler) canonLits(r rawClause) (aids []int64, pos []bool, key string, ok bool) {
+	n := len(r.aids)
+	litKeys := make([]string, n)
+	aids = append([]int64(nil), r.aids...)
+	pos = append([]bool(nil), r.pos...)
+	for i := range aids {
+		s := byte(0)
+		if pos[i] {
+			s = 1
+		}
+		litKeys[i] = a.desc(aids[i]) + string([]byte{s})
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && litKeys[j] < litKeys[j-1]; j-- {
+			litKeys[j], litKeys[j-1] = litKeys[j-1], litKeys[j]
+			aids[j], aids[j-1] = aids[j-1], aids[j]
+			pos[j], pos[j-1] = pos[j-1], pos[j]
+		}
+	}
+	w := 0
+	for i := 0; i < n; i++ {
+		if w > 0 && aids[i] == aids[w-1] {
+			if pos[i] == pos[w-1] {
+				continue // duplicate literal
+			}
+			return nil, nil, "", false // x v !x: tautology
+		}
+		aids[w], pos[w], litKeys[w] = aids[i], pos[i], litKeys[i]
+		w++
+	}
+	aids, pos, litKeys = aids[:w], pos[:w], litKeys[:w]
+	total := 0
+	for _, k := range litKeys {
+		total += len(k)
+	}
+	b := make([]byte, 0, total)
+	for _, k := range litKeys {
+		b = append(b, k...)
+	}
+	return aids, pos, string(b), true
+}
+
+func (a *incAssembler) addRaw(clauseIdx int, r rawClause, dirty map[string]*accEntry) {
+	a.raw++
+	a.wPer[clauseIdx] = r.weight
+	if len(r.aids) == 0 {
+		if r.weight > 0 {
+			a.fixedCounts[clauseIdx]++
+			a.fixedN++
+		}
+		return
+	}
+	for _, aid := range r.aids {
+		a.atomCount[aid]++
+		if a.atomCount[aid] == 1 && a.live {
+			a.insertAtom(aid)
+		}
+	}
+	aids, pos, key, ok := a.canonLits(r)
+	if !ok {
+		return
+	}
+	e := a.entries[key]
+	if e == nil {
+		e = &accEntry{key: key, aids: aids, pos: pos, counts: make([]int32, len(a.wPer))}
+		a.entries[key] = e
+		if a.live {
+			i := sort.SearchStrings(a.keys, key)
+			a.keys = append(a.keys, "")
+			copy(a.keys[i+1:], a.keys[i:])
+			a.keys[i] = key
+			if !a.atomsDirty {
+				e.lits = a.translate(e)
+			}
+		}
+	}
+	e.counts[clauseIdx]++
+	e.total++
+	if dirty != nil {
+		dirty[key] = e
+	}
+}
+
+func (a *incAssembler) removeRaw(clauseIdx int, r rawClause, dirty map[string]*accEntry) {
+	a.raw--
+	if len(r.aids) == 0 {
+		if r.weight > 0 {
+			a.fixedCounts[clauseIdx]--
+			a.fixedN--
+		}
+		return
+	}
+	for _, aid := range r.aids {
+		a.atomCount[aid]--
+		if a.atomCount[aid] == 0 {
+			delete(a.atomCount, aid)
+			a.removeAtom(aid)
+		}
+	}
+	aids, _, key, ok := a.canonLits(r)
+	_ = aids
+	if !ok {
+		return
+	}
+	e := a.entries[key]
+	e.counts[clauseIdx]--
+	e.total--
+	if e.total == 0 {
+		delete(a.entries, key)
+		delete(dirty, key)
+		i := sort.SearchStrings(a.keys, key)
+		a.keys = append(a.keys[:i], a.keys[i+1:]...)
+		return
+	}
+	dirty[key] = e
+}
+
+func (a *incAssembler) insertAtom(aid int64) {
+	k := a.desc(aid)
+	i := sort.SearchStrings(a.atomKeys, k)
+	a.atomKeys = append(a.atomKeys, "")
+	copy(a.atomKeys[i+1:], a.atomKeys[i:])
+	a.atomKeys[i] = k
+	a.atomAids = append(a.atomAids, 0)
+	copy(a.atomAids[i+1:], a.atomAids[i:])
+	a.atomAids[i] = aid
+	a.atomsDirty = true
+}
+
+func (a *incAssembler) removeAtom(aid int64) {
+	k := a.desc(aid)
+	i := sort.SearchStrings(a.atomKeys, k)
+	a.atomKeys = append(a.atomKeys[:i], a.atomKeys[i+1:]...)
+	a.atomAids = append(a.atomAids[:i], a.atomAids[i+1:]...)
+	a.atomsDirty = true
+}
+
+// recalc recomputes the entry's weight in the exact floating-point order a
+// fresh accumulation would use: contributions grouped by ascending
+// first-order clause index, one add per raw.
+func (a *incAssembler) recalc(e *accEntry) {
+	w := 0.0
+	for i, c := range e.counts {
+		for k := int32(0); k < c; k++ {
+			w += a.wPer[i]
+		}
+	}
+	e.weight = w
+}
+
+// translate renders an entry's literals under the current atom numbering.
+// Descriptor order equals id order, so no re-sort is needed. Always
+// allocates: previously returned Results share the old slices.
+func (a *incAssembler) translate(e *accEntry) []mrf.Lit {
+	lits := make([]mrf.Lit, len(e.aids))
+	for i, aid := range e.aids {
+		id := a.aidToID[aid]
+		if !e.pos[i] {
+			id = -id
+		}
+		lits[i] = id
+	}
+	return lits
+}
+
+// result materializes the canonical Result. Atom-numbering caches are
+// rebuilt (replaced, not mutated) only when the atom set changed.
+func (a *incAssembler) result(perStats []Stats) *Result {
+	if a.atomsDirty {
+		n := len(a.atomAids)
+		aidToID := make(map[int64]mrf.AtomID, n)
+		tableAid := make([]int64, n+1)
+		atoms := make([]mln.GroundAtom, n+1)
+		for i, aid := range a.atomAids {
+			id := mrf.AtomID(i + 1)
+			aidToID[aid] = id
+			tableAid[id] = aid
+			atoms[id] = a.ts.Atom(aid)
+		}
+		a.aidToID, a.tableAid, a.atoms = aidToID, tableAid, atoms
+		for _, e := range a.entries {
+			e.lits = a.translate(e)
+		}
+		a.atomsDirty = false
+	}
+	m := mrf.New(len(a.atomAids))
+	m.Atoms = a.atoms
+	fixed := 0.0
+	for i, c := range a.fixedCounts {
+		for k := int32(0); k < c; k++ {
+			fixed += a.wPer[i]
+		}
+	}
+	m.FixedCost = fixed
+	clauses := make([]mrf.Clause, 0, len(a.keys))
+	for _, k := range a.keys {
+		e := a.entries[k]
+		if e.weight == 0 {
+			continue
+		}
+		clauses = append(clauses, mrf.Clause{Weight: e.weight, Lits: e.lits})
+	}
+	m.Clauses = clauses
+	stats := Stats{
+		NumAtoms:       a.ts.NumAtoms(),
+		NumUsedAtoms:   len(a.atomAids),
+		NumGroundedRaw: a.raw,
+		NumClauses:     len(clauses),
+		FixedCostCount: a.fixedN,
+	}
+	for i := range perStats {
+		stats.JoinRowsVisited += perStats[i].JoinRowsVisited
+		if perStats[i].PeakBytes > stats.PeakBytes {
+			stats.PeakBytes = perStats[i].PeakBytes
+		}
+	}
+	return &Result{MRF: m, TableAid: a.tableAid, AtomID: a.aidToID, Stats: stats}
+}

@@ -50,18 +50,38 @@ func GroundBottomUp(ctx context.Context, ts *TableSet, opts Options) (*Result, e
 	clauses := ts.Prog.Clauses
 	perClause := make([][]rawClause, len(clauses))
 	perStats := make([]Stats, len(clauses))
+	if err := groundSelectedSQL(ctx, ts, opts, perClause, perStats, nil); err != nil {
+		return nil, err
+	}
+	return assembleResult(ts, perClause, perStats, opts, true), nil
+}
+
+// groundSelectedSQL compiles and executes the grounding query of every
+// selected clause (sel[i] reports whether clause i runs; nil selects all),
+// writing raw groundings and stats into perClause/perStats by clause ID.
+// Unselected slots are left untouched, which is how the incremental grounder
+// reuses cached raws. Worker scheduling never changes the output: each slot
+// is written by exactly one goroutine and identified by clause ID.
+func groundSelectedSQL(ctx context.Context, ts *TableSet, opts Options, perClause [][]rawClause, perStats []Stats, sel []bool) error {
+	clauses := ts.Prog.Clauses
+	run := make([]int, 0, len(clauses))
+	for i := range clauses {
+		if sel == nil || sel[i] {
+			run = append(run, i)
+		}
+	}
 	perErr := make([]error, len(clauses))
 
 	workers := opts.Workers
-	if workers > len(clauses) {
-		workers = len(clauses)
+	if workers > len(run) {
+		workers = len(run)
 	}
 	if workers <= 1 {
-		for i, clause := range clauses {
+		for _, i := range run {
 			if err := context.Cause(ctx); ctx.Err() != nil {
-				return nil, err
+				return err
 			}
-			perClause[i], perErr[i] = groundClauseSQL(ts, clause, &perStats[i])
+			perClause[i], perErr[i] = groundClauseSQL(ts, clauses[i], &perStats[i])
 			if perErr[i] != nil {
 				break // fail fast; the first-in-order error is reported below
 			}
@@ -75,10 +95,11 @@ func GroundBottomUp(ctx context.Context, ts *TableSet, opts Options) (*Result, e
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(clauses) || failed.Load() || ctx.Err() != nil {
+					n := int(next.Add(1)) - 1
+					if n >= len(run) || failed.Load() || ctx.Err() != nil {
 						return
 					}
+					i := run[n]
 					perClause[i], perErr[i] = groundClauseSQL(ts, clauses[i], &perStats[i])
 					if perErr[i] != nil {
 						failed.Store(true) // fail fast, like the sequential path
@@ -89,19 +110,24 @@ func GroundBottomUp(ctx context.Context, ts *TableSet, opts Options) (*Result, e
 		wg.Wait()
 	}
 	if err := context.Cause(ctx); ctx.Err() != nil {
-		return nil, err
+		return err
 	}
 	// Report the first error in clause order so failures are deterministic
 	// across worker counts.
 	for i, err := range perErr {
 		if err != nil {
-			return nil, fmt.Errorf("grounding clause %d (%s): %w", clauses[i].ID, clauses[i].Source, err)
+			return fmt.Errorf("grounding clause %d (%s): %w", clauses[i].ID, clauses[i].Source, err)
 		}
 	}
+	return nil
+}
 
-	// Deterministic merge: clause-ID order, then order-insensitive stats.
-	// Presize and release each per-clause slice as it is merged so the
-	// merge does not hold two copies of the ground clauses.
+// assembleResult merges per-clause raw groundings in clause-ID order, applies
+// the optional active closure, and folds everything through the clause
+// accumulator. With release set, each per-clause slice is dropped as it is
+// merged so the merge does not hold two copies of the ground clauses; the
+// incremental grounder passes release=false to keep its cache.
+func assembleResult(ts *TableSet, perClause [][]rawClause, perStats []Stats, opts Options, release bool) *Result {
 	total := 0
 	for i := range perClause {
 		total += len(perClause[i])
@@ -110,7 +136,9 @@ func GroundBottomUp(ctx context.Context, ts *TableSet, opts Options) (*Result, e
 	stats := Stats{}
 	for i := range perClause {
 		raws = append(raws, perClause[i]...)
-		perClause[i] = nil
+		if release {
+			perClause[i] = nil
+		}
 		stats.JoinRowsVisited += perStats[i].JoinRowsVisited
 		if perStats[i].PeakBytes > stats.PeakBytes {
 			stats.PeakBytes = perStats[i].PeakBytes
@@ -123,7 +151,7 @@ func GroundBottomUp(ctx context.Context, ts *TableSet, opts Options) (*Result, e
 	for _, r := range raws {
 		ca.add(r.weight, r.aids, r.pos)
 	}
-	return ca.finish(stats), nil
+	return ca.finish(stats)
 }
 
 // Compiled describes the SQL compilation of one first-order clause.
@@ -468,7 +496,11 @@ func groundClauseSQL(ts *TableSet, c *mln.Clause, stats *Stats) ([]rawClause, er
 		}
 		out = append(out, extra...)
 	}
-	return out, nil
+	// Canonical order (see canon.go): makes the folded groundings — and
+	// therefore the MRF built from them — independent of aid numbering and
+	// SQL row order, which is what lets an incremental re-ground reproduce a
+	// fresh Ground bit for bit.
+	return canonRaws(ts, out), nil
 }
 
 // existentialFallback grounds the universal part alone to catch bindings

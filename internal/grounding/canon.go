@@ -1,0 +1,122 @@
+package grounding
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonicalization of raw groundings.
+//
+// Table aids are assigned in insertion order, so two TableSets encoding the
+// same logical evidence — one built fresh, one patched by ApplyDelta — number
+// the same ground atoms differently, and the SQL engine may also return join
+// rows in different heap orders. The MRF, however, must be a pure function of
+// the logical content: the epoch-based Engine promises that an incremental
+// update is bit-identical to a full re-Ground on the merged evidence.
+//
+// canonRaws establishes that by sorting each clause's raw groundings (and the
+// literals inside each grounding) by aid-independent atom descriptors
+// (predicate id, argument constants, sign). Downstream, the accumulator
+// assigns dense MRF atom ids in first-use order over this canonical sequence,
+// so every id, clause, weight and Atoms[] entry depends only on the logical
+// ground clauses — not on aid numbering or row order.
+
+// atomDescKey renders the aid-independent descriptor of one ground atom
+// (predicate id then argument constants). Descriptors of distinct atoms
+// never collide, and two descriptors with different predicates differ
+// within their first four bytes, so lexicographic order is well-defined
+// across arities.
+func atomDescKey(ts *TableSet, aid int64) string {
+	var b strings.Builder
+	a := ts.Atom(aid)
+	b.Grow(4 + 4*len(a.Args))
+	v := uint32(a.Pred.ID)
+	b.WriteByte(byte(v >> 24))
+	b.WriteByte(byte(v >> 16))
+	b.WriteByte(byte(v >> 8))
+	b.WriteByte(byte(v))
+	for _, c := range a.Args {
+		u := uint32(c)
+		b.WriteByte(byte(u >> 24))
+		b.WriteByte(byte(u >> 16))
+		b.WriteByte(byte(u >> 8))
+		b.WriteByte(byte(u))
+	}
+	return b.String()
+}
+
+// litDescKey renders an aid-independent descriptor for one literal:
+// predicate id, argument constants, and sign, as a byte string that sorts
+// consistently across TableSets.
+func litDescKey(b *strings.Builder, ts *TableSet, aid int64, positive bool) {
+	a := ts.Atom(aid)
+	v := uint32(a.Pred.ID)
+	b.WriteByte(byte(v >> 24))
+	b.WriteByte(byte(v >> 16))
+	b.WriteByte(byte(v >> 8))
+	b.WriteByte(byte(v))
+	for _, c := range a.Args {
+		u := uint32(c)
+		b.WriteByte(byte(u >> 24))
+		b.WriteByte(byte(u >> 16))
+		b.WriteByte(byte(u >> 8))
+		b.WriteByte(byte(u))
+	}
+	if positive {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+}
+
+// sortRawLits orders the literals of one raw grounding by descriptor key.
+// Clauses are short, so insertion sort over freshly built keys is fine.
+func sortRawLits(ts *TableSet, r *rawClause) {
+	if len(r.aids) < 2 {
+		return
+	}
+	keys := make([]string, len(r.aids))
+	for i, aid := range r.aids {
+		var b strings.Builder
+		litDescKey(&b, ts, aid, r.pos[i])
+		keys[i] = b.String()
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+			r.aids[j], r.aids[j-1] = r.aids[j-1], r.aids[j]
+			r.pos[j], r.pos[j-1] = r.pos[j-1], r.pos[j]
+		}
+	}
+}
+
+// canonRaws puts one clause's raw groundings into canonical order: literals
+// within each grounding sorted by descriptor, groundings sorted by their
+// concatenated descriptors. The sort is stable, so duplicate groundings
+// (which the accumulator later merges by summing weights) keep a
+// deterministic relative order.
+func canonRaws(ts *TableSet, raws []rawClause) []rawClause {
+	if len(raws) == 0 {
+		return raws
+	}
+	keys := make([]string, len(raws))
+	for i := range raws {
+		sortRawLits(ts, &raws[i])
+		var b strings.Builder
+		b.Grow(len(raws[i].aids) * 10)
+		for j, aid := range raws[i].aids {
+			litDescKey(&b, ts, aid, raws[i].pos[j])
+		}
+		keys[i] = b.String()
+	}
+	idx := make([]int, len(raws))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]rawClause, len(raws))
+	for i, j := range idx {
+		out[i] = raws[j]
+	}
+	return out
+}

@@ -1,0 +1,411 @@
+package grounding
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"tuffy/internal/db/tuple"
+	"tuffy/internal/mln"
+	"tuffy/internal/mrf"
+)
+
+// Incremental grounding (the epoch Engine's delta path).
+//
+// Bottom-up grounding computes each first-order clause's groundings with one
+// SQL query, which gives exact per-clause provenance: the only predicates
+// that can change a clause's groundings are the ones appearing in its
+// literals. Incremental caches every clause's canonical raw groundings; when
+// evidence changes, only clauses whose provenance intersects the changed
+// predicates re-run their SQL, the rest reuse the cache, and the merged
+// sequence re-folds through the accumulator. Because each clause's raws are
+// in canonical (aid-independent) order, the assembled Result is bit-identical
+// to a full GroundBottomUp on the patched tables — and, by canon.go's
+// argument, to a fresh Ground over the merged evidence.
+
+// ClausePreds returns the grounding provenance of a first-order clause: the
+// set of predicates its (non-builtin) literals read.
+func ClausePreds(c *mln.Clause) map[*mln.Predicate]bool {
+	out := make(map[*mln.Predicate]bool)
+	for _, l := range c.Lits {
+		if !l.IsBuiltinEq() {
+			out[l.Pred] = true
+		}
+	}
+	return out
+}
+
+// Incremental wraps a TableSet with the cached per-clause raw groundings
+// needed to re-ground selectively. It is single-writer: the Engine serializes
+// UpdateEvidence calls.
+type Incremental struct {
+	TS   *TableSet
+	Opts Options
+
+	perClause [][]rawClause
+	perStats  []Stats
+	provs     []map[*mln.Predicate]bool
+
+	// asm maintains the canonical assembled Result under raw-level diffs,
+	// making Reground O(diff + output) instead of O(total raws). The active
+	// closure is a whole-MRF transform with no incremental form, so with
+	// UseClosure the assembler stays nil and Reground re-folds from scratch.
+	asm *incAssembler
+}
+
+// NewIncremental performs a full bottom-up grounding and retains the
+// per-clause raw groundings for later selective re-grounds.
+func NewIncremental(ctx context.Context, ts *TableSet, opts Options) (*Incremental, *Result, error) {
+	n := len(ts.Prog.Clauses)
+	inc := &Incremental{
+		TS:        ts,
+		Opts:      opts,
+		perClause: make([][]rawClause, n),
+		perStats:  make([]Stats, n),
+		provs:     make([]map[*mln.Predicate]bool, n),
+	}
+	for i, c := range ts.Prog.Clauses {
+		inc.provs[i] = ClausePreds(c)
+	}
+	if err := groundSelectedSQL(ctx, ts, opts, inc.perClause, inc.perStats, nil); err != nil {
+		return nil, nil, err
+	}
+	if opts.UseClosure {
+		return inc, assembleResult(ts, inc.perClause, inc.perStats, opts, false), nil
+	}
+	inc.asm = newIncAssembler(ts, n)
+	inc.asm.build(inc.perClause)
+	return inc, inc.asm.result(inc.perStats), nil
+}
+
+// RegroundInfo reports what a selective re-ground actually did.
+type RegroundInfo struct {
+	ClausesRerun   int   // grounding queries re-executed
+	ClausesTotal   int   // first-order clauses in the program
+	RerunJoinRows  int64 // join rows the re-run queries visited
+	RawsAdded      int   // raw groundings present only in the new epoch
+	RawsRemoved    int   // raw groundings present only in the old epoch
+	TouchedAids    int   // distinct table atoms in changed raw groundings
+	TouchedAtoms   int   // those that appear in the new MRF
+	FixedCostDelta bool  // evidence-decided cost changed
+}
+
+// Reground re-runs the grounding queries of every clause whose provenance
+// intersects changed, reusing cached raws for the rest, and returns the
+// re-assembled Result plus the raw-level diff against the previous ground.
+//
+// touchedNew flags the new-MRF atom ids that occur in any added or removed
+// raw grounding; atoms outside the flag set provably keep their connected
+// component's local structure (see canon.go), which is what the component and
+// partition repair layers rely on. On error (including cancellation) the
+// cache is left on the previous ground, so the delta is retryable.
+func (inc *Incremental) Reground(ctx context.Context, changed map[*mln.Predicate]bool) (*Result, []bool, RegroundInfo, error) {
+	n := len(inc.TS.Prog.Clauses)
+	info := RegroundInfo{ClausesTotal: n}
+	sel := make([]bool, n)
+	for i := range sel {
+		for p := range inc.provs[i] {
+			if changed[p] {
+				sel[i] = true
+				info.ClausesRerun++
+				break
+			}
+		}
+	}
+	tmpClause := make([][]rawClause, n)
+	tmpStats := make([]Stats, n)
+	if err := groundSelectedSQL(ctx, inc.TS, inc.Opts, tmpClause, tmpStats, sel); err != nil {
+		return nil, nil, info, err
+	}
+
+	// Raw-level diff of the re-run clauses, in the shared aid space (aids are
+	// stable across ApplyDelta: the registry is append-only and re-inserted
+	// closed tuples reuse their original aid).
+	touchedAids := make(map[int64]struct{})
+	newClause := make([][]rawClause, n)
+	newStats := make([]Stats, n)
+	copy(newClause, inc.perClause)
+	copy(newStats, inc.perStats)
+	type clauseDiff struct {
+		idx            int
+		added, removed []rawClause
+	}
+	var diffs []clauseDiff
+	for i := range sel {
+		if !sel[i] {
+			continue
+		}
+		added, removed, fixed := diffRaws(inc.perClause[i], tmpClause[i], touchedAids)
+		info.RawsAdded += len(added)
+		info.RawsRemoved += len(removed)
+		info.FixedCostDelta = info.FixedCostDelta || fixed
+		info.RerunJoinRows += tmpStats[i].JoinRowsVisited
+		if len(added) > 0 || len(removed) > 0 {
+			diffs = append(diffs, clauseDiff{idx: i, added: added, removed: removed})
+		}
+		newClause[i] = tmpClause[i]
+		newStats[i] = tmpStats[i]
+	}
+	info.TouchedAids = len(touchedAids)
+
+	var res *Result
+	if inc.asm != nil {
+		for _, d := range diffs {
+			inc.asm.apply(d.idx, d.added, d.removed)
+		}
+		res = inc.asm.result(newStats)
+	} else {
+		res = assembleResult(inc.TS, newClause, newStats, inc.Opts, false)
+	}
+	touchedNew := make([]bool, res.MRF.NumAtoms+1)
+	for aid := range touchedAids {
+		if id := res.AtomID[aid]; id != 0 {
+			touchedNew[id] = true
+			info.TouchedAtoms++
+		}
+	}
+	inc.perClause = newClause
+	inc.perStats = newStats
+	return res, touchedNew, info, nil
+}
+
+// rawAidKey identifies a raw grounding within one TableSet's aid space.
+func rawAidKey(r rawClause) string {
+	var b strings.Builder
+	b.Grow(len(r.aids) * 9)
+	for i, aid := range r.aids {
+		v := uint64(aid)
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+		b.WriteByte(byte(v >> 32))
+		b.WriteByte(byte(v >> 40))
+		b.WriteByte(byte(v >> 48))
+		b.WriteByte(byte(v >> 56))
+		if r.pos[i] {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	}
+	return b.String()
+}
+
+// diffRaws multiset-diffs one clause's old and new raw groundings, adding the
+// atoms of every differing raw to touched. It returns the raws present only
+// on each side and whether an evidence-decided (empty) grounding changed.
+func diffRaws(old, cur []rawClause, touched map[int64]struct{}) (added, removed []rawClause, fixedDelta bool) {
+	counts := make(map[string]int, len(old))
+	for _, r := range old {
+		counts[rawAidKey(r)]++
+	}
+	mark := func(r rawClause) {
+		for _, aid := range r.aids {
+			touched[aid] = struct{}{}
+		}
+	}
+	for _, r := range cur {
+		k := rawAidKey(r)
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		added = append(added, r)
+		if len(r.aids) == 0 {
+			fixedDelta = true
+		}
+		mark(r)
+	}
+	for _, r := range old {
+		k := rawAidKey(r)
+		if counts[k] > 0 {
+			counts[k]--
+			removed = append(removed, r)
+			if len(r.aids) == 0 {
+				fixedDelta = true
+			}
+			mark(r)
+		}
+	}
+	return added, removed, fixedDelta
+}
+
+// AtomMaps builds the old-id -> new-id and new-id -> old-id translations
+// between two Results of the same TableSet (0 = no counterpart). Both sides
+// index atoms by the stable table aid.
+func AtomMaps(old, cur *Result) (oldToNew, newToOld []mrf.AtomID) {
+	oldToNew = make([]mrf.AtomID, old.MRF.NumAtoms+1)
+	newToOld = make([]mrf.AtomID, cur.MRF.NumAtoms+1)
+	for i := 1; i <= old.MRF.NumAtoms; i++ {
+		if id := cur.AtomID[old.TableAid[i]]; id != 0 {
+			oldToNew[i] = id
+			newToOld[id] = mrf.AtomID(i)
+		}
+	}
+	return oldToNew, newToOld
+}
+
+// DeltaUndo records how to roll an ApplyDelta back: the inverse evidence
+// delta plus the reverse table operations, undone in reverse order.
+type DeltaUndo struct {
+	ts  *TableSet
+	inv mln.Delta
+	log []tableUndo
+}
+
+type tableUndo struct {
+	kind     byte // 'u' update, 'i' insert (undo deletes), 'd' delete (undo reinserts)
+	pred     *mln.Predicate
+	aid      int64
+	args     []int32
+	oldTruth int64
+}
+
+// ApplyDelta patches the evidence and the predicate relations for one
+// evidence delta:
+//
+//   - open predicates materialize every type-consistent atom, so a truth
+//     change is an UPDATE of the row's truth column;
+//   - closed predicates store evidence-true rows only (CWA), so setting a
+//     tuple true INSERTs its row (reusing the atom's original aid if it was
+//     ever materialized) and anything else DELETEs it.
+//
+// On success it returns the undo record; on failure it rolls back whatever
+// was applied and the tables and evidence are as before. Deltas must stay
+// inside the existing typed domains (mln.ErrConstantNotInDomain otherwise):
+// new constants change the candidate-atom universe of open predicates, which
+// is a full re-Ground, not a patch.
+func (ts *TableSet) ApplyDelta(delta mln.Delta) (*DeltaUndo, error) {
+	inv, err := ts.Ev.Apply(delta)
+	if err != nil {
+		return nil, err
+	}
+	undo := &DeltaUndo{ts: ts, inv: inv}
+	for _, op := range delta.Ops {
+		if err := ts.applyOp(op, undo); err != nil {
+			if rbErr := undo.Rollback(); rbErr != nil {
+				return nil, fmt.Errorf("applying delta: %w (rollback also failed: %v)", err, rbErr)
+			}
+			return nil, err
+		}
+	}
+	return undo, nil
+}
+
+func (ts *TableSet) applyOp(op mln.DeltaOp, undo *DeltaUndo) error {
+	pred := op.Pred
+	t := ts.tables[pred]
+	if t == nil {
+		return fmt.Errorf("grounding: no relation for predicate %s", pred.Name)
+	}
+	if pred.Closed {
+		// Explicit false on a closed predicate is the CWA default: row absent.
+		want := op.Truth == mln.True
+		aid, staged := ts.AidOf(pred, op.Args)
+		present := staged && ts.truths[aid] == TruthTrue
+		switch {
+		case want && !present:
+			if !staged {
+				row := ts.stageAtom(pred, append([]int32(nil), op.Args...), TruthTrue)
+				aid = int64(len(ts.atoms) - 1)
+				if err := t.Insert(row); err != nil {
+					ts.truths[aid] = TruthFalse // registry keeps the atom; no row
+					return err
+				}
+			} else {
+				row := make(tuple.Row, 0, pred.Arity()+2)
+				row = append(row, tuple.I64(aid))
+				for _, a := range op.Args {
+					row = append(row, tuple.I64(int64(a)))
+				}
+				row = append(row, tuple.I64(TruthTrue))
+				if err := t.Insert(row); err != nil {
+					return err
+				}
+				ts.truths[aid] = TruthTrue
+			}
+			undo.log = append(undo.log, tableUndo{kind: 'i', pred: pred, aid: aid})
+		case !want && present:
+			if _, err := ts.DB.Exec(fmt.Sprintf("DELETE FROM %s WHERE aid = %d", TableName(pred), aid)); err != nil {
+				return err
+			}
+			ts.truths[aid] = TruthFalse
+			undo.log = append(undo.log, tableUndo{
+				kind: 'd', pred: pred, aid: aid, args: append([]int32(nil), op.Args...),
+			})
+		}
+		return nil
+	}
+
+	aid, ok := ts.AidOf(pred, op.Args)
+	if !ok {
+		return fmt.Errorf("grounding: atom %s%v not materialized; delta constants must predate Ground",
+			pred.Name, op.Args)
+	}
+	newTruth := TruthUnknown
+	switch op.Truth {
+	case mln.True:
+		newTruth = TruthTrue
+	case mln.False:
+		newTruth = TruthFalse
+	}
+	old := ts.truths[aid]
+	if old == newTruth {
+		return nil
+	}
+	if _, err := ts.DB.Exec(fmt.Sprintf("UPDATE %s SET truth = %d WHERE aid = %d",
+		TableName(pred), newTruth, aid)); err != nil {
+		return err
+	}
+	ts.truths[aid] = newTruth
+	undo.log = append(undo.log, tableUndo{kind: 'u', pred: pred, aid: aid, oldTruth: old})
+	return nil
+}
+
+// Inverse returns the evidence delta that undoes the applied one (the ops
+// reversed, retractions re-asserting the old truth). Applying it through a
+// fresh UpdateEvidence compensates a committed update — the serving layer
+// uses it to back out of a partially-propagated multi-backend update.
+func (u *DeltaUndo) Inverse() mln.Delta { return u.inv }
+
+// Rollback restores the predicate relations and the evidence to their state
+// before ApplyDelta. It is safe to call once, either because the caller's
+// re-ground failed or because ApplyDelta itself aborted midway.
+func (u *DeltaUndo) Rollback() error {
+	for i := len(u.log) - 1; i >= 0; i-- {
+		e := u.log[i]
+		t := u.ts.tables[e.pred]
+		switch e.kind {
+		case 'u':
+			if _, err := u.ts.DB.Exec(fmt.Sprintf("UPDATE %s SET truth = %d WHERE aid = %d",
+				TableName(e.pred), e.oldTruth, e.aid)); err != nil {
+				return err
+			}
+			u.ts.truths[e.aid] = e.oldTruth
+		case 'i':
+			if _, err := u.ts.DB.Exec(fmt.Sprintf("DELETE FROM %s WHERE aid = %d",
+				TableName(e.pred), e.aid)); err != nil {
+				return err
+			}
+			u.ts.truths[e.aid] = TruthFalse
+		case 'd':
+			row := make(tuple.Row, 0, e.pred.Arity()+2)
+			row = append(row, tuple.I64(e.aid))
+			for _, a := range e.args {
+				row = append(row, tuple.I64(int64(a)))
+			}
+			row = append(row, tuple.I64(TruthTrue))
+			if err := t.Insert(row); err != nil {
+				return err
+			}
+			u.ts.truths[e.aid] = TruthTrue
+		}
+		u.log = u.log[:i]
+	}
+	if _, err := u.ts.Ev.Apply(u.inv); err != nil {
+		return err
+	}
+	u.inv = mln.Delta{}
+	return nil
+}

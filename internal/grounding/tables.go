@@ -9,6 +9,7 @@ package grounding
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"tuffy/internal/db"
@@ -366,26 +367,78 @@ func litsKey(lits []mrf.Lit) string {
 	return b.String()
 }
 
-// finish builds the Result. Clauses whose summed weight cancelled to zero
-// are dropped.
+// finish builds the Result in descriptor-canonical form: atom ids are
+// assigned by sorting atoms on their aid-independent descriptors (predicate
+// id, argument constants — see canon.go) and clauses are sorted by their
+// renumbered literal sequences. The output is therefore a pure function of
+// the logical ground clauses, independent of aid numbering, raw order and
+// accumulation order — which is what lets the incremental assembler
+// (assemble.go) maintain the same Result under small raw diffs and stay
+// bit-identical to a full re-ground. Clauses whose summed weight cancelled
+// to zero are dropped.
 func (ca *clauseAccumulator) finish(stats Stats) *Result {
-	m := mrf.New(len(ca.tableAid) - 1)
-	m.FixedCost = ca.fixed
-	m.Atoms = make([]mln.GroundAtom, len(ca.tableAid))
-	for i := 1; i < len(ca.tableAid); i++ {
-		m.Atoms[i] = ca.ts.Atom(ca.tableAid[i])
+	n := len(ca.tableAid) - 1
+	descs := make([]string, n+1)
+	for i := 1; i <= n; i++ {
+		descs[i] = atomDescKey(ca.ts, ca.tableAid[i])
 	}
+	order := make([]mrf.AtomID, n)
+	for i := range order {
+		order[i] = mrf.AtomID(i + 1)
+	}
+	sort.Slice(order, func(x, y int) bool { return descs[order[x]] < descs[order[y]] })
+	remap := make([]mrf.AtomID, n+1)
+	tableAid := make([]int64, n+1)
+	atomID := make(map[int64]mrf.AtomID, n)
+	for idx, old := range order {
+		id := mrf.AtomID(idx + 1)
+		remap[old] = id
+		tableAid[id] = ca.tableAid[old]
+		atomID[ca.tableAid[old]] = id
+	}
+
+	m := mrf.New(n)
+	m.FixedCost = ca.fixed
+	m.Atoms = make([]mln.GroundAtom, n+1)
+	for i := 1; i <= n; i++ {
+		m.Atoms[i] = ca.ts.Atom(tableAid[i])
+	}
+	clauses := make([]mrf.Clause, 0, len(ca.order))
 	for _, key := range ca.order {
 		c := ca.clauses[key]
 		if c.Weight == 0 {
 			continue
 		}
-		m.Clauses = append(m.Clauses, *c)
+		lits := make([]mrf.Lit, len(c.Lits))
+		for j, l := range c.Lits {
+			id := remap[mrf.Atom(l)]
+			if !mrf.Pos(l) {
+				id = -id
+			}
+			lits[j] = id
+		}
+		sortLits(lits)
+		clauses = append(clauses, mrf.Clause{Weight: c.Weight, Lits: lits})
 	}
+	sort.Slice(clauses, func(x, y int) bool { return litsLess(clauses[x].Lits, clauses[y].Lits) })
+	m.Clauses = clauses
 	stats.NumAtoms = ca.ts.NumAtoms()
-	stats.NumUsedAtoms = len(ca.tableAid) - 1
+	stats.NumUsedAtoms = n
 	stats.NumGroundedRaw = ca.raw
 	stats.NumClauses = len(m.Clauses)
 	stats.FixedCostCount = ca.fixedN
-	return &Result{MRF: m, TableAid: ca.tableAid, AtomID: ca.atomID, Stats: stats}
+	return &Result{MRF: m, TableAid: tableAid, AtomID: atomID, Stats: stats}
+}
+
+// litsLess orders two canonical literal sequences element-wise by
+// (atom id, sign), shorter-prefix first. Because canonical atom ids are
+// themselves descriptor-sorted, this order — and with it the whole clause
+// list — is independent of aid numbering.
+func litsLess(a, b []mrf.Lit) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return litLess(a[i], b[i])
+		}
+	}
+	return len(a) < len(b)
 }

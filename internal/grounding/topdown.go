@@ -64,6 +64,7 @@ func GroundTopDown(ctx context.Context, ts *TableSet, opts Options) (*Result, er
 		if err := context.Cause(ctx); ctx.Err() != nil {
 			return nil, err
 		}
+		segStart := len(raws)
 		if err := validateExistSafety(clause); err != nil {
 			return nil, fmt.Errorf("grounding clause %d: %w", clause.ID, err)
 		}
@@ -201,6 +202,10 @@ func GroundTopDown(ctx context.Context, ts *TableSet, opts Options) (*Result, er
 		if err := rec(0); err != nil {
 			return nil, err
 		}
+		// Same per-clause canonical order as the bottom-up grounder (see
+		// canon.go), keeping the two strategies' MRFs bit-identical.
+		canon := canonRaws(ts, raws[segStart:])
+		copy(raws[segStart:], canon)
 	}
 
 	if opts.UseClosure {

@@ -1,0 +1,180 @@
+package mln
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func deltaFixture(t *testing.T) (*Program, *Predicate, *Evidence) {
+	t.Helper()
+	prog := NewProgram()
+	wrote, err := prog.DeclarePredicate("wrote", []string{"person", "paper"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvidence(prog)
+	for _, pair := range [][2]string{{"Joe", "P1"}, {"Ann", "P1"}, {"Joe", "P2"}} {
+		if err := ev.AssertNames("wrote", []string{pair[0], pair[1]}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return prog, wrote, ev
+}
+
+func forEachTuples(ev *Evidence, pred *Predicate) [][]int32 {
+	var out [][]int32
+	ev.ForEach(pred, func(args []int32, _ Truth) {
+		out = append(out, append([]int32(nil), args...))
+	})
+	return out
+}
+
+func TestEvidenceRemove(t *testing.T) {
+	prog, wrote, ev := deltaFixture(t)
+	joe, _ := prog.Syms.Lookup("Joe")
+	p2, _ := prog.Syms.Lookup("P2")
+
+	before := forEachTuples(ev, wrote)
+	if !ev.Remove(wrote, []int32{joe, p2}) {
+		t.Fatal("Remove of present tuple returned false")
+	}
+	if ev.Remove(wrote, []int32{joe, p2}) {
+		t.Fatal("Remove of absent tuple returned true")
+	}
+	if ev.Count(wrote) != 2 || ev.Total() != 2 {
+		t.Fatalf("counts after remove: %d/%d, want 2/2", ev.Count(wrote), ev.Total())
+	}
+	if ev.TruthOf(wrote, []int32{joe, p2}) != False {
+		t.Fatal("removed closed-world tuple should be false")
+	}
+
+	// ForEach order of the survivors must be the order they had before the
+	// deletion (with the deleted tuple cut out).
+	var want [][]int32
+	for _, args := range before {
+		if args[0] == joe && args[1] == p2 {
+			continue
+		}
+		want = append(want, args)
+	}
+	if got := forEachTuples(ev, wrote); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ForEach order changed after deletion:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestEvidenceUpsert(t *testing.T) {
+	prog, wrote, ev := deltaFixture(t)
+	joe, _ := prog.Syms.Lookup("Joe")
+	p1, _ := prog.Syms.Lookup("P1")
+	p2, _ := prog.Syms.Lookup("P2")
+
+	prev, existed := ev.Upsert(wrote, []int32{joe, p1}, False)
+	if !existed || prev != True {
+		t.Fatalf("Upsert flip: prev=%v existed=%v, want True/true", prev, existed)
+	}
+	if ev.TruthOf(wrote, []int32{joe, p1}) != False || ev.Total() != 3 {
+		t.Fatal("flip should not change cardinality")
+	}
+
+	prev, existed = ev.Upsert(wrote, []int32{joe, p2}, Unknown)
+	if !existed || prev != True {
+		t.Fatalf("Upsert retract: prev=%v existed=%v", prev, existed)
+	}
+	if _, ok := ev.Get(wrote, []int32{joe, p2}); ok || ev.Total() != 2 {
+		t.Fatal("Upsert(Unknown) should retract the tuple")
+	}
+
+	if _, existed = ev.Upsert(wrote, []int32{joe, p2}, True); existed {
+		t.Fatal("re-insert reported existed")
+	}
+	if ev.Total() != 3 {
+		t.Fatalf("Total after re-insert = %d, want 3", ev.Total())
+	}
+	// Upsert must not grow domains.
+	if got := prog.Domain("person").Size(); got != 2 {
+		t.Fatalf("person domain grew to %d", got)
+	}
+}
+
+func TestDeltaApplyAndInverse(t *testing.T) {
+	prog, wrote, ev := deltaFixture(t)
+	joe, _ := prog.Syms.Lookup("Joe")
+	ann, _ := prog.Syms.Lookup("Ann")
+	p1, _ := prog.Syms.Lookup("P1")
+	p2, _ := prog.Syms.Lookup("P2")
+
+	ref := ev.Clone()
+
+	var d Delta
+	d.Remove(wrote, []int32{joe, p1})
+	d.Upsert(wrote, []int32{ann, p2}, True)
+	d.Upsert(wrote, []int32{ann, p1}, False)
+	// Two ops on the same tuple: the later one must win, and the inverse
+	// must still restore the original state.
+	d.Upsert(wrote, []int32{ann, p2}, False)
+
+	inv, err := ev.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TruthOf(wrote, []int32{joe, p1}) != False { // closed-world after retract
+		t.Fatal("Remove op not applied")
+	}
+	if got, _ := ev.Get(wrote, []int32{ann, p2}); got != False {
+		t.Fatalf("later op on same tuple should win, got %v", got)
+	}
+
+	if _, err := ev.Apply(inv); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(forEachTuples(ev, wrote), forEachTuples(ref, wrote)) {
+		t.Fatal("inverse delta did not restore original evidence")
+	}
+	if ev.Total() != ref.Total() || ev.Count(wrote) != ref.Count(wrote) {
+		t.Fatal("inverse delta did not restore counts")
+	}
+	got := map[string]Truth{}
+	ev.ForEach(wrote, func(args []int32, tr Truth) { got[argKey(args)] = tr })
+	ref.ForEach(wrote, func(args []int32, tr Truth) {
+		if got[argKey(args)] != tr {
+			t.Fatalf("truth mismatch after inverse at %v", args)
+		}
+	})
+}
+
+func TestDeltaApplyRejectsUnknownConstant(t *testing.T) {
+	prog, wrote, ev := deltaFixture(t)
+	joe, _ := prog.Syms.Lookup("Joe")
+	stranger := prog.Syms.Intern("Zoe") // interned but in no domain
+
+	var d Delta
+	d.Upsert(wrote, []int32{joe, stranger}, True)
+	if _, err := ev.Apply(d); !errors.Is(err, ErrConstantNotInDomain) {
+		t.Fatalf("err = %v, want ErrConstantNotInDomain", err)
+	}
+	if ev.Total() != 3 {
+		t.Fatal("failed Apply mutated evidence")
+	}
+
+	var bad Delta
+	bad.Ops = append(bad.Ops, DeltaOp{Pred: wrote, Args: []int32{joe}, Truth: True})
+	if _, err := ev.Apply(bad); err == nil {
+		t.Fatal("arity mismatch not rejected")
+	}
+}
+
+func TestDeltaPreds(t *testing.T) {
+	_, wrote, ev := deltaFixture(t)
+	var d Delta
+	d.Remove(wrote, []int32{0, 0})
+	d.Upsert(wrote, []int32{1, 1}, True)
+	preds := d.Preds()
+	if len(preds) != 1 || !preds[wrote] {
+		t.Fatalf("Preds = %v", preds)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	_ = ev
+}

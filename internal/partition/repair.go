@@ -1,0 +1,179 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"tuffy/internal/mrf"
+)
+
+// Repair rebuilds an Algorithm-3 partitioning after an incremental re-ground,
+// re-partitioning only the connected components the update touched and
+// splicing the untouched components' parts through with remapped atom ids.
+//
+// Why this is sound: Algorithm 3 factorizes over connected components — every
+// clause's atoms live in one component, so union-find merges, size accounting
+// and the internal/cut decision for a component's clauses depend only on that
+// component's clauses and their relative order in the |weight|-descending
+// stable scan. For an untouched component (no atom flagged in touchedNew, see
+// grounding.Reground) the clause multiset, the weights, and the relative
+// clause order are all preserved, and the atom renumbering is monotone — so
+// running Algorithm 3 on the whole new MRF would reproduce the old parts of
+// that component exactly, up to the global renumbering. Repair therefore
+// reuses those parts' (immutable) local MRFs, re-runs Algorithm 3 only on the
+// induced sub-MRFs of touched components, and rebuilds the global part order,
+// PartOf and Cut, which are cheap scans. The result is bit-identical to
+// Algorithm3(cur, beta); tests assert that equivalence.
+func Repair(old *Partitioning, cur *mrf.MRF, newToOld []mrf.AtomID, touchedNew []bool, beta int) (pt *Partitioning, reusedParts int) {
+	n := cur.NumAtoms
+	uf := mrf.NewUnionFind(n)
+	for _, c := range cur.Clauses {
+		first := mrf.Atom(c.Lits[0])
+		for _, l := range c.Lits[1:] {
+			uf.Union(first, mrf.Atom(l))
+		}
+	}
+	groups := make(map[int32][]mrf.AtomID)
+	for a := int32(1); a <= int32(n); a++ {
+		groups[uf.Find(a)] = append(groups[uf.Find(a)], a)
+	}
+
+	// Collect parts (reused or rebuilt) with their global atom sets, then
+	// order them exactly as Algorithm3 does: by smallest global atom id.
+	type pendingPart struct {
+		part  *Part
+		atoms []mrf.AtomID // global (new) ids, ascending
+	}
+	var pending []pendingPart
+
+	for _, atoms := range groups {
+		if oldParts, ok := reusableParts(old, atoms, newToOld, touchedNew); ok {
+			// Old id -> new id within this component; the component-level
+			// check guarantees the image exists and is monotone.
+			toNew := make(map[mrf.AtomID]mrf.AtomID, len(atoms))
+			for _, a := range atoms {
+				toNew[newToOld[a]] = a
+			}
+			for _, op := range oldParts {
+				ga := make([]mrf.AtomID, op.Local.NumAtoms+1)
+				gatoms := make([]mrf.AtomID, 0, op.Local.NumAtoms)
+				for i := 1; i <= op.Local.NumAtoms; i++ {
+					ga[i] = toNew[op.GlobalAtom[i]]
+					gatoms = append(gatoms, ga[i])
+				}
+				pending = append(pending, pendingPart{
+					part:  &Part{Local: op.Local, GlobalAtom: ga, SizeUnits: op.SizeUnits},
+					atoms: gatoms,
+				})
+				reusedParts++
+			}
+			continue
+		}
+		// Rebuild: run Algorithm 3 on the induced sub-MRF of this component.
+		sub := induceSub(cur, atoms)
+		subPt := Algorithm3(sub, beta)
+		for _, sp := range subPt.Parts {
+			ga := make([]mrf.AtomID, sp.Local.NumAtoms+1)
+			gatoms := make([]mrf.AtomID, 0, sp.Local.NumAtoms)
+			for i := 1; i <= sp.Local.NumAtoms; i++ {
+				ga[i] = atoms[sp.GlobalAtom[i]-1]
+				gatoms = append(gatoms, ga[i])
+			}
+			pending = append(pending, pendingPart{
+				part:  &Part{Local: sp.Local, GlobalAtom: ga, SizeUnits: sp.SizeUnits},
+				atoms: gatoms,
+			})
+		}
+	}
+
+	sort.Slice(pending, func(a, b int) bool { return pending[a].atoms[0] < pending[b].atoms[0] })
+
+	pt = &Partitioning{Source: cur, PartOf: make([]int32, n+1)}
+	for pi, pp := range pending {
+		pt.Parts = append(pt.Parts, pp.part)
+		for _, a := range pp.atoms {
+			pt.PartOf[a] = int32(pi)
+		}
+	}
+	// Cut: exactly Algorithm3's final scan over the parent clause list.
+	for _, c := range cur.Clauses {
+		pi := pt.PartOf[mrf.Atom(c.Lits[0])]
+		internal := true
+		for _, l := range c.Lits[1:] {
+			if pt.PartOf[mrf.Atom(l)] != pi {
+				internal = false
+				break
+			}
+		}
+		if !internal {
+			pt.Cut = append(pt.Cut, c)
+			pt.CutWeight += math.Abs(c.Weight)
+		}
+	}
+	return pt, reusedParts
+}
+
+// reusableParts decides whether the new component over atoms (ascending new
+// ids) is an untouched, order-preserving image of a set of old parts that
+// exactly tile it, returning those parts.
+func reusableParts(old *Partitioning, atoms []mrf.AtomID, newToOld []mrf.AtomID, touchedNew []bool) ([]*Part, bool) {
+	prev := mrf.AtomID(0)
+	distinct := make(map[int32]bool)
+	total := 0
+	for _, a := range atoms {
+		o := newToOld[a]
+		if touchedNew[a] || o == 0 || o <= prev || int(o) >= len(old.PartOf) {
+			return nil, false
+		}
+		prev = o
+		pi := old.PartOf[o]
+		if !distinct[pi] {
+			distinct[pi] = true
+			total += old.Parts[pi].NumAtoms()
+		}
+	}
+	// The old parts touched by the image must tile it exactly: no old part
+	// may reach outside the image (a vanished or split component otherwise).
+	if total != len(atoms) {
+		return nil, false
+	}
+	parts := make([]*Part, 0, len(distinct))
+	for pi := range distinct {
+		parts = append(parts, old.Parts[pi])
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a].GlobalAtom[1] < parts[b].GlobalAtom[1] })
+	return parts, true
+}
+
+// induceSub builds the sub-MRF over atoms (ascending): local ids are ranks,
+// clauses are the parent clauses fully inside the atom set, in parent order.
+func induceSub(m *mrf.MRF, atoms []mrf.AtomID) *mrf.MRF {
+	localOf := make([]mrf.AtomID, m.NumAtoms+1)
+	for i, a := range atoms {
+		localOf[a] = mrf.AtomID(i + 1)
+	}
+	sub := mrf.New(len(atoms))
+	for _, c := range m.Clauses {
+		if localOf[mrf.Atom(c.Lits[0])] == 0 {
+			continue
+		}
+		lits := make([]mrf.Lit, len(c.Lits))
+		ok := true
+		for i, l := range c.Lits {
+			ll := localOf[mrf.Atom(l)]
+			if ll == 0 {
+				ok = false
+				break
+			}
+			if !mrf.Pos(l) {
+				ll = -ll
+			}
+			lits[i] = ll
+		}
+		if !ok {
+			continue
+		}
+		sub.Clauses = append(sub.Clauses, mrf.Clause{Weight: c.Weight, Lits: lits})
+	}
+	return sub
+}

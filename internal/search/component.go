@@ -17,6 +17,15 @@ type ComponentOptions struct {
 	Base Options
 	// Parallelism is the number of worker goroutines (1 = sequential).
 	Parallelism int
+	// Memo, when set, caches per-component outcomes by content. It also
+	// switches the per-component budget and seed derivation to a stable
+	// scheme (size over the power-of-two ceiling of the total, content-hash
+	// seeds) so that a component untouched by an evidence update keeps the
+	// exact same effective options across epochs — the precondition for its
+	// entry to be reusable bit-identically. Queries carrying a Tracker run
+	// for real (no memo reads or writes) but use the same scheme, keeping
+	// tracked and untracked results of one query identical.
+	Memo *ComponentMemo
 }
 
 // ComponentResult is the global outcome of per-component search.
@@ -79,11 +88,20 @@ func ComponentAware(ctx context.Context, parent *mrf.MRF, comps []*mrf.Component
 	}
 
 	// Weighted round-robin budget: flips proportional to component size.
+	// With a memo the denominator is the power-of-two ceiling of the total:
+	// still within 2x of the proportional share, but insensitive to the
+	// small atom-count drift evidence updates cause, so untouched
+	// components keep their budgets (and so their memo entries) across
+	// epochs.
+	denom := int64(totalAtoms)
+	if opts.Memo != nil {
+		denom = pow2Ceil(denom)
+	}
 	budget := func(c *mrf.Component) int64 {
-		if totalAtoms == 0 {
+		if denom == 0 {
 			return 0
 		}
-		b := opts.Base.MaxFlips * int64(c.Size()) / int64(totalAtoms)
+		b := opts.Base.MaxFlips * int64(c.Size()) / denom
 		if b < 1 {
 			b = 1
 		}
@@ -103,11 +121,34 @@ func ComponentAware(ctx context.Context, parent *mrf.MRF, comps []*mrf.Component
 				comp := comps[idx]
 				o := opts.Base
 				o.MaxFlips = budget(comp)
-				o.Seed = opts.Base.Seed + int64(idx)*7919
 				o.Tracker = nil // per-component costs are not global costs
+				var fp string
+				if opts.Memo != nil {
+					// Content-hash seed: stable across epochs for untouched
+					// components (and shared by isomorphic ones), unlike the
+					// index-based stream, which shifts when earlier
+					// components appear or vanish.
+					fp = opts.Memo.Fingerprint(comp.MRF)
+					o.Seed = opts.Base.Seed + seedOffset(fp)
+					if opts.Base.Tracker == nil {
+						if e, ok := opts.Memo.lookup(fp, o); ok {
+							mu.Lock()
+							res.Flips += e.flips
+							res.PerComponent[idx] = e.bestCost
+							comp.ProjectState(e.best, global)
+							mu.Unlock()
+							continue
+						}
+					}
+				} else {
+					o.Seed = opts.Base.Seed + int64(idx)*7919
+				}
 				r := WalkSAT(ctx, comp.MRF, o)
 				if r.Best == nil {
 					continue // canceled before the first state was recorded
+				}
+				if opts.Memo != nil && opts.Base.Tracker == nil && ctx.Err() == nil {
+					opts.Memo.store(fp, o, r)
 				}
 				mu.Lock()
 				res.Flips += r.Flips

@@ -1,0 +1,150 @@
+package search
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tuffy/internal/mrf"
+)
+
+// ComponentMemo is the component-granular result cache of the epoch Engine:
+// it maps (component content, effective WalkSAT options) to the component's
+// finished best state. The key is a fingerprint of the component's local
+// MRF — not its identity within one epoch — so entries stay valid across
+// evidence updates for every component the update did not touch, and two
+// isomorphic components inside one epoch share a single entry. A hit is
+// bit-identical to the run that produced it: the key captures everything the
+// deterministic per-component search depends on, so no invalidation is ever
+// needed for correctness; eviction is FIFO for capacity only.
+type ComponentMemo struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]memoEntry
+	order   []string
+
+	// fps caches each immutable local MRF's fingerprint by pointer, so the
+	// linear hash is paid once per component per epoch (repairs share the
+	// untouched components' MRF pointers across epochs).
+	fps sync.Map // *mrf.MRF -> string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type memoEntry struct {
+	best     []bool
+	bestCost float64
+	flips    int64
+}
+
+// MemoStats is a point-in-time snapshot of a ComponentMemo.
+type MemoStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// NewComponentMemo creates a memo holding at most max entries (max <= 0
+// picks the default 8192).
+func NewComponentMemo(max int) *ComponentMemo {
+	if max <= 0 {
+		max = 8192
+	}
+	return &ComponentMemo{max: max, entries: make(map[string]memoEntry)}
+}
+
+// Stats snapshots the memo's counters.
+func (cm *ComponentMemo) Stats() MemoStats {
+	cm.mu.Lock()
+	n := len(cm.entries)
+	cm.mu.Unlock()
+	return MemoStats{Hits: cm.hits.Load(), Misses: cm.misses.Load(), Entries: n}
+}
+
+// Fingerprint returns a content hash of the local MRF: atom count, fixed
+// cost, and every clause's weight and literals. Atom descriptors are
+// excluded on purpose — search outcomes depend only on the clause structure.
+func (cm *ComponentMemo) Fingerprint(m *mrf.MRF) string {
+	if v, ok := cm.fps.Load(m); ok {
+		return v.(string)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w(uint64(m.NumAtoms))
+	w(math.Float64bits(m.FixedCost))
+	for _, c := range m.Clauses {
+		w(math.Float64bits(c.Weight))
+		w(uint64(len(c.Lits)))
+		for _, l := range c.Lits {
+			w(uint64(uint32(l)))
+		}
+	}
+	fp := fmt.Sprintf("%016x", h.Sum64())
+	cm.fps.Store(m, fp)
+	return fp
+}
+
+// pow2Ceil rounds n up to the next power of two (minimum 1).
+func pow2Ceil(n int64) int64 {
+	p := int64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// seedOffset derives a deterministic per-component seed offset from the
+// component's content fingerprint.
+func seedOffset(fp string) int64 {
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return int64(h.Sum32())
+}
+
+func memoKey(fp string, o Options) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%g|%g", fp, o.Seed, o.MaxFlips, o.MaxTries, o.NoisyP, o.HardWeight)
+}
+
+// lookup returns the memoized outcome for a component under the effective
+// options, if present. The returned state is shared and must not be
+// mutated; ComponentAware only projects it into the global state.
+func (cm *ComponentMemo) lookup(fp string, o Options) (memoEntry, bool) {
+	k := memoKey(fp, o)
+	cm.mu.Lock()
+	e, ok := cm.entries[k]
+	cm.mu.Unlock()
+	if ok {
+		cm.hits.Add(1)
+	} else {
+		cm.misses.Add(1)
+	}
+	return e, ok
+}
+
+// store records a completed (never canceled) per-component search outcome.
+func (cm *ComponentMemo) store(fp string, o Options, r *Result) {
+	k := memoKey(fp, o)
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if _, dup := cm.entries[k]; dup {
+		return
+	}
+	for len(cm.entries) >= cm.max && len(cm.order) > 0 {
+		delete(cm.entries, cm.order[0])
+		cm.order = cm.order[1:]
+	}
+	cm.entries[k] = memoEntry{
+		best:     append([]bool(nil), r.Best...),
+		bestCost: r.BestCost,
+		flips:    r.Flips,
+	}
+	cm.order = append(cm.order, k)
+}

@@ -1,0 +1,131 @@
+package search
+
+import (
+	"context"
+	"testing"
+
+	"tuffy/internal/mrf"
+)
+
+// Fingerprints must depend on content only: two structurally identical MRFs
+// share one fingerprint (that is what lets memo entries survive epoch
+// swaps), different clause structure changes it, and the per-pointer cache
+// returns the same string for a repeated MRF.
+func TestMemoFingerprintContentAddressed(t *testing.T) {
+	cm := NewComponentMemo(0) // 0 picks the default capacity
+	build := func(w float64) *mrf.MRF {
+		m := mrf.New(2)
+		_ = m.AddClause(w, 1, -2)
+		return m
+	}
+	a, b := build(1.5), build(1.5)
+	if cm.Fingerprint(a) != cm.Fingerprint(b) {
+		t.Fatal("identical local MRFs fingerprint differently")
+	}
+	if cm.Fingerprint(a) != cm.Fingerprint(a) {
+		t.Fatal("cached fingerprint differs from first computation")
+	}
+	if cm.Fingerprint(a) == cm.Fingerprint(build(2.5)) {
+		t.Fatal("different weights share a fingerprint")
+	}
+}
+
+// lookup/store must round-trip an outcome, count hits and misses, keep the
+// first value on duplicate stores, and evict FIFO at capacity.
+func TestMemoLookupStoreEvict(t *testing.T) {
+	cm := NewComponentMemo(2)
+	o := Options{Seed: 3, MaxFlips: 100}
+	r := &Result{Best: []bool{false, true}, BestCost: 1.5, Flips: 7}
+	if _, ok := cm.lookup("fp1", o); ok {
+		t.Fatal("empty memo hit")
+	}
+	cm.store("fp1", o, r)
+	e, ok := cm.lookup("fp1", o)
+	if !ok || e.bestCost != 1.5 || e.flips != 7 || !e.best[1] {
+		t.Fatalf("lookup = %+v, %v", e, ok)
+	}
+	// The stored state is a copy: mutating the producer's slice afterwards
+	// must not corrupt the memo.
+	r.Best[1] = false
+	if e2, _ := cm.lookup("fp1", o); !e2.best[1] {
+		t.Fatal("memo shares the producer's state slice")
+	}
+	// Different effective options are a different key.
+	if _, ok := cm.lookup("fp1", Options{Seed: 4, MaxFlips: 100}); ok {
+		t.Fatal("hit across different options")
+	}
+	cm.store("fp1", o, &Result{Best: []bool{true, true}})
+	if e3, _ := cm.lookup("fp1", o); e3.bestCost != 1.5 {
+		t.Fatal("duplicate store replaced the first outcome")
+	}
+	cm.store("fp2", o, r)
+	cm.store("fp3", o, r) // capacity 2: evicts fp1, the oldest
+	if _, ok := cm.lookup("fp1", o); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	s := cm.Stats()
+	if s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", s.Entries)
+	}
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("stats = %+v, want both hits and misses counted", s)
+	}
+}
+
+// Key-derivation helpers must be deterministic and pow2Ceil must round up.
+func TestMemoKeyHelpers(t *testing.T) {
+	for n, want := range map[int64]int64{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1024: 1024, 1025: 2048} {
+		if got := pow2Ceil(n); got != want {
+			t.Fatalf("pow2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if seedOffset("abc") != seedOffset("abc") {
+		t.Fatal("seedOffset not deterministic")
+	}
+	if seedOffset("abc") == seedOffset("abd") {
+		t.Fatal("seedOffset ignores the fingerprint")
+	}
+	if memoKey("fp", Options{Seed: 1}) == memoKey("fp", Options{Seed: 2}) {
+		t.Fatal("memoKey ignores the seed")
+	}
+}
+
+// A memoized ComponentAware re-run must serve every component from the memo
+// and reproduce the first run bit-identically — the engine-level property
+// (cache survives evidence updates for untouched components) reduces to
+// exactly this once repairs share local-MRF pointers.
+func TestMemoComponentAwareBitIdenticalReplay(t *testing.T) {
+	m := mrf.New(6)
+	_ = m.AddClause(1, 1, 2)
+	_ = m.AddClause(0.5, -2)
+	_ = m.AddClause(2, 3, -4)
+	_ = m.AddClause(1.5, 5)
+	_ = m.AddClause(0.25, -5, 6)
+	comps := m.Components(false)
+	if len(comps) < 2 {
+		t.Fatalf("want a multi-component network, got %d", len(comps))
+	}
+	cm := NewComponentMemo(0)
+	opts := ComponentOptions{Base: Options{MaxFlips: 2000, Seed: 11}, Memo: cm}
+	first, err := ComponentAware(context.Background(), m, comps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := cm.Stats().Hits
+	second, err := ComponentAware(context.Background(), m, comps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := cm.Stats().Hits - h0; hits != int64(len(comps)) {
+		t.Fatalf("replay hits = %d, want %d", hits, len(comps))
+	}
+	if first.BestCost != second.BestCost || first.Flips != second.Flips {
+		t.Fatalf("replay diverged: cost %v vs %v, flips %d vs %d",
+			first.BestCost, second.BestCost, first.Flips, second.Flips)
+	}
+	for i := range first.Best {
+		if first.Best[i] != second.Best[i] {
+			t.Fatalf("replay state differs at atom %d", i)
+		}
+	}
+}

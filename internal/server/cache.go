@@ -3,9 +3,12 @@ package server
 import "sync"
 
 // Cache is the result cache: canonicalized query options map to the
-// finished answer. Because an Engine is immutable after Ground, a stored
-// answer can never go stale — entries are evicted only for capacity, never
-// invalidated, and a hit is bit-identical to the run that produced it.
+// finished answer. Within one Engine epoch a stored answer can never go
+// stale, so a hit is bit-identical to the run that produced it; across
+// epochs the serving layer tags keys with the producing epoch and calls
+// Sweep after an evidence update to drop the entries whose epoch is no
+// longer served (lookups use the current epoch's keys, so superseded
+// entries are unreachable even before the sweep collects them).
 //
 // Eviction is FIFO by insertion order: the serving workload this layer
 // targets is many clients re-issuing a working set of identical queries,
@@ -73,6 +76,29 @@ func (c *Cache) Put(key string, v any) {
 	}
 	c.entries[key] = v
 	c.order = append(c.order, key)
+}
+
+// Sweep drops every entry whose key fails keep, preserving the insertion
+// order of the survivors, and reports how many entries were invalidated
+// and how many were retained. The serving layer calls it after an evidence
+// update with a keep predicate matching the new current epoch's key prefix.
+func (c *Cache) Sweep(keep func(key string) bool) (invalidated, retained int) {
+	if c.max <= 0 {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.order[:0]
+	for _, k := range c.order {
+		if keep(k) {
+			kept = append(kept, k)
+			continue
+		}
+		delete(c.entries, k)
+		invalidated++
+	}
+	c.order = kept
+	return invalidated, len(c.order)
 }
 
 // Len returns the number of cached entries.

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -86,6 +87,41 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Len() != 64 {
 		t.Fatalf("Len = %d, want 64 distinct keys", c.Len())
+	}
+}
+
+// Sweep must drop exactly the entries the keep predicate rejects, keep the
+// survivors readable in insertion order, and be a no-op on a disabled cache.
+func TestCacheSweep(t *testing.T) {
+	c := NewCache(8, nil)
+	c.Put("e0|a", 1)
+	c.Put("e1|b", 2)
+	c.Put("e0|c", 3)
+	c.Put("e1|d", 4)
+	inv, ret := c.Sweep(func(k string) bool { return strings.HasPrefix(k, "e1|") })
+	if inv != 2 || ret != 2 {
+		t.Fatalf("Sweep = %d invalidated, %d retained; want 2, 2", inv, ret)
+	}
+	if _, ok := c.Get("e0|a"); ok {
+		t.Fatal("swept entry still readable")
+	}
+	if v, ok := c.Get("e1|b"); !ok || v.(int) != 2 {
+		t.Fatal("surviving entry lost")
+	}
+	// Survivors keep their FIFO position: filling to capacity must evict
+	// e1|b (now the oldest) first.
+	for i := 0; i < 7; i++ {
+		c.Put(fmt.Sprintf("e1|x%d", i), i)
+	}
+	if _, ok := c.Get("e1|b"); ok {
+		t.Fatal("post-sweep eviction did not start from the oldest survivor")
+	}
+	if _, ok := c.Get("e1|d"); !ok {
+		t.Fatal("newer survivor evicted before older one")
+	}
+	d := NewCache(0, nil)
+	if inv, ret := d.Sweep(func(string) bool { return false }); inv != 0 || ret != 0 {
+		t.Fatalf("disabled Sweep = %d, %d", inv, ret)
 	}
 }
 

@@ -23,6 +23,11 @@ type Counters struct {
 
 	QueueWaitNanos atomic.Int64 // total admission-to-claim wait
 	LatencyNanos   atomic.Int64 // total execution time
+
+	Epoch            atomic.Uint64 // gauge: epoch currently served
+	UpdatesApplied   atomic.Int64  // evidence updates committed on all backends
+	CacheInvalidated atomic.Int64  // cache entries swept by evidence updates
+	CacheRetained    atomic.Int64  // cache entries surviving update sweeps
 }
 
 // Metrics is a point-in-time snapshot of the Counters, the programmatic
@@ -41,6 +46,11 @@ type Metrics struct {
 
 	QueueWait time.Duration `json:"queueWaitTotalNs"`
 	Latency   time.Duration `json:"latencyTotalNs"`
+
+	Epoch            uint64 `json:"epoch"`
+	UpdatesApplied   int64  `json:"updatesApplied"`
+	CacheInvalidated int64  `json:"cacheInvalidated"`
+	CacheRetained    int64  `json:"cacheRetained"`
 }
 
 // Snapshot reads every counter. The fields are read individually (not as
@@ -58,6 +68,11 @@ func (c *Counters) Snapshot() Metrics {
 		InFlight:       c.InFlight.Load(),
 		QueueWait:      time.Duration(c.QueueWaitNanos.Load()),
 		Latency:        time.Duration(c.LatencyNanos.Load()),
+
+		Epoch:            c.Epoch.Load(),
+		UpdatesApplied:   c.UpdatesApplied.Load(),
+		CacheInvalidated: c.CacheInvalidated.Load(),
+		CacheRetained:    c.CacheRetained.Load(),
 	}
 }
 

@@ -1,13 +1,14 @@
 // Package server is the query admission and scheduling layer that fronts
 // one or more grounded Engines (the heavy-traffic layer the ROADMAP names
-// on top of the paper's ground-once/query-many architecture): a bounded
+// on top of the paper's ground-then-query architecture): a bounded
 // admission queue with per-priority FIFO lanes, a fixed cap on in-flight
-// queries, per-query budget enforcement with typed rejection errors, a
-// never-invalidated result cache (the Engine is immutable after Ground, so
-// a cached answer stays correct forever), and counters for every stage of
-// a query's life. The package is engine-agnostic: it schedules opaque
-// closures, and the public tuffy.Serve API layers Engine dispatch, budget
-// derivation and cache keys on top.
+// queries, per-query budget enforcement with typed rejection errors, an
+// epoch-keyed result cache (entries are tagged with the Engine epoch that
+// produced them and swept when an evidence update publishes a new epoch),
+// and counters for every stage of a query's life. The package is
+// engine-agnostic: it schedules opaque closures, and the public
+// tuffy.Serve API layers Engine dispatch, budget derivation, cache keys
+// and update-time cache sweeps on top.
 package server
 
 import (

@@ -3,14 +3,18 @@ package tuffy
 // This file is the serving layer on top of the Engine: tuffy.Serve wraps
 // one or more grounded Engines in an admission-controlled scheduler
 // (internal/server) with per-priority FIFO lanes, a bounded queue, per-
-// query budget enforcement, a never-invalidated result cache keyed by
-// canonicalized InferOptions, and metrics. It is the heavy-traffic front
-// door: cmd/tuffyd exposes it over HTTP, and `tuffybench -exp serve`
+// query budget enforcement, an epoch-keyed result cache over canonicalized
+// InferOptions, and metrics. Server.UpdateEvidence propagates live
+// evidence deltas to every backend and sweeps the cache entries the new
+// epoch superseded. It is the heavy-traffic front door: cmd/tuffyd exposes
+// it over HTTP (including POST /evidence), and `tuffybench -exp serve`
 // measures it under concurrent clients.
 
 import (
 	"context"
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -70,9 +74,10 @@ type ServerConfig struct {
 	MaxQueryTime time.Duration
 
 	// CacheEntries bounds the result cache (0 = default 4096, negative =
-	// caching disabled). The Engine is immutable after Ground, so entries
-	// are never invalidated and a hit is bit-identical to the run that
-	// produced it.
+	// caching disabled). Keys carry the epoch that produced the answer, so
+	// a hit is bit-identical to a fresh run on the current epoch; an
+	// evidence update retires the previous epoch's keys (UpdateEvidence
+	// sweeps them) and later identical queries recompute on the new epoch.
 	CacheEntries int
 }
 
@@ -124,6 +129,10 @@ type Server struct {
 	sched    *server.Scheduler
 	cache    *server.Cache
 	counters *server.Counters
+
+	// updateMu serializes UpdateEvidence across backends so replicas move
+	// through the same epoch sequence in lockstep.
+	updateMu sync.Mutex
 }
 
 // Serve wraps the given grounded Engines in a serving layer. Multiple
@@ -158,7 +167,24 @@ func Serve(cfg ServerConfig, engines ...*Engine) (*Server, error) {
 		Lanes:    cfg.Priorities,
 	}, s.counters)
 	s.cache = server.NewCache(cfg.CacheEntries, s.counters)
+	s.counters.Epoch.Store(s.generation())
 	return s, nil
+}
+
+// generation is the epoch the server currently serves. Backends move
+// through epochs in lockstep (UpdateEvidence applies each delta to all of
+// them under one lock), so the first backend is representative.
+func (s *Server) generation() uint64 { return s.backends[0].eng.Generation() }
+
+// Updating reports whether an evidence update is re-grounding any backend
+// right now. Queries remain fully served while it is true.
+func (s *Server) Updating() bool {
+	for _, b := range s.backends {
+		if b.eng.Updating() {
+			return true
+		}
+	}
+	return false
 }
 
 // Metrics snapshots the server's counters.
@@ -237,6 +263,16 @@ func cacheKey(marginal bool, o InferOptions) string {
 	return fmt.Sprintf("map|%d|%d|%d|%d|%d", o.Mode, o.Seed, o.MaxFlips, o.MaxTries, o.GaussSeidelRounds)
 }
 
+// epochKey tags a canonical cache key with the epoch that answers it.
+// Lookups use the current epoch's tag; fills use the epoch the run actually
+// executed on (an in-flight query can straddle an update). Epochs are
+// monotone and never reused, so an entry tagged with a superseded epoch can
+// never be served again — it just waits for the next sweep or FIFO
+// eviction.
+func epochKey(gen uint64, base string) string {
+	return fmt.Sprintf("e%d|%s", gen, base)
+}
+
 // run executes one admitted query through the scheduler on the
 // least-loaded backend, applying the per-query wall-clock deadline.
 func (s *Server) run(ctx context.Context, req Request, exec func(context.Context, *Engine)) error {
@@ -266,11 +302,11 @@ func (s *Server) InferMAP(ctx context.Context, req Request) (*MAPResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	key := cacheKey(false, opts)
+	base := cacheKey(false, opts)
 	// A query carrying a Tracker needs a real run for the tracker to
 	// observe; it skips the lookup but still fills the cache.
 	if opts.Tracker == nil {
-		if v, ok := s.cache.Get(key); ok {
+		if v, ok := s.cache.Get(epochKey(s.generation(), base)); ok {
 			return copyMAPResult(v.(*MAPResult)), nil
 		}
 	} else {
@@ -283,10 +319,11 @@ func (s *Server) InferMAP(ctx context.Context, req Request) (*MAPResult, error) 
 	}); err != nil {
 		return nil, err
 	}
-	// Only a complete (non-canceled) answer is cached; with the cache
-	// disabled the caller keeps the sole reference, so no defensive copy.
+	// Only a complete (non-canceled) answer is cached, under the epoch it
+	// was computed on; with the cache disabled the caller keeps the sole
+	// reference, so no defensive copy.
 	if runErr == nil && res != nil && s.cache.Enabled() {
-		s.cache.Put(key, res)
+		s.cache.Put(epochKey(res.Epoch, base), res)
 		res = copyMAPResult(res)
 	}
 	return res, runErr
@@ -299,9 +336,9 @@ func (s *Server) InferMarginal(ctx context.Context, req Request) (*MarginalResul
 	if err != nil {
 		return nil, err
 	}
-	key := cacheKey(true, opts)
+	base := cacheKey(true, opts)
 	if opts.Tracker == nil {
-		if v, ok := s.cache.Get(key); ok {
+		if v, ok := s.cache.Get(epochKey(s.generation(), base)); ok {
 			return copyMarginalResult(v.(*MarginalResult)), nil
 		}
 	} else {
@@ -315,10 +352,53 @@ func (s *Server) InferMarginal(ctx context.Context, req Request) (*MarginalResul
 		return nil, err
 	}
 	if runErr == nil && res != nil && s.cache.Enabled() {
-		s.cache.Put(key, res)
+		s.cache.Put(epochKey(res.Epoch, base), res)
 		res = copyMarginalResult(res)
 	}
 	return res, runErr
+}
+
+// UpdateEvidence applies one evidence delta to every backend and sweeps
+// the result-cache entries the new epoch superseded. Backends are updated
+// sequentially under one lock, so replicas move through the same epoch
+// sequence; queries keep flowing the whole time (in-flight ones finish on
+// the epoch they started on).
+//
+// If a backend fails mid-sequence, the already-updated backends are rolled
+// back by applying the inverse delta, restoring a consistent fleet on the
+// previous epoch, and the original error is returned — the caller can
+// simply retry the same delta. Only if that compensation itself fails does
+// the fleet stay split; the returned error then reports both failures.
+func (s *Server) UpdateEvidence(ctx context.Context, delta mln.Delta) (*UpdateResult, error) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	var first *UpdateResult
+	for i, b := range s.backends {
+		ur, err := b.eng.UpdateEvidence(ctx, delta)
+		if err != nil {
+			// Compensate the backends already on the new epoch. The inverse
+			// runs under a background context: backing out must not be
+			// stopped by the cancellation that stopped the update.
+			for j := i - 1; j >= 0; j-- {
+				if _, cerr := s.backends[j].eng.UpdateEvidence(context.Background(), first.Inverse); cerr != nil {
+					return nil, fmt.Errorf("tuffy: update failed on backend %d: %w (rolling back backend %d also failed: %v; replicas diverge)", i, err, j, cerr)
+				}
+			}
+			return nil, fmt.Errorf("tuffy: update failed on backend %d (all backends restored): %w", i, err)
+		}
+		if first == nil {
+			first = ur
+		}
+	}
+	// Drop the entries whose epoch tag is no longer served. An identical
+	// (no-op) update keeps the epoch, so everything current is retained.
+	prefix := epochKey(s.generation(), "")
+	inv, ret := s.cache.Sweep(func(k string) bool { return strings.HasPrefix(k, prefix) })
+	s.counters.Epoch.Store(s.generation())
+	s.counters.UpdatesApplied.Add(1)
+	s.counters.CacheInvalidated.Add(int64(inv))
+	s.counters.CacheRetained.Add(int64(ret))
+	return first, nil
 }
 
 // copyMAPResult copies a cached result so callers may mutate their answer
@@ -333,5 +413,7 @@ func copyMAPResult(r *MAPResult) *MAPResult {
 
 // copyMarginalResult is copyMAPResult for marginal answers.
 func copyMarginalResult(r *MarginalResult) *MarginalResult {
-	return &MarginalResult{Probs: append([]AtomProb(nil), r.Probs...)}
+	cp := *r
+	cp.Probs = append([]AtomProb(nil), r.Probs...)
+	return &cp
 }

@@ -6,10 +6,10 @@
 // marginal inference.
 //
 // The API splits the pipeline the way the paper does: an Engine owns the
-// expensive one-time phase (parsing, evidence load, bottom-up grounding in
-// the RDBMS, partitioning) and is immutable after Ground; each inference is
-// a per-call query with its own options, safe to issue from many goroutines
-// at once over the same grounded network.
+// expensive phase (parsing, evidence load, bottom-up grounding in the
+// RDBMS, partitioning); each inference is a per-call query with its own
+// options, safe to issue from many goroutines at once over the same
+// grounded network.
 //
 // Quick start:
 //
@@ -20,6 +20,18 @@
 //	res, _ := eng.InferMAP(ctx, tuffy.InferOptions{Seed: 1})
 //	for _, atom := range res.TrueAtoms { fmt.Println(eng.FormatAtom(atom)) }
 //
+// Epochs and live evidence: the grounded state is organized as immutable
+// epoch snapshots. Ground publishes epoch 0; UpdateEvidence applies an
+// mln.Delta (insertions, truth flips, retractions over the existing
+// constants), re-runs only the clause grounding queries whose predicates
+// the delta touched, repairs the partitioning and component list for the
+// touched connected components only, and publishes the result as the next
+// epoch with an RCU-style pointer swap. Queries in flight finish
+// bit-identically on the epoch they started on; new queries see the new
+// epoch. A failed or canceled update rolls the evidence and predicate
+// tables back and keeps serving the previous epoch, so the same delta can
+// simply be retried. See UpdateEvidence for a worked example.
+//
 // Concurrent serving: after Ground, any number of goroutines may call
 // InferMAP / InferMarginal concurrently with distinct InferOptions; each
 // call owns its RNG, tracker and helper tables (collision-free names), and
@@ -29,9 +41,10 @@
 //
 // For production traffic, Serve wraps one or more grounded Engines in an
 // admission-controlled scheduler: a bounded priority queue, per-query
-// budget caps with typed rejections, wall-clock deadlines, a result cache
-// keyed by canonicalized options, and metrics. cmd/tuffyd exposes the same
-// layer over HTTP.
+// budget caps with typed rejections, wall-clock deadlines, an epoch-keyed
+// result cache whose stale entries are invalidated on evidence updates, and
+// metrics. cmd/tuffyd exposes the same layer over HTTP, including POST
+// /evidence for live updates.
 package tuffy
 
 import (
@@ -41,6 +54,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tuffy/internal/db"
@@ -101,6 +115,13 @@ type EngineConfig struct {
 	// for the bottom-up grounder (default 1). Results are identical for
 	// every worker count; see grounding.Options.Workers.
 	GroundWorkers int
+
+	// MemoEntries bounds the component-granular result memo shared by every
+	// MAP query (0 = default 8192, negative = disabled). The memo keys
+	// per-component search outcomes by the component's content, so entries
+	// for components an evidence update did not touch survive the epoch
+	// swap and are served as bit-identical hits.
+	MemoEntries int
 
 	// DB overrides the embedded engine configuration (buffer pool size,
 	// optimizer lesion knobs, disk latency injection).
@@ -168,45 +189,134 @@ func (o InferOptions) withDefaults() InferOptions {
 	return o
 }
 
-// Engine owns one program, its evidence and the grounded network. Ground
-// runs the one-time phase; after it returns the Engine is immutable and
-// InferMAP / InferMarginal may be called from any number of goroutines
-// concurrently.
+// epoch is one immutable snapshot of the grounded state: the grounding
+// result plus every structure derived from it (partitioning, component
+// list, the in-database clause table), each computed lazily at most once
+// per epoch — or spliced in pre-repaired by UpdateEvidence. Queries pin an
+// epoch with a reference count for their whole run, so an epoch swap never
+// changes what an in-flight query sees; when the last query on a retired
+// epoch finishes, its clause table is dropped and its pages return to the
+// embedded engine's free lists.
+type epoch struct {
+	gen uint64
+	res *grounding.Result
+	db  *db.DB
+
+	// mu guards the lazily-derived structures. UpdateEvidence pre-seeds
+	// them on the next epoch when this epoch has already computed its own
+	// (repair is cheaper than recompute); otherwise the first query to need
+	// one computes it, exactly as before.
+	mu    sync.Mutex
+	part  *partition.Partitioning
+	comps []*mrf.Component // Components(true); marginal factorization
+
+	clauseOnce  sync.Once
+	clauseErr   error
+	clauseTable string
+
+	// refs counts pinned users: 1 for being the current epoch, plus one per
+	// in-flight query. retire runs when it reaches zero.
+	refs    atomic.Int64
+	retired sync.Once
+}
+
+// release drops one pin; the last release tears the epoch's clause table
+// down.
+func (ep *epoch) release() {
+	if ep.refs.Add(-1) == 0 {
+		ep.retired.Do(func() {
+			if ep.clauseTable != "" && ep.clauseErr == nil {
+				_ = ep.db.DropTable(ep.clauseTable)
+			}
+		})
+	}
+}
+
+// partitioning lazily computes (once per epoch) the Algorithm 3
+// partitioning every Auto-mode query on this epoch shares. Algorithm 3 is
+// deterministic and the searches never mutate the Partitioning, so sharing
+// preserves bit-identical results.
+func (ep *epoch) partitioning(beta int) *partition.Partitioning {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.part == nil {
+		ep.part = partition.Algorithm3(ep.res.MRF, beta)
+	}
+	return ep.part
+}
+
+// components lazily computes (once per epoch) the connected components
+// marginal inference factorizes over.
+func (ep *epoch) components() []*mrf.Component {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.comps == nil {
+		ep.comps = ep.res.MRF.Components(true)
+	}
+	return ep.comps
+}
+
+// builtDerived returns the derived structures this epoch has materialized
+// so far (nil for the ones it has not).
+func (ep *epoch) builtDerived() (*partition.Partitioning, []*mrf.Component) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.part, ep.comps
+}
+
+// ensureClauseTable stores the epoch's MRF into its read-only clause table
+// for InDatabase queries (once; concurrent queries share it).
+func (ep *epoch) ensureClauseTable() (string, error) {
+	ep.clauseOnce.Do(func() {
+		ep.clauseTable = fmt.Sprintf("mrf_clauses_e%d", ep.gen)
+		ep.clauseErr = mrf.Store(ep.res.MRF, ep.db, ep.clauseTable)
+	})
+	return ep.clauseTable, ep.clauseErr
+}
+
+// Engine owns one program, its evidence and the grounded network as a
+// sequence of immutable epoch snapshots. Ground publishes the first epoch;
+// UpdateEvidence publishes subsequent ones. InferMAP / InferMarginal may be
+// called from any number of goroutines concurrently, including while an
+// update is in flight: each query runs entirely on the epoch that was
+// current when it started.
 type Engine struct {
 	cfg  EngineConfig
 	prog *mln.Program
 	ev   *mln.Evidence
 	db   *db.DB
 
-	// groundMu guards the ground-once state; after groundDone the fields
-	// are read-only and queries read them without locking.
+	// groundMu serializes Ground and UpdateEvidence (single-writer). The
+	// predicate tables and the incremental grounding cache are only touched
+	// under it; queries never need it once an epoch exists.
 	groundMu   sync.Mutex
-	groundDone bool
 	tables     *grounding.TableSet
-	grounded   *grounding.Result
+	inc        *grounding.Incremental // BottomUp only; drives UpdateEvidence
 	groundTime time.Duration
+	broken     error // rollback failure latch: state inconsistent for updates
 
-	// partOnce caches the partitioning (Algorithm 3 under the configured
-	// budget); it is deterministic, so all queries share one copy.
-	partOnce sync.Once
-	part     *partition.Partitioning
+	// cur is the published epoch (nil before the first Ground succeeds);
+	// swapped RCU-style by UpdateEvidence.
+	cur atomic.Pointer[epoch]
 
-	// compOnce caches the connected components used by marginal inference.
-	compOnce sync.Once
-	comps    []*mrf.Component
+	// memo is the cross-epoch component-granular result cache (nil when
+	// disabled). Content-keyed, so no epoch swap ever invalidates a still-
+	// correct entry.
+	memo *search.ComponentMemo
 
-	// clauseOnce stores the grounded MRF into the shared read-only clause
-	// table that InDatabase-mode queries search over.
-	clauseOnce  sync.Once
-	clauseErr   error
-	clauseTable string
+	updating       atomic.Bool
+	updatesApplied atomic.Uint64
 }
 
 // Open creates an Engine over a parsed program and its evidence. Call
 // Ground next (or InferMAP / InferMarginal, which ground on demand).
 func Open(prog *mln.Program, ev *mln.Evidence, cfg EngineConfig) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{cfg: cfg, prog: prog, ev: ev, db: db.Open(cfg.DB)}
+	e := &Engine{cfg: cfg, prog: prog, ev: ev, db: db.Open(cfg.DB)}
+	if cfg.MemoEntries >= 0 {
+		e.memo = search.NewComponentMemo(cfg.MemoEntries)
+	}
+	return e
 }
 
 // LoadProgram parses an MLN program.
@@ -246,43 +356,67 @@ func (e *Engine) Tables() *grounding.TableSet {
 	return e.tables
 }
 
-// Grounded returns the grounding result (nil before Ground). Safe to call
-// concurrently with an in-flight Ground.
+// Grounded returns the current epoch's grounding result (nil before
+// Ground). Safe to call concurrently with in-flight grounds and updates.
 func (e *Engine) Grounded() *grounding.Result {
-	e.groundMu.Lock()
-	defer e.groundMu.Unlock()
-	return e.grounded
+	if ep := e.cur.Load(); ep != nil {
+		return ep.res
+	}
+	return nil
 }
 
-// GroundTime reports how long the grounding phase took.
+// GroundTime reports how long the initial grounding phase took.
 func (e *Engine) GroundTime() time.Duration {
 	e.groundMu.Lock()
 	defer e.groundMu.Unlock()
 	return e.groundTime
 }
 
-// Ground builds the predicate tables and runs the configured grounder.
-// Concurrent and repeated calls share one successful grounding run. A
-// failed (or canceled) Ground tears its half-built predicate tables down
-// and leaves the Engine un-grounded, so it can be re-Grounded in place —
-// a canceled Ground followed by a retry behaves like a first Ground.
+// Generation returns the current epoch number: 0 after Ground, incremented
+// by every UpdateEvidence that changed the grounded network.
+func (e *Engine) Generation() uint64 {
+	if ep := e.cur.Load(); ep != nil {
+		return ep.gen
+	}
+	return 0
+}
+
+// Updating reports whether an UpdateEvidence is re-grounding right now.
+// Queries remain fully served (on the current epoch) while it is true.
+func (e *Engine) Updating() bool { return e.updating.Load() }
+
+// UpdatesApplied counts successful UpdateEvidence calls (including logical
+// no-ops that did not publish a new epoch).
+func (e *Engine) UpdatesApplied() uint64 { return e.updatesApplied.Load() }
+
+// MemoStats snapshots the component-granular result memo (zero value when
+// the memo is disabled).
+func (e *Engine) MemoStats() search.MemoStats {
+	if e.memo == nil {
+		return search.MemoStats{}
+	}
+	return e.memo.Stats()
+}
+
+// Ground builds the predicate tables, runs the configured grounder and
+// publishes epoch 0. Concurrent and repeated calls share one successful
+// grounding run. A failed (or canceled) Ground tears its half-built
+// predicate tables down and leaves the Engine un-grounded, so it can be
+// re-Grounded in place — a canceled Ground followed by a retry behaves
+// like a first Ground.
 func (e *Engine) Ground(ctx context.Context) error {
 	e.groundMu.Lock()
 	defer e.groundMu.Unlock()
-	if e.groundDone {
+	if e.cur.Load() != nil {
 		return nil
 	}
-	if err := e.ground(ctx); err != nil {
-		return err
-	}
-	e.groundDone = true
-	return nil
+	return e.ground(ctx)
 }
 
 func (e *Engine) ground(ctx context.Context) error {
-	// Grounding is now retryable in place, so a dead context must not pay
-	// for a full table build it would immediately tear down — retries
-	// under a too-short deadline would repeat that cycle every attempt.
+	// Grounding is retryable in place, so a dead context must not pay for a
+	// full table build it would immediately tear down — retries under a
+	// too-short deadline would repeat that cycle every attempt.
 	if ctx.Err() != nil {
 		return search.Canceled(ctx)
 	}
@@ -298,13 +432,17 @@ func (e *Engine) ground(ctx context.Context) error {
 	case TopDown:
 		res, err = grounding.GroundTopDown(ctx, ts, opts)
 	default:
-		res, err = grounding.GroundBottomUp(ctx, ts, opts)
+		// The bottom-up grounder runs through the incremental wrapper,
+		// which retains each clause's raw groundings — the cache that lets
+		// UpdateEvidence re-run only the touched clauses later.
+		e.inc, res, err = grounding.NewIncremental(ctx, ts, opts)
 	}
 	if err != nil {
 		// Tear the predicate tables down so a retry rebuilds them from a
 		// clean catalog (their pages return to the engine's free lists).
 		ts.Drop()
 		e.tables = nil
+		e.inc = nil
 		// Wrap only genuine cancellations (the grounders return the
 		// context's cause when they stop); a real grounding failure that
 		// merely coincides with an expired deadline keeps its own error.
@@ -313,16 +451,34 @@ func (e *Engine) ground(ctx context.Context) error {
 		}
 		return err
 	}
-	e.grounded = res
+	ep := &epoch{gen: 0, res: res, db: e.db}
+	ep.refs.Store(1)
+	e.cur.Store(ep)
 	e.groundTime = time.Since(start)
 	return nil
 }
 
-// ensureGround grounds on demand for the inference entry points; Ground's
-// mutex both latches the single run and publishes the grounded fields to
-// queries racing the first call.
-func (e *Engine) ensureGround(ctx context.Context) error {
-	return e.Ground(ctx)
+// acquire pins the current epoch for one query, grounding on demand if no
+// epoch exists yet. The release closure must be called when the query is
+// done. The load-increment-recheck loop closes the race with a concurrent
+// epoch swap: if the epoch stopped being current between the load and the
+// pin, the pin may have landed on an already-retired snapshot, so it is
+// dropped and the new epoch is pinned instead.
+func (e *Engine) acquire(ctx context.Context) (*epoch, func(), error) {
+	for {
+		ep := e.cur.Load()
+		if ep == nil {
+			if err := e.Ground(ctx); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		ep.refs.Add(1)
+		if e.cur.Load() == ep {
+			return ep, ep.release, nil
+		}
+		ep.release()
+	}
 }
 
 // partitionBeta converts the memory budget to Algorithm 3's size-unit
@@ -333,36 +489,6 @@ func (e *Engine) partitionBeta() int {
 		return 0
 	}
 	return int(e.cfg.MemoryBudgetBytes / 20)
-}
-
-// partitioning lazily computes (once) the Algorithm 3 partitioning every
-// Auto-mode query shares. Algorithm 3 is deterministic and the searches
-// never mutate the Partitioning, so sharing preserves bit-identical
-// results.
-func (e *Engine) partitioning() *partition.Partitioning {
-	e.partOnce.Do(func() {
-		e.part = partition.Algorithm3(e.grounded.MRF, e.partitionBeta())
-	})
-	return e.part
-}
-
-// components lazily computes (once) the connected components marginal
-// inference factorizes over.
-func (e *Engine) components() []*mrf.Component {
-	e.compOnce.Do(func() {
-		e.comps = e.grounded.MRF.Components(true)
-	})
-	return e.comps
-}
-
-// ensureClauseTable stores the grounded MRF into the shared read-only
-// clause table for InDatabase queries (once; concurrent queries share it).
-func (e *Engine) ensureClauseTable() (string, error) {
-	e.clauseOnce.Do(func() {
-		e.clauseTable = "mrf_clauses"
-		e.clauseErr = mrf.Store(e.grounded.MRF, e.db, e.clauseTable)
-	})
-	return e.clauseTable, e.clauseErr
 }
 
 // MAPResult is the outcome of MAP inference.
@@ -386,6 +512,10 @@ type MAPResult struct {
 	// InDBComponents counts components that exceeded the memory budget and
 	// were searched inside the RDBMS (the hybrid fallback of Section 3.2).
 	InDBComponents int
+	// Epoch is the engine epoch this answer was computed on. An in-flight
+	// query keeps its epoch across a concurrent evidence update, so Epoch
+	// may lag Engine.Generation by the time the caller reads it.
+	Epoch uint64
 }
 
 // InferMAP runs one MAP query: grounding (if not already done), then
@@ -397,11 +527,13 @@ type MAPResult struct {
 // far together with an error matching ErrCanceled.
 func (e *Engine) InferMAP(ctx context.Context, opts InferOptions) (*MAPResult, error) {
 	opts = opts.withDefaults()
-	if err := e.ensureGround(ctx); err != nil {
+	ep, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, err
 	}
-	m := e.grounded.MRF
-	res := &MAPResult{GroundTime: e.groundTime}
+	defer release()
+	m := ep.res.MRF
+	res := &MAPResult{GroundTime: e.GroundTime(), Epoch: ep.gen}
 	searchStart := time.Now()
 
 	base := search.Options{
@@ -413,13 +545,13 @@ func (e *Engine) InferMAP(ctx context.Context, opts InferOptions) (*MAPResult, e
 
 	finish := func(err error) (*MAPResult, error) {
 		res.SearchTime = time.Since(searchStart)
-		res.TrueAtoms = e.trueAtoms(res.State)
+		res.TrueAtoms = trueAtoms(m, res.State)
 		return res, err
 	}
 
 	switch opts.Mode {
 	case InDatabase:
-		table, err := e.ensureClauseTable()
+		table, err := ep.ensureClauseTable()
 		if err != nil {
 			return nil, err
 		}
@@ -444,7 +576,7 @@ func (e *Engine) InferMAP(ctx context.Context, opts InferOptions) (*MAPResult, e
 		return finish(err)
 
 	default: // Auto: partitioned
-		pt := e.partitioning()
+		pt := ep.partitioning(e.partitionBeta())
 		res.Partitions = len(pt.Parts)
 		res.CutClauses = pt.NumCut()
 		if pt.NumCut() > 0 {
@@ -476,6 +608,7 @@ func (e *Engine) InferMAP(ctx context.Context, opts InferOptions) (*MAPResult, e
 		r, err := search.ComponentAware(ctx, m, inMem, search.ComponentOptions{
 			Base:        base,
 			Parallelism: opts.Parallelism,
+			Memo:        e.memo,
 		})
 		res.Cost = r.BestCost
 		res.State = r.Best
@@ -523,12 +656,11 @@ func (e *Engine) InferMAP(ctx context.Context, opts InferOptions) (*MAPResult, e
 }
 
 // trueAtoms maps the best state back to ground atoms inferred true.
-func (e *Engine) trueAtoms(state []bool) []mln.GroundAtom {
+func trueAtoms(m *mrf.MRF, state []bool) []mln.GroundAtom {
 	if state == nil {
 		return nil
 	}
 	var out []mln.GroundAtom
-	m := e.grounded.MRF
 	for a := 1; a <= m.NumAtoms && a < len(state); a++ {
 		if state[a] && m.Atoms != nil {
 			out = append(out, m.Atoms[a])
@@ -541,6 +673,9 @@ func (e *Engine) trueAtoms(state []bool) []mln.GroundAtom {
 type MarginalResult struct {
 	// Probs[i] pairs a query atom with its estimated Pr[atom = true].
 	Probs []AtomProb
+	// Epoch is the engine epoch this answer was computed on (see
+	// MAPResult.Epoch).
+	Epoch uint64
 }
 
 // AtomProb is one atom's marginal.
@@ -556,10 +691,12 @@ type AtomProb struct {
 // ErrCanceled.
 func (e *Engine) InferMarginal(ctx context.Context, opts InferOptions) (*MarginalResult, error) {
 	opts = opts.withDefaults()
-	if err := e.ensureGround(ctx); err != nil {
+	ep, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, err
 	}
-	m := e.grounded.MRF
+	defer release()
+	m := ep.res.MRF
 	mo := search.MCSATOptions{
 		Samples: opts.Samples,
 		BurnIn:  opts.Samples / 10,
@@ -574,10 +711,9 @@ func (e *Engine) InferMarginal(ctx context.Context, opts InferOptions) (*Margina
 	// connected components (never a cut), so the component path below is
 	// the same factorization without duplicating the MRF's clauses.
 	var probs []float64
-	var err error
-	if e.partitionBeta() > 0 && opts.Mode == Auto && e.partitioning().NumCut() > 0 {
-		probs, err = search.GaussMCSAT(ctx, e.partitioning(), mo, opts.Parallelism)
-	} else if comps := e.components(); len(comps) > 1 && opts.Mode == Auto {
+	if e.partitionBeta() > 0 && opts.Mode == Auto && ep.partitioning(e.partitionBeta()).NumCut() > 0 {
+		probs, err = search.GaussMCSAT(ctx, ep.partitioning(e.partitionBeta()), mo, opts.Parallelism)
+	} else if comps := ep.components(); len(comps) > 1 && opts.Mode == Auto {
 		probs, err = search.MCSATComponents(ctx, m, comps, mo, opts.Parallelism)
 	} else {
 		probs, err = search.MCSAT(ctx, m, mo)
@@ -585,7 +721,7 @@ func (e *Engine) InferMarginal(ctx context.Context, opts InferOptions) (*Margina
 	if err != nil && !errors.Is(err, ErrCanceled) {
 		return nil, err
 	}
-	out := &MarginalResult{}
+	out := &MarginalResult{Epoch: ep.gen}
 	if probs != nil {
 		for a := 1; a <= m.NumAtoms; a++ {
 			out.Probs = append(out.Probs, AtomProb{Atom: m.Atoms[a], P: probs[a]})
@@ -597,24 +733,27 @@ func (e *Engine) InferMarginal(ctx context.Context, opts InferOptions) (*Margina
 // FormatAtom renders a ground atom with the engine's symbol table.
 func (e *Engine) FormatAtom(a mln.GroundAtom) string { return a.Format(e.prog.Syms) }
 
-// Stats exposes grounding statistics after Ground.
+// Stats exposes grounding statistics for the current epoch after Ground.
 func (e *Engine) Stats() (grounding.Stats, error) {
-	if e.grounded == nil {
+	res := e.Grounded()
+	if res == nil {
 		return grounding.Stats{}, fmt.Errorf("tuffy: not grounded yet")
 	}
-	return e.grounded.Stats, nil
+	return res.Stats, nil
 }
 
-// MRFStats exposes the grounded network's size accounting.
+// MRFStats exposes the current epoch's grounded-network size accounting.
 func (e *Engine) MRFStats() (mrf.Stats, error) {
-	if e.grounded == nil {
+	res := e.Grounded()
+	if res == nil {
 		return mrf.Stats{}, fmt.Errorf("tuffy: not grounded yet")
 	}
-	return e.grounded.MRF.ComputeStats(), nil
+	return res.MRF.ComputeStats(), nil
 }
 
 // OptimalIsInfeasible reports whether grounding already proved the hard
 // constraints unsatisfiable (a hard clause violated by evidence).
 func (e *Engine) OptimalIsInfeasible() bool {
-	return e.grounded != nil && math.IsInf(e.grounded.MRF.FixedCost, 1)
+	res := e.Grounded()
+	return res != nil && math.IsInf(res.MRF.FixedCost, 1)
 }

@@ -123,7 +123,7 @@ func TestInferMAPMemoryBudgetForcesSplit(t *testing.T) {
 	split := New(ds.Prog, ds.Ev, Config{
 		MaxFlips:          50_000,
 		Seed:              5,
-		MemoryBudgetBytes: ms.SearchBytes / 3,
+		MemoryBudgetBytes: ms.SearchBytes / 8,
 	})
 	resS, err := split.InferMAP()
 	if err != nil {
