@@ -104,7 +104,8 @@ func main() {
 		opts.Mode = tuffy.InMemoryMonolithic
 	}
 
-	eng := tuffy.Open(prog, ev, cfg)
+	eng, err := tuffy.Open(prog, ev, cfg)
+	fatalIf(err)
 
 	if *explain {
 		fatalIf(eng.Ground(ctx))

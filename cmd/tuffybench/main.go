@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 figure3
 // figure4 figure5 figure6 figure8 theorem31 erplus closure groundpar
-// partpar flipbatch serve incground all.
+// partpar flipbatch serve incground recovery all.
 //
 // With -json DIR, each experiment additionally writes its rendered table
 // and timing to DIR/BENCH_<name>.json — the machine-readable artifact the
@@ -72,6 +72,7 @@ func main() {
 		{"flipbatch", bench.FlipBatch},
 		{"serve", bench.Serve},
 		{"incground", bench.IncGround},
+		{"recovery", bench.Recovery},
 	}
 
 	want := strings.ToLower(*exp)

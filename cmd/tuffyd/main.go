@@ -25,7 +25,15 @@
 // "canceled": true and the best result found. A rejected evidence delta
 // (unknown predicate or constant, wrong arity) answers 400 and changes
 // nothing; a failed one leaves the previous epoch serving and is safely
-// retried. SIGINT stops admission, drains in-flight queries and exits.
+// retried. A 429 carries a Retry-After header estimating when a slot
+// frees up. SIGINT or SIGTERM stops admission, drains in-flight queries,
+// checkpoints durable state (with -data) and exits.
+//
+// With -data DIR, each replica keeps a write-ahead log and grounded-state
+// snapshot under DIR/replicaN and the result cache is persisted in DIR;
+// after a crash or restart the daemon warm-starts: it restores the
+// grounded network and replays logged evidence deltas instead of
+// re-grounding, then serves bit-identical answers.
 package main
 
 import (
@@ -40,7 +48,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"tuffy"
@@ -64,6 +74,7 @@ func main() {
 		maxBytes   = flag.Int64("maxbytes", 0, "per-query memory estimate cap in bytes (0 = none)")
 		queryTime  = flag.Duration("querytimeout", 0, "per-query wall-clock deadline incl. queue wait (0 = none)")
 		cacheSize  = flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = off)")
+		dataDir    = flag.String("data", "", "durable data directory: WAL + snapshots per replica, persisted result cache; warm-starts on restart (empty = in-memory only)")
 	)
 	flag.Parse()
 	if *progPath == "" || *evPath == "" {
@@ -71,7 +82,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	prog, err := loadProgram(*progPath)
@@ -82,7 +93,21 @@ func main() {
 	cfg := tuffy.EngineConfig{GroundWorkers: *threads, MemoryBudgetBytes: *budget}
 	engines := make([]*tuffy.Engine, *replicas)
 	for i := range engines {
-		engines[i] = tuffy.Open(prog, ev, cfg)
+		if *dataDir != "" {
+			// Each replica owns its own WAL and snapshot; they replay the
+			// same deltas, so all recover to the same epoch.
+			cfg.DataDir = filepath.Join(*dataDir, fmt.Sprintf("replica%d", i))
+		}
+		eng, err := tuffy.Open(prog, ev, cfg)
+		fatalIf(err)
+		engines[i] = eng
+		if ds := eng.DurabilityStats(); ds.WarmStart {
+			// Ground below is a no-op on a warm-started engine: recovery
+			// already published the pre-crash epoch.
+			log.Printf("replica %d warm-started in %v (epoch %d, %d deltas replayed)",
+				i, ds.RecoveryTime.Round(time.Millisecond), eng.Generation(), ds.ReplayedDeltas)
+			continue
+		}
 		start := time.Now()
 		fatalIf(engines[i].Ground(ctx))
 		log.Printf("replica %d grounded in %v", i, time.Since(start).Round(time.Millisecond))
@@ -97,19 +122,25 @@ func main() {
 		MaxBytesPerQuery:   *maxBytes,
 		MaxQueryTime:       *queryTime,
 		CacheEntries:       *cacheSize,
+		DataDir:            *dataDir,
 	}, engines...)
 	fatalIf(err)
 
-	h := &handler{srv: srv, fmtEngine: engines[0]}
+	h := &handler{srv: srv, fmtEngine: engines[0], maxInFlight: *inflight}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /infer", h.infer)
 	mux.HandleFunc("POST /evidence", h.evidence)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		ds := engines[0].DurabilityStats()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":          true,
-			"epoch":       srv.Metrics().Epoch,
-			"regrounding": srv.Updating(),
+			"ok":             true,
+			"epoch":          srv.Metrics().Epoch,
+			"regrounding":    srv.Updating(),
+			"durable":        ds.Enabled,
+			"warmStart":      ds.WarmStart,
+			"recoveryMillis": ds.RecoveryTime.Milliseconds(),
+			"checkpoints":    ds.Checkpoints,
 		})
 	})
 
@@ -137,7 +168,14 @@ func main() {
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(shCtx)
-		srv.Close()
+		if err := srv.Close(); err != nil {
+			log.Printf("persisting result cache: %v", err)
+		}
+		for i, eng := range engines {
+			if err := eng.Close(); err != nil {
+				log.Printf("closing replica %d: %v", i, err)
+			}
+		}
 	}()
 	log.Printf("tuffyd serving on %s (inflight=%d queue=%d lanes=%d)", *addr, *inflight, *queue, *lanes)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -192,6 +230,9 @@ type handler struct {
 	// fmtEngine renders atoms with the program's symbol table (all
 	// replicas share one program).
 	fmtEngine *tuffy.Engine
+	// maxInFlight mirrors the server's execution-slot count for the
+	// Retry-After estimate on 429s.
+	maxInFlight int
 }
 
 func (h *handler) infer(w http.ResponseWriter, r *http.Request) {
@@ -227,7 +268,7 @@ func (h *handler) infer(w http.ResponseWriter, r *http.Request) {
 	case "", "map":
 		res, err := h.srv.InferMAP(r.Context(), q)
 		if err != nil && !errors.Is(err, tuffy.ErrCanceled) {
-			writeErr(w, statusFor(err), err)
+			h.reject(w, err)
 			return
 		}
 		out := mapResponse{Canceled: err != nil}
@@ -249,7 +290,7 @@ func (h *handler) infer(w http.ResponseWriter, r *http.Request) {
 	case "marginal":
 		res, err := h.srv.InferMarginal(r.Context(), q)
 		if err != nil && !errors.Is(err, tuffy.ErrCanceled) {
-			writeErr(w, statusFor(err), err)
+			h.reject(w, err)
 			return
 		}
 		out := marginalResponse{Canceled: err != nil}
@@ -369,8 +410,43 @@ func (h *handler) evidence(w http.ResponseWriter, r *http.Request) {
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		tuffy.ServerMetrics
-		Memo search.MemoStats `json:"memo"`
-	}{h.srv.Metrics(), h.fmtEngine.MemoStats()})
+		Memo       search.MemoStats      `json:"memo"`
+		Durability tuffy.DurabilityStats `json:"durability"`
+	}{h.srv.Metrics(), h.fmtEngine.MemoStats(), h.fmtEngine.DurabilityStats()})
+}
+
+// reject writes an admission error; a 429 (queue full) additionally
+// carries a Retry-After estimate of when a slot should free up, derived
+// from the live queue depth and observed per-query latency.
+func (h *handler) reject(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", h.retryAfterSeconds()))
+	}
+	writeErr(w, status, err)
+}
+
+// retryAfterSeconds estimates the wait for the whole queue ahead of a
+// retry to drain: queued queries finish at roughly maxInFlight per average
+// query latency. Before any query completes the average defaults to one
+// second; the result is clamped to [1s, 60s] so clients always get a
+// sane, bounded hint.
+func (h *handler) retryAfterSeconds() int64 {
+	m := h.srv.Metrics()
+	avg := m.AvgLatency()
+	if avg <= 0 {
+		avg = time.Second
+	}
+	waiting := m.Queued + m.InFlight
+	est := avg * time.Duration(waiting+1) / time.Duration(h.maxInFlight)
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // statusFor maps admission outcomes to HTTP statuses.

@@ -28,7 +28,16 @@ func figure1Engine(t *testing.T, cfg EngineConfig) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Open(prog, ev, cfg)
+	return mustOpen(t, prog, ev, cfg)
+}
+
+func mustOpen(t *testing.T, prog *mln.Program, ev *mln.Evidence, cfg EngineConfig) *Engine {
+	t.Helper()
+	eng, err := Open(prog, ev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
 }
 
 func sameStates(a, b []bool) bool {
@@ -129,13 +138,13 @@ func TestConcurrentQueriesBitIdenticalToSequential(t *testing.T) {
 func TestConcurrentGaussSeidelQueries(t *testing.T) {
 	ctx := context.Background()
 	ds := datagen.ER(datagen.ERConfig{Records: 24, Groups: 6, Seed: 5})
-	probe := Open(ds.Prog, ds.Ev, EngineConfig{})
+	probe := mustOpen(t, ds.Prog, ds.Ev, EngineConfig{})
 	if err := probe.Ground(ctx); err != nil {
 		t.Fatal(err)
 	}
 	ms, _ := probe.MRFStats()
 
-	eng := Open(ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 8})
+	eng := mustOpen(t, ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 8})
 	if err := eng.Ground(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +201,7 @@ p(thing)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Open(prog, mln.NewEvidence(prog), cfg)
+	return mustOpen(t, prog, mln.NewEvidence(prog), cfg)
 }
 
 // assertCanceledMAP checks the cancellation contract: typed error, prompt
@@ -233,12 +242,12 @@ func TestCancelGaussSeidelSearch(t *testing.T) {
 	// runs; its soft conflicts keep the violated set non-empty, so the
 	// search spins until the context stops it.
 	ds := datagen.ER(datagen.ERConfig{Records: 24, Groups: 6, Seed: 5})
-	probe := Open(ds.Prog, ds.Ev, EngineConfig{})
+	probe := mustOpen(t, ds.Prog, ds.Ev, EngineConfig{})
 	if err := probe.Ground(ctx); err != nil {
 		t.Fatal(err)
 	}
 	ms, _ := probe.MRFStats()
-	eng := Open(ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 8})
+	eng := mustOpen(t, ds.Prog, ds.Ev, EngineConfig{MemoryBudgetBytes: ms.SearchBytes / 8})
 	if err := eng.Ground(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +371,7 @@ p(thing)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := Open(prog, mln.NewEvidence(prog), EngineConfig{
+	eng := mustOpen(t, prog, mln.NewEvidence(prog), EngineConfig{
 		MemoryBudgetBytes: 41, // below one single-atom component's footprint
 	})
 	res, err := eng.InferMAP(context.Background(), InferOptions{
@@ -388,7 +397,7 @@ p(thing)
 // and produces the same grounding a fresh Engine would.
 func TestGroundCancelThenRetry(t *testing.T) {
 	ds := datagen.ER(datagen.ERConfig{Records: 30, Groups: 8, Seed: 3})
-	eng := Open(ds.Prog, ds.Ev, EngineConfig{})
+	eng := mustOpen(t, ds.Prog, ds.Ev, EngineConfig{})
 
 	// Cancel before grounding starts: the build is skipped (or torn down)
 	// and the catalog must end empty either way.
@@ -408,7 +417,7 @@ func TestGroundCancelThenRetry(t *testing.T) {
 	if err := eng.Ground(context.Background()); err != nil {
 		t.Fatalf("retry Ground: %v", err)
 	}
-	fresh := Open(ds.Prog, ds.Ev, EngineConfig{})
+	fresh := mustOpen(t, ds.Prog, ds.Ev, EngineConfig{})
 	if err := fresh.Ground(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +442,7 @@ func TestGroundCancelThenRetry(t *testing.T) {
 	// footprint at a successful ground's level (no leaked predicate
 	// tables or pages across retries).
 	disk := storage.NewMemDisk()
-	eng2 := Open(ds.Prog, ds.Ev, EngineConfig{DB: db.Config{Disk: disk}})
+	eng2 := mustOpen(t, ds.Prog, ds.Ev, EngineConfig{DB: db.Config{Disk: disk}})
 	for i := 0; i < 3; i++ {
 		cctx, ccancel := context.WithCancel(context.Background())
 		ccancel()

@@ -27,7 +27,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	eng, err := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := eng.Ground(ctx); err != nil {
 		log.Fatal(err)
 	}

@@ -29,7 +29,10 @@ func main() {
 
 	// Open + Ground is the expensive one-time phase; InferMAP is one query
 	// with its own options (any number may run concurrently afterwards).
-	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	eng, err := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := eng.Ground(ctx); err != nil {
 		log.Fatal(err)
 	}

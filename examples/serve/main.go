@@ -36,7 +36,10 @@ func main() {
 	// RDBMS. This publishes the first epoch — an immutable snapshot serving
 	// any number of concurrent queries (UpdateEvidence would publish the
 	// next one without disturbing them).
-	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	eng, err := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := eng.Ground(ctx); err != nil {
 		log.Fatal(err)
 	}

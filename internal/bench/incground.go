@@ -37,7 +37,10 @@ func IncGround(ctx context.Context, s Scale) (*Table, error) {
 	}
 
 	for _, tc := range cases {
-		eng := tuffy.Open(tc.ds.Prog, tc.ds.Ev.Clone(), tuffy.EngineConfig{})
+		eng, err := tuffy.Open(tc.ds.Prog, tc.ds.Ev.Clone(), tuffy.EngineConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("incground: open %s: %w", tc.ds.Name, err)
+		}
 		if err := eng.Ground(ctx); err != nil {
 			return nil, fmt.Errorf("incground: ground %s: %w", tc.ds.Name, err)
 		}
@@ -66,7 +69,10 @@ func IncGround(ctx context.Context, s Scale) (*Table, error) {
 			if _, err := merged.Apply(delta); err != nil {
 				return nil, fmt.Errorf("incground: %s merge: %w", tc.ds.Name, err)
 			}
-			fresh := tuffy.Open(tc.ds.Prog, merged, tuffy.EngineConfig{})
+			fresh, err := tuffy.Open(tc.ds.Prog, merged, tuffy.EngineConfig{})
+			if err != nil {
+				return nil, fmt.Errorf("incground: open %s: %w", tc.ds.Name, err)
+			}
 			runtime.GC() // fence: don't charge leftover garbage to the timed ground
 			fullStart := time.Now()
 			if err := fresh.Ground(ctx); err != nil {

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tuffy"
+	"tuffy/internal/datagen"
+)
+
+// Recovery measures crash-safe warm start (EngineConfig.DataDir) against a
+// cold Ground on the IE and RC workloads, through both recovery paths:
+//
+//   - clean: the engine grounds, commits one update, checkpoints, and is
+//     abandoned (crash). The reopen publishes the snapshot's serialized
+//     network directly — no table rebuild, no replay. Enforced invariants
+//     of the CI bench-smoke job: the warm engine's MAP answer is
+//     bit-identical to the pre-crash one, its epoch matches, and the warm
+//     open is >= 5x faster than the cold Ground it replaces.
+//
+//   - replay: the warm engine takes one more committed update (which also
+//     exercises lazy table materialization) and is abandoned with that
+//     delta still in the WAL. The reopen rebuilds the tables and replays
+//     it. Bit-identity and the replay count are enforced; the 5x floor is
+//     not — replay pays for the logical rebuild by design.
+func Recovery(ctx context.Context, s Scale) (*Table, error) {
+	cases := []struct {
+		ds   *datagen.Dataset
+		pred string
+	}{
+		{datagen.IE(s.IE), "hint"},
+		{datagen.RC(s.RC), "refers"},
+	}
+	q := tuffy.InferOptions{MaxFlips: 20_000, Seed: 7}
+
+	tab := &Table{
+		Title:  "Crash recovery: warm start vs cold ground (bit-identity enforced; >=5x enforced on the clean path)",
+		Header: []string{"scenario", "cold ground", "warm open", "speedup", "replayed", "snapshot", "wal", "identical"},
+	}
+
+	for _, tc := range cases {
+		dir, err := os.MkdirTemp("", "tuffy-recovery-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+
+		eng, err := tuffy.Open(tc.ds.Prog, tc.ds.Ev.Clone(), tuffy.EngineConfig{DataDir: dir})
+		if err != nil {
+			return nil, fmt.Errorf("recovery: open %s: %w", tc.ds.Name, err)
+		}
+		runtime.GC()
+		coldStart := time.Now()
+		if err := eng.Ground(ctx); err != nil {
+			return nil, fmt.Errorf("recovery: ground %s: %w", tc.ds.Name, err)
+		}
+		coldDur := time.Since(coldStart)
+
+		// One committed update, then an explicit checkpoint: the snapshot
+		// now covers the exact serving state and the WAL is empty, which is
+		// what a graceful shutdown — or any checkpoint cadence boundary —
+		// leaves behind.
+		delta := datagen.RandomDelta(tc.ds, tc.pred, 8, 77)
+		ur, err := eng.UpdateEvidence(ctx, delta)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: %s update: %w", tc.ds.Name, err)
+		}
+		if err := eng.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("recovery: %s checkpoint: %w", tc.ds.Name, err)
+		}
+		want, err := eng.InferMAP(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: %s pre-crash query: %w", tc.ds.Name, err)
+		}
+		// Crash: abandon the engine without Close — the DataDir is exactly
+		// what a killed process leaves behind.
+
+		runtime.GC()
+		warmStart := time.Now()
+		warm, err := tuffy.Open(tc.ds.Prog, tc.ds.Ev.Clone(), tuffy.EngineConfig{DataDir: dir})
+		if err != nil {
+			return nil, fmt.Errorf("recovery: reopen %s: %w", tc.ds.Name, err)
+		}
+		warmDur := time.Since(warmStart)
+
+		st := warm.DurabilityStats()
+		if !st.WarmStart {
+			return nil, fmt.Errorf("recovery: %s reopen did not warm-start", tc.ds.Name)
+		}
+		if st.ReplayedDeltas != 0 || warm.Generation() != ur.Epoch {
+			return nil, fmt.Errorf("recovery: %s recovered to epoch %d with %d replayed deltas, want epoch %d with 0",
+				tc.ds.Name, warm.Generation(), st.ReplayedDeltas, ur.Epoch)
+		}
+		got, err := warm.InferMAP(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: %s post-recovery query: %w", tc.ds.Name, err)
+		}
+		if got.Cost != want.Cost || got.Flips != want.Flips || !sameState(got.State, want.State) {
+			return nil, fmt.Errorf("recovery: %s recovered answer diverges from pre-crash (cost %v vs %v, flips %d vs %d)",
+				tc.ds.Name, got.Cost, want.Cost, got.Flips, want.Flips)
+		}
+		speedup := float64(coldDur) / float64(warmDur)
+		if speedup < 5 {
+			return nil, fmt.Errorf("recovery: %s warm open %v vs cold ground %v (%.1fx < 5x)",
+				tc.ds.Name, warmDur, coldDur, speedup)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			tc.ds.Name + " clean", fmtDur(coldDur), fmtDur(warmDur), fmt.Sprintf("%.0fx", speedup),
+			"0", fmtBytes(st.SnapshotBytes), fmtBytes(st.WALSizeBytes), "yes",
+		})
+
+		// Replay path: a second update materializes the lazily deferred
+		// tables on the warm engine and stays in the WAL when the engine is
+		// abandoned again.
+		delta2 := datagen.RandomDelta(tc.ds, tc.pred, 8, 177)
+		ur2, err := warm.UpdateEvidence(ctx, delta2)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: %s update on warm engine: %w", tc.ds.Name, err)
+		}
+		want2, err := warm.InferMAP(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: %s post-update query: %w", tc.ds.Name, err)
+		}
+
+		runtime.GC()
+		replayStart := time.Now()
+		warm2, err := tuffy.Open(tc.ds.Prog, tc.ds.Ev.Clone(), tuffy.EngineConfig{DataDir: dir})
+		if err != nil {
+			return nil, fmt.Errorf("recovery: second reopen %s: %w", tc.ds.Name, err)
+		}
+		replayDur := time.Since(replayStart)
+
+		st2 := warm2.DurabilityStats()
+		if !st2.WarmStart || st2.ReplayedDeltas != 1 || warm2.Generation() != ur2.Epoch {
+			return nil, fmt.Errorf("recovery: %s replay reopen landed at epoch %d with %d replayed deltas, want epoch %d with 1",
+				tc.ds.Name, warm2.Generation(), st2.ReplayedDeltas, ur2.Epoch)
+		}
+		got2, err := warm2.InferMAP(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: %s post-replay query: %w", tc.ds.Name, err)
+		}
+		if got2.Cost != want2.Cost || got2.Flips != want2.Flips || !sameState(got2.State, want2.State) {
+			return nil, fmt.Errorf("recovery: %s replayed answer diverges from pre-crash (cost %v vs %v, flips %d vs %d)",
+				tc.ds.Name, got2.Cost, want2.Cost, got2.Flips, want2.Flips)
+		}
+		if err := warm2.Close(); err != nil {
+			return nil, fmt.Errorf("recovery: %s close: %w", tc.ds.Name, err)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			tc.ds.Name + " +1 delta", fmtDur(coldDur), fmtDur(replayDur), fmt.Sprintf("%.1fx", float64(coldDur)/float64(replayDur)),
+			"1", fmtBytes(st2.SnapshotBytes), fmtBytes(st2.WALSizeBytes), "yes",
+		})
+	}
+	return tab, nil
+}

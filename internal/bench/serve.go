@@ -22,7 +22,10 @@ import (
 // answers indistinguishable from cold runs.
 func Serve(ctx context.Context, s Scale) (*Table, error) {
 	ds := datagen.LP(s.LP)
-	eng := tuffy.Open(ds.Prog, ds.Ev, tuffy.EngineConfig{})
+	eng, err := tuffy.Open(ds.Prog, ds.Ev, tuffy.EngineConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: open %s: %w", ds.Name, err)
+	}
 	if err := eng.Ground(ctx); err != nil {
 		return nil, fmt.Errorf("serve: ground %s: %w", ds.Name, err)
 	}

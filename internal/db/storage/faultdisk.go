@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error every scripted FaultDisk failure returns (and
+// wraps); tests match it with errors.Is.
+var ErrInjected = errors.New("storage: injected disk fault")
+
+// FaultOp names a Disk operation for FaultDisk hooks.
+type FaultOp string
+
+// Fault points scriptable via FaultDisk.SetHook.
+const (
+	OpRead     FaultOp = "read"
+	OpWrite    FaultOp = "write"
+	OpAllocate FaultOp = "allocate"
+	OpTruncate FaultOp = "truncate"
+)
+
+// FaultDisk wraps a Disk and injects scripted failures: fail-after-N
+// countdowns on reads and writes, torn writes (the first half of the page
+// reaches the inner disk before the error — a mid-write crash), and
+// arbitrary per-operation hooks. It is the one fault-injection fake shared
+// by the storage, search, and crash-matrix tests. The zero countdowns mean
+// "never fail"; arm them with FailReadsAfter / FailWritesAfter.
+type FaultDisk struct {
+	inner Disk
+
+	mu         sync.Mutex
+	readsLeft  int // -1 = unlimited
+	writesLeft int
+	tornWrites bool
+	hook       func(op FaultOp, id PageID) error
+}
+
+// NewFaultDisk wraps inner with no faults armed.
+func NewFaultDisk(inner Disk) *FaultDisk {
+	return &FaultDisk{inner: inner, readsLeft: -1, writesLeft: -1}
+}
+
+// FailReadsAfter arms the read countdown: the next n reads succeed, every
+// later one fails with ErrInjected. n < 0 disarms.
+func (d *FaultDisk) FailReadsAfter(n int) {
+	d.mu.Lock()
+	d.readsLeft = n
+	d.mu.Unlock()
+}
+
+// FailWritesAfter arms the write countdown: the next n writes succeed,
+// every later one fails with ErrInjected. n < 0 disarms.
+func (d *FaultDisk) FailWritesAfter(n int) {
+	d.mu.Lock()
+	d.writesLeft = n
+	d.mu.Unlock()
+}
+
+// SetTornWrite makes every injected write failure first write the front
+// half of the page to the inner disk, modelling a crash mid-write.
+func (d *FaultDisk) SetTornWrite(on bool) {
+	d.mu.Lock()
+	d.tornWrites = on
+	d.mu.Unlock()
+}
+
+// SetHook installs fn to run before every operation; a non-nil return is
+// injected as that operation's error. Hooks fire before countdowns.
+func (d *FaultDisk) SetHook(fn func(op FaultOp, id PageID) error) {
+	d.mu.Lock()
+	d.hook = fn
+	d.mu.Unlock()
+}
+
+// fire runs the hook and ticks the countdown (a pointer to readsLeft or
+// writesLeft) under the lock, reporting the injected error if any.
+func (d *FaultDisk) fire(op FaultOp, id PageID, counter *int) (torn bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hook != nil {
+		if err := d.hook(op, id); err != nil {
+			return false, err
+		}
+	}
+	if counter == nil {
+		return false, nil
+	}
+	if *counter == 0 {
+		return d.tornWrites && op == OpWrite, ErrInjected
+	}
+	if *counter > 0 {
+		*counter--
+	}
+	return false, nil
+}
+
+// ReadPage implements Disk.
+func (d *FaultDisk) ReadPage(id PageID, buf []byte) error {
+	if _, err := d.fire(OpRead, id, &d.readsLeft); err != nil {
+		return err
+	}
+	return d.inner.ReadPage(id, buf)
+}
+
+// WritePage implements Disk. In torn-write mode an injected failure still
+// writes the first half of the page through, over whatever the inner disk
+// held.
+func (d *FaultDisk) WritePage(id PageID, buf []byte) error {
+	torn, err := d.fire(OpWrite, id, &d.writesLeft)
+	if err != nil {
+		if torn {
+			prev := make([]byte, PageSize)
+			if rerr := d.inner.ReadPage(id, prev); rerr == nil {
+				copy(prev, buf[:PageSize/2])
+				_ = d.inner.WritePage(id, prev)
+			}
+		}
+		return err
+	}
+	return d.inner.WritePage(id, buf)
+}
+
+// AllocatePage implements Disk.
+func (d *FaultDisk) AllocatePage(file int32) (PageID, error) {
+	if _, err := d.fire(OpAllocate, PageID{File: file}, nil); err != nil {
+		return PageID{}, err
+	}
+	return d.inner.AllocatePage(file)
+}
+
+// NumPages implements Disk.
+func (d *FaultDisk) NumPages(file int32) int32 { return d.inner.NumPages(file) }
+
+// TruncateFile implements Disk. Hook errors are swallowed (the interface
+// has no error return) but still skip the truncate, modelling a crash
+// before it happened.
+func (d *FaultDisk) TruncateFile(file int32) {
+	if _, err := d.fire(OpTruncate, PageID{File: file}, nil); err != nil {
+		return
+	}
+	d.inner.TruncateFile(file)
+}
+
+// Stats implements Disk.
+func (d *FaultDisk) Stats() DiskStats { return d.inner.Stats() }

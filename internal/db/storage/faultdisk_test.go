@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// The FaultDisk fake itself: hooks fire before countdowns on every
+// operation, torn writes leave the front half of the new page over the old
+// image, and pass-through methods reach the inner disk.
+func TestFaultDiskHooksAndTornWrites(t *testing.T) {
+	mem := NewMemDisk()
+	fd := NewFaultDisk(mem)
+
+	id, err := fd.AllocatePage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{0xAA}, PageSize)
+	if err := fd.WritePage(id, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn write failure persists exactly the first half of the new page.
+	fd.SetTornWrite(true)
+	fd.FailWritesAfter(0)
+	torn := bytes.Repeat([]byte{0xBB}, PageSize)
+	if err := fd.WritePage(id, torn); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: err = %v, want ErrInjected", err)
+	}
+	fd.FailWritesAfter(-1)
+	got := make([]byte, PageSize)
+	if err := fd.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:PageSize/2], torn[:PageSize/2]) || !bytes.Equal(got[PageSize/2:], old[PageSize/2:]) {
+		t.Fatal("torn write did not leave front-half-new, back-half-old page")
+	}
+
+	// Hooks fire before countdowns and can target any operation; a hook
+	// error on truncate skips the truncate entirely.
+	hookErr := errors.New("scripted")
+	var ops []FaultOp
+	fd.SetHook(func(op FaultOp, _ PageID) error {
+		ops = append(ops, op)
+		if op == OpTruncate || op == OpAllocate {
+			return hookErr
+		}
+		return nil
+	})
+	if _, err := fd.AllocatePage(1); !errors.Is(err, hookErr) {
+		t.Fatalf("allocate hook: err = %v, want scripted error", err)
+	}
+	fd.TruncateFile(1)
+	if n := fd.NumPages(1); n != 1 {
+		t.Fatalf("hook-blocked truncate: file has %d pages, want 1", n)
+	}
+	fd.SetHook(nil)
+	fd.TruncateFile(1)
+	if n := fd.NumPages(1); n != 0 {
+		t.Fatalf("truncate: file has %d pages, want 0", n)
+	}
+	if len(ops) != 2 || ops[0] != OpAllocate || ops[1] != OpTruncate {
+		t.Fatalf("hook saw %v, want [allocate truncate]", ops)
+	}
+
+	if fd.Stats() != mem.Stats() {
+		t.Fatal("Stats must pass through to the inner disk")
+	}
+}

@@ -6,54 +6,17 @@ import (
 	"testing"
 )
 
-// faultDisk wraps a Disk and fails operations after a countdown — failure
-// injection for buffer-pool and heap-file error paths.
-type faultDisk struct {
-	inner      Disk
-	readsLeft  int
-	writesLeft int
-}
-
-var errInjected = errors.New("injected disk fault")
-
-func (d *faultDisk) ReadPage(id PageID, buf []byte) error {
-	if d.readsLeft == 0 {
-		return errInjected
-	}
-	if d.readsLeft > 0 {
-		d.readsLeft--
-	}
-	return d.inner.ReadPage(id, buf)
-}
-
-func (d *faultDisk) WritePage(id PageID, buf []byte) error {
-	if d.writesLeft == 0 {
-		return errInjected
-	}
-	if d.writesLeft > 0 {
-		d.writesLeft--
-	}
-	return d.inner.WritePage(id, buf)
-}
-
-func (d *faultDisk) AllocatePage(file int32) (PageID, error) {
-	return d.inner.AllocatePage(file)
-}
-
-func (d *faultDisk) NumPages(file int32) int32 { return d.inner.NumPages(file) }
-func (d *faultDisk) TruncateFile(file int32)   { d.inner.TruncateFile(file) }
-func (d *faultDisk) Stats() DiskStats          { return d.inner.Stats() }
-
 func TestBufferPoolSurfacesReadErrors(t *testing.T) {
 	mem := NewMemDisk()
 	id, _ := mem.AllocatePage(1)
-	fd := &faultDisk{inner: mem, readsLeft: 0, writesLeft: -1}
+	fd := NewFaultDisk(mem)
+	fd.FailReadsAfter(0)
 	bp := NewBufferPool(fd, 4)
-	if _, err := bp.Fetch(id); !errors.Is(err, errInjected) {
+	if _, err := bp.Fetch(id); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 	// The failed frame must not be left behind poisoning the pool.
-	fd.readsLeft = -1
+	fd.FailReadsAfter(-1)
 	if _, err := bp.Fetch(id); err != nil {
 		t.Fatalf("recovery fetch failed: %v", err)
 	}
@@ -62,7 +25,8 @@ func TestBufferPoolSurfacesReadErrors(t *testing.T) {
 
 func TestBufferPoolSurfacesWritebackErrors(t *testing.T) {
 	mem := NewMemDisk()
-	fd := &faultDisk{inner: mem, readsLeft: -1, writesLeft: 0}
+	fd := NewFaultDisk(mem)
+	fd.FailWritesAfter(0)
 	bp := NewBufferPool(fd, 1)
 	id1, pg, err := bp.Allocate(1)
 	if err != nil {
@@ -74,14 +38,15 @@ func TestBufferPoolSurfacesWritebackErrors(t *testing.T) {
 	bp.Unpin(id1, true)
 	// Allocating a second page forces eviction of the dirty page, whose
 	// write-back fails.
-	if _, _, err := bp.Allocate(1); !errors.Is(err, errInjected) {
+	if _, _, err := bp.Allocate(1); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 }
 
 func TestFlushAllSurfacesErrors(t *testing.T) {
 	mem := NewMemDisk()
-	fd := &faultDisk{inner: mem, readsLeft: -1, writesLeft: 0}
+	fd := NewFaultDisk(mem)
+	fd.FailWritesAfter(0)
 	bp := NewBufferPool(fd, 4)
 	id, pg, err := bp.Allocate(1)
 	if err != nil {
@@ -91,7 +56,7 @@ func TestFlushAllSurfacesErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	bp.Unpin(id, true)
-	if err := bp.FlushAll(); !errors.Is(err, errInjected) {
+	if err := bp.FlushAll(); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 }
@@ -110,13 +75,14 @@ func TestHeapScanSurfacesMidScanErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// New pool over a disk that fails after 2 reads.
-	fd := &faultDisk{inner: mem, readsLeft: 2, writesLeft: -1}
+	fd := NewFaultDisk(mem)
+	fd.FailReadsAfter(2)
 	bp2 := NewBufferPool(fd, 2)
 	h2 := NewHeapFile(bp2, 1)
 	_ = h2 // NewHeapFile recounts via scan, consuming the read budget
-	fd.readsLeft = 2
+	fd.FailReadsAfter(2)
 	err := h2.Scan(func(RecordID, []byte) error { return nil })
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 }
@@ -175,12 +141,13 @@ func TestDeleteBatchSurfacesReadFaults(t *testing.T) {
 	}
 	// Fresh pool over a disk that fails after one read: the batch must
 	// surface the fault and report only the prefix it deleted.
-	fd := &faultDisk{inner: mem, readsLeft: 1, writesLeft: -1}
+	fd := NewFaultDisk(mem)
+	fd.FailReadsAfter(1)
 	bp2 := NewBufferPool(fd, 2)
 	h2 := NewHeapFile(bp2, 2)
-	fd.readsLeft = 1
+	fd.FailReadsAfter(1)
 	old, err := h2.DeleteBatch(rids)
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 	if len(old) == 0 || len(old) >= len(rids) {
@@ -203,10 +170,11 @@ func TestUpdateBatchSurfacesReadFaults(t *testing.T) {
 	if err := bp.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	fd := &faultDisk{inner: mem, readsLeft: 0, writesLeft: -1}
+	fd := NewFaultDisk(mem)
+	fd.FailReadsAfter(0)
 	bp2 := NewBufferPool(fd, 2)
 	h2 := NewHeapFile(bp2, 3)
-	if _, err := h2.UpdateBatch(rids, [][]byte{make([]byte, 3000), make([]byte, 3000), make([]byte, 3000), make([]byte, 3000)}); !errors.Is(err, errInjected) {
+	if _, err := h2.UpdateBatch(rids, [][]byte{make([]byte, 3000), make([]byte, 3000), make([]byte, 3000), make([]byte, 3000)}); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 }

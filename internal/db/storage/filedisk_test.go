@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func page(b byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestFileDiskRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, err := d.AllocatePage(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WritePage(id, page(byte('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.NumPages(7); got != 3 {
+		t.Fatalf("NumPages after reopen = %d, want 3", got)
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if err := d2.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, page(byte('a'+i))) {
+			t.Fatalf("page %v corrupt after reopen", id)
+		}
+	}
+	if err := d2.ReadPage(PageID{File: 7, Num: 3}, buf); err == nil {
+		t.Fatal("read past live pages succeeded")
+	}
+}
+
+func TestFileDiskTruncatePersistsFreeList(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		id, _ := d.AllocatePage(1)
+		if err := d.WritePage(id, page(0xff)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sizeAt := func() int64 {
+		st, err := os.Stat(filepath.Join(dir, "seg_1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	high := sizeAt()
+	d.TruncateFile(1) // persists live=0 immediately
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the truncated file must come back empty (free list honored),
+	// not resurrected at its physical size.
+	d2, err := OpenFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.NumPages(1); got != 0 {
+		t.Fatalf("NumPages after truncate+reopen = %d, want 0", got)
+	}
+	// Allocation reuses the freed capacity (file stays at high-water mark)
+	// and hands out zeroed pages despite the stale 0xff bytes.
+	id, err := d2.AllocatePage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d2.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, PageSize)) {
+		t.Fatal("reused page not zeroed")
+	}
+	if got := sizeAt(); got != high {
+		t.Fatalf("segment grew to %d on reuse, want high-water %d", got, high)
+	}
+}
+
+func TestFileDiskEnsureAndReset(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Ensure(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumPages(3); got != 5 {
+		t.Fatalf("NumPages after Ensure = %d, want 5", got)
+	}
+	id := PageID{File: 3, Num: 4}
+	if err := d.WritePage(id, page(9)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatal("ensured page did not round-trip")
+	}
+	if err := d.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NumPages(3); got != 0 {
+		t.Fatalf("NumPages after Reset = %d, want 0", got)
+	}
+	if err := d.ReadPage(id, buf); err == nil {
+		t.Fatal("read after Reset succeeded")
+	}
+}
+
+// A buffer pool + heap file running over FileDisk must behave exactly like
+// the MemDisk stack.
+func TestFileDiskUnderBufferPool(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(d, 2) // tiny pool forces eviction write-backs
+	h := NewHeapFile(bp, 1)
+	var rids []RecordID
+	for i := 0; i < 20; i++ {
+		rid, err := h.Insert(bytes.Repeat([]byte{byte(i)}, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	bp2 := NewBufferPool(d2, 8)
+	h2 := NewHeapFile(bp2, 1)
+	got := 0
+	if err := h2.Scan(func(rid RecordID, rec []byte) error {
+		if len(rec) != 1000 || rec[0] != byte(got) {
+			t.Fatalf("record %d corrupt after reopen", got)
+		}
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(rids) {
+		t.Fatalf("scanned %d records after reopen, want %d", got, len(rids))
+	}
+}

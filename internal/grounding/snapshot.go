@@ -1,0 +1,186 @@
+package grounding
+
+import (
+	"fmt"
+
+	"tuffy/internal/db"
+	"tuffy/internal/db/tuple"
+	"tuffy/internal/mln"
+)
+
+// Snapshot export/import: the pieces of grounded state the engine's
+// durability layer persists so a reopened DataDir can serve without
+// re-running grounding SQL.
+//
+// The atom registry (aid -> atom, truth) is what makes a restore exact:
+// aids are assigned in insertion order, so re-staging the registry in aid
+// order reproduces the identical aid space, and the cached per-clause raw
+// groundings (which reference aids) remain valid. Physical row order in
+// the rebuilt predicate tables may differ from the original build, but
+// canon.go's canonicalization makes every later Reground independent of
+// row and join order, so the engine stays bit-identical to a never-crashed
+// instance.
+
+// SnapAtom is one registry entry: the predicate (as an index into
+// Program.Preds), the argument constants, and the recorded evidence truth.
+type SnapAtom struct {
+	Pred  int32
+	Args  []int32
+	Truth int64
+}
+
+// ExportAtoms dumps the atom registry in aid order (aid 1 first).
+func (ts *TableSet) ExportAtoms() ([]SnapAtom, error) {
+	idx := make(map[*mln.Predicate]int32, len(ts.Prog.Preds))
+	for i, p := range ts.Prog.Preds {
+		idx[p] = int32(i)
+	}
+	out := make([]SnapAtom, 0, len(ts.atoms)-1)
+	for aid := 1; aid < len(ts.atoms); aid++ {
+		a := ts.atoms[aid]
+		pi, ok := idx[a.Pred]
+		if !ok {
+			return nil, fmt.Errorf("grounding: registry atom %d references a predicate outside the program", aid)
+		}
+		out = append(out, SnapAtom{Pred: pi, Args: a.Args, Truth: ts.truths[aid]})
+	}
+	return out, nil
+}
+
+// SnapRaw is one cached raw grounding: the clause weight and its literals
+// encoded as aid<<1|positive.
+type SnapRaw struct {
+	Weight float64
+	Lits   []uint64
+}
+
+// ExportRaws dumps the cached per-clause raw groundings and their
+// grounding stats, in first-order-clause order.
+func (inc *Incremental) ExportRaws() ([][]SnapRaw, []Stats) {
+	out := make([][]SnapRaw, len(inc.perClause))
+	for i, raws := range inc.perClause {
+		rs := make([]SnapRaw, len(raws))
+		for j, r := range raws {
+			lits := make([]uint64, len(r.aids))
+			for k, aid := range r.aids {
+				v := uint64(aid) << 1
+				if r.pos[k] {
+					v |= 1
+				}
+				lits[k] = v
+			}
+			rs[j] = SnapRaw{Weight: r.weight, Lits: lits}
+		}
+		out[i] = rs
+	}
+	stats := make([]Stats, len(inc.perStats))
+	copy(stats, inc.perStats)
+	return out, stats
+}
+
+// RestoreTables rebuilds a TableSet from a snapshot registry: the
+// predicate relations are recreated and the atoms re-staged in aid order,
+// reproducing the exact aid space of the snapshotted instance without any
+// domain enumeration. ev must be the merged evidence the snapshot was
+// taken under. Closed predicates get rows only for evidence-true atoms
+// (the CWA invariant ApplyDelta maintains); open predicates get every
+// registry atom with its recorded truth.
+func RestoreTables(d *db.DB, prog *mln.Program, ev *mln.Evidence, atoms []SnapAtom) (*TableSet, error) {
+	ts := &TableSet{
+		DB:     d,
+		Prog:   prog,
+		Ev:     ev,
+		tables: make(map[*mln.Predicate]*db.Table),
+		aidOf:  make(map[*mln.Predicate]map[string]int64),
+		atoms:  make([]mln.GroundAtom, 1),
+		truths: make([]int64, 1),
+	}
+	fail := func(err error) (*TableSet, error) {
+		ts.Drop()
+		return nil, err
+	}
+	for _, pred := range prog.Preds {
+		t, err := d.CreateTable(TableName(pred), predTableSchema(pred))
+		if err != nil {
+			return fail(err)
+		}
+		ts.tables[pred] = t
+		ts.aidOf[pred] = make(map[string]int64)
+	}
+	staged := make(map[*mln.Predicate][]tuple.Row)
+	for _, sa := range atoms {
+		if int(sa.Pred) < 0 || int(sa.Pred) >= len(prog.Preds) {
+			return fail(fmt.Errorf("grounding: snapshot atom references predicate %d of %d", sa.Pred, len(prog.Preds)))
+		}
+		pred := prog.Preds[sa.Pred]
+		if len(sa.Args) != pred.Arity() {
+			return fail(fmt.Errorf("grounding: snapshot atom for %s has %d args", pred.Name, len(sa.Args)))
+		}
+		row := ts.stageAtom(pred, sa.Args, sa.Truth)
+		if pred.Closed && sa.Truth != TruthTrue {
+			continue // registry-only: no relation row under the CWA
+		}
+		staged[pred] = append(staged[pred], row)
+		if len(staged[pred]) >= loadChunk {
+			if err := ts.tables[pred].InsertMany(staged[pred]); err != nil {
+				return fail(err)
+			}
+			staged[pred] = staged[pred][:0]
+		}
+	}
+	for pred, rows := range staged {
+		if err := ts.tables[pred].InsertMany(rows); err != nil {
+			return fail(err)
+		}
+	}
+	if err := d.Pool().FlushAll(); err != nil {
+		return fail(err)
+	}
+	return ts, nil
+}
+
+// RestoreIncremental rebuilds the incremental grounder from snapshot raws
+// without re-running any grounding SQL: the cached per-clause raws are
+// decoded against ts's (restored, identical) aid space and folded through
+// the incremental assembler. The returned Result is the assembled network
+// — bit-identical, by canonicalization, to the snapshotted one — which
+// callers may use to cross-check the snapshot's own MRF.
+func RestoreIncremental(ts *TableSet, opts Options, raws [][]SnapRaw, stats []Stats) (*Incremental, *Result, error) {
+	n := len(ts.Prog.Clauses)
+	if len(raws) != n || len(stats) != n {
+		return nil, nil, fmt.Errorf("grounding: snapshot has %d clause raw sets for %d clauses", len(raws), n)
+	}
+	inc := &Incremental{
+		TS:        ts,
+		Opts:      opts,
+		perClause: make([][]rawClause, n),
+		perStats:  stats,
+		provs:     make([]map[*mln.Predicate]bool, n),
+	}
+	for i, c := range ts.Prog.Clauses {
+		inc.provs[i] = ClausePreds(c)
+	}
+	maxAid := int64(len(ts.atoms) - 1)
+	for i, rs := range raws {
+		dec := make([]rawClause, len(rs))
+		for j, r := range rs {
+			rc := rawClause{weight: r.Weight, aids: make([]int64, len(r.Lits)), pos: make([]bool, len(r.Lits))}
+			for k, v := range r.Lits {
+				aid := int64(v >> 1)
+				if aid < 1 || aid > maxAid {
+					return nil, nil, fmt.Errorf("grounding: snapshot raw references aid %d of %d", aid, maxAid)
+				}
+				rc.aids[k] = aid
+				rc.pos[k] = v&1 == 1
+			}
+			dec[j] = rc
+		}
+		inc.perClause[i] = dec
+	}
+	if opts.UseClosure {
+		return inc, assembleResult(ts, inc.perClause, inc.perStats, opts, false), nil
+	}
+	inc.asm = newIncAssembler(ts, n)
+	inc.asm.build(inc.perClause)
+	return inc, inc.asm.result(inc.perStats), nil
+}

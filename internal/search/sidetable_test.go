@@ -459,63 +459,26 @@ func TestSideWalkSATReadsFractionOfScan(t *testing.T) {
 
 // --- fault injection ----------------------------------------------------
 
-// faultDisk fails operations after a countdown (the storage package's
-// failure-injection pattern): -1 means unlimited.
-type faultDisk struct {
-	inner      storage.Disk
-	readsLeft  int
-	writesLeft int
-}
-
-var errInjected = errors.New("injected disk fault")
-
-func (d *faultDisk) ReadPage(id storage.PageID, buf []byte) error {
-	if d.readsLeft == 0 {
-		return errInjected
-	}
-	if d.readsLeft > 0 {
-		d.readsLeft--
-	}
-	return d.inner.ReadPage(id, buf)
-}
-
-func (d *faultDisk) WritePage(id storage.PageID, buf []byte) error {
-	if d.writesLeft == 0 {
-		return errInjected
-	}
-	if d.writesLeft > 0 {
-		d.writesLeft--
-	}
-	return d.inner.WritePage(id, buf)
-}
-
-func (d *faultDisk) AllocatePage(file int32) (storage.PageID, error) {
-	return d.inner.AllocatePage(file)
-}
-func (d *faultDisk) NumPages(file int32) int32 { return d.inner.NumPages(file) }
-func (d *faultDisk) TruncateFile(file int32)   { d.inner.TruncateFile(file) }
-func (d *faultDisk) Stats() storage.DiskStats  { return d.inner.Stats() }
-
 // Side-table maintenance must surface disk errors instead of silently
 // diverging: a read fault mid-loop aborts the search with the injected
 // error.
 func TestSideWalkSATSurfacesReadFaults(t *testing.T) {
-	fd := &faultDisk{inner: storage.NewMemDisk(), readsLeft: -1, writesLeft: -1}
+	fd := storage.NewFaultDisk(storage.NewMemDisk())
 	m := datagen.Example1(1500)
 	d := storeMRF(t, m, db.Config{Disk: fd, BufferPoolPages: 4})
 	w, err := NewSideWalkSAT(context.Background(), d, "clauses", m.NumAtoms, Options{MaxFlips: 50, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fd.readsLeft = 3 // loop's point lookups miss the tiny pool and then fail
-	if _, err := w.Run(context.Background()); !errors.Is(err, errInjected) {
+	fd.FailReadsAfter(3) // loop's point lookups miss the tiny pool and then fail
+	if _, err := w.Run(context.Background()); !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 }
 
 // A write-back fault on a dirty side-table page must surface too.
 func TestSideWalkSATSurfacesWriteFaults(t *testing.T) {
-	fd := &faultDisk{inner: storage.NewMemDisk(), readsLeft: -1, writesLeft: -1}
+	fd := storage.NewFaultDisk(storage.NewMemDisk())
 	m := datagen.Example1(1500)
 	d := storeMRF(t, m, db.Config{Disk: fd, BufferPoolPages: 4})
 	w, err := NewSideWalkSAT(context.Background(), d, "clauses", m.NumAtoms, Options{MaxFlips: 50, Seed: 13})
@@ -525,8 +488,8 @@ func TestSideWalkSATSurfacesWriteFaults(t *testing.T) {
 	// The loop dirties side-table pages; with a 4-frame pool the clause
 	// point reads evict them, forcing latency-free write-backs that now
 	// fail.
-	fd.writesLeft = 0
-	if _, err := w.Run(context.Background()); !errors.Is(err, errInjected) {
+	fd.FailWritesAfter(0)
+	if _, err := w.Run(context.Background()); !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 }
@@ -603,7 +566,7 @@ func TestSideWalkSATCleansUpHelperState(t *testing.T) {
 }
 
 func TestSideWalkSATSetupFailureLeavesNoOrphans(t *testing.T) {
-	fd := &faultDisk{inner: storage.NewMemDisk(), readsLeft: -1, writesLeft: -1}
+	fd := storage.NewFaultDisk(storage.NewMemDisk())
 	m := datagen.Example1(1500)
 	d := storeMRF(t, m, db.Config{Disk: fd, BufferPoolPages: 4})
 	if err := d.Pool().FlushAll(); err != nil {
@@ -624,9 +587,9 @@ func TestSideWalkSATSetupFailureLeavesNoOrphans(t *testing.T) {
 		}
 	}
 	for _, budget := range []int{1, 5, 20, 60} {
-		fd.readsLeft = budget
+		fd.FailReadsAfter(budget)
 		_, err := NewSideWalkSAT(context.Background(), d, "clauses", m.NumAtoms, Options{MaxFlips: 5, Seed: 4})
-		fd.readsLeft = -1
+		fd.FailReadsAfter(-1)
 		if err == nil {
 			break // setup got through on this budget; earlier ones failed
 		}

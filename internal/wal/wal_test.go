@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log has %d records", len(recs))
+	}
+	var lsns []uint64
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(TypeDelta, []byte(fmt.Sprintf("delta-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 5 {
+		t.Fatalf("reopened log has %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != lsns[i] || r.Type != TypeDelta || string(r.Payload) != fmt.Sprintf("delta-%d", i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if l2.NextLSN() != lsns[4]+1 {
+		t.Fatalf("NextLSN = %d, want %d", l2.NextLSN(), lsns[4]+1)
+	}
+}
+
+func TestLogUnsyncedRecordsAreLost(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	if _, err := l.Append(TypeDelta, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(TypeDelta, []byte("buffered only")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: drop the handle without Sync/Close.
+	_, recs := openT(t, path)
+	if len(recs) != 1 || string(recs[0].Payload) != "durable" {
+		t.Fatalf("recovered %d records, want just the synced one", len(recs))
+	}
+}
+
+// Every torn-tail shape — partial frame, flipped payload byte, flipped CRC,
+// trailing garbage — must be detected and truncated, keeping the intact
+// prefix.
+func TestLogTornTailTruncation(t *testing.T) {
+	write := func(t *testing.T, path string) int64 {
+		l, _ := openT(t, path)
+		for i := 0; i < 3; i++ {
+			if _, err := l.Append(TypeDelta, bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		return st.Size()
+	}
+	cases := []struct {
+		name string
+		mut  func(t *testing.T, path string, size int64)
+		want int // surviving records
+	}{
+		{"partial last frame", func(t *testing.T, path string, size int64) {
+			if err := os.Truncate(path, size-30); err != nil {
+				t.Fatal(err)
+			}
+		}, 2},
+		{"corrupt last payload", func(t *testing.T, path string, size int64) {
+			flipByteAt(t, path, size-1)
+		}, 2},
+		{"corrupt middle frame", func(t *testing.T, path string, size int64) {
+			flipByteAt(t, path, size-150) // inside the second frame
+		}, 1},
+		{"trailing garbage", func(t *testing.T, path string, size int64) {
+			f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			f.Write([]byte("garbage after the last frame"))
+			f.Close()
+		}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			size := write(t, path)
+			tc.mut(t, path, size)
+			l, recs := openT(t, path)
+			if len(recs) != tc.want {
+				t.Fatalf("recovered %d records, want %d", len(recs), tc.want)
+			}
+			// The truncated log must accept appends and reopen cleanly.
+			if _, err := l.Append(TypeDelta, []byte("after recovery")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, recs2 := openT(t, path)
+			if len(recs2) != tc.want+1 {
+				t.Fatalf("after append: %d records, want %d", len(recs2), tc.want+1)
+			}
+		})
+	}
+}
+
+func flipByteAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogResetKeepsLSNsMonotone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(TypeDelta, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	next := l.NextLSN()
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Resets() != 1 {
+		t.Fatalf("Resets = %d", l.Resets())
+	}
+	lsn, err := l.Append(TypeDelta, []byte("post-checkpoint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != next {
+		t.Fatalf("post-reset LSN = %d, want %d (monotone across reset)", lsn, next)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, path)
+	if len(recs) != 1 || recs[0].LSN != next {
+		t.Fatalf("reopened: %d records, first LSN %d; want 1 record at %d", len(recs), recs[0].LSN, next)
+	}
+}
+
+// Concurrent committers must coalesce onto shared fsyncs: with N
+// goroutines each appending+syncing, the fsync count lands well under N.
+func TestGroupCommitCoalesces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	defer l.Close()
+	const n = 64
+	lsns := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(TypeDelta, bytes.Repeat([]byte{byte(i)}, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns[i] = lsn
+	}
+	// n committers racing to durability: the first leader's fsync covers
+	// every already-appended LSN, so the rest must piggyback on it.
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(lsn uint64) {
+			defer wg.Done()
+			errs <- l.SyncTo(lsn)
+		}(lsns[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("%d fsyncs for %d commits — want one shared group commit", got, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, path)
+	if len(recs) != n {
+		t.Fatalf("recovered %d records, want %d", len(recs), n)
+	}
+}

@@ -79,6 +79,18 @@ type ServerConfig struct {
 	// evidence update retires the previous epoch's keys (UpdateEvidence
 	// sweeps them) and later identical queries recompute on the new epoch.
 	CacheEntries int
+
+	// DataDir, when set, persists the result cache across restarts: Close
+	// (and CheckpointCache) writes the cached answers to DataDir/cache.tfy,
+	// and Serve reloads them, so a warm-started server answers its working
+	// set from cache immediately. Entries are epoch-keyed, and the cache is
+	// only persisted after the engines' own updates are durable, so a
+	// reloaded entry either matches the recovered epoch (served, bit-
+	// identical) or is tagged with a superseded epoch (unreachable, swept
+	// later). A missing or corrupt cache file starts the cache empty — it
+	// is a cache, never a source of truth. Typically set to the same
+	// directory as EngineConfig.DataDir.
+	DataDir string
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -168,6 +180,9 @@ func Serve(cfg ServerConfig, engines ...*Engine) (*Server, error) {
 	}, s.counters)
 	s.cache = server.NewCache(cfg.CacheEntries, s.counters)
 	s.counters.Epoch.Store(s.generation())
+	if cfg.DataDir != "" && s.cache.Enabled() {
+		s.loadCache()
+	}
 	return s, nil
 }
 
@@ -191,8 +206,17 @@ func (s *Server) Updating() bool {
 func (s *Server) Metrics() ServerMetrics { return s.counters.Snapshot() }
 
 // Close stops admission (subsequent queries return ErrServerClosed),
-// waits for queued and in-flight queries to finish, and returns.
-func (s *Server) Close() { s.sched.Close() }
+// waits for queued and in-flight queries to finish, and — when
+// ServerConfig.DataDir is set — persists the result cache for the next
+// start. The returned error reports only the persistence step; shutdown
+// itself cannot fail.
+func (s *Server) Close() error {
+	s.sched.Close()
+	if s.cfg.DataDir == "" || !s.cache.Enabled() {
+		return nil
+	}
+	return s.CheckpointCache()
+}
 
 // pick returns the least-loaded backend (lowest index on ties).
 func (s *Server) pick() *backend {

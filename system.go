@@ -76,13 +76,18 @@ type System struct {
 //
 // Deprecated: use Open.
 func New(prog *mln.Program, ev *mln.Evidence, cfg Config) *System {
-	eng := Open(prog, ev, EngineConfig{
+	eng, err := Open(prog, ev, EngineConfig{
 		Grounder:          cfg.Grounder,
 		UseClosure:        cfg.UseClosure,
 		MemoryBudgetBytes: cfg.MemoryBudgetBytes,
 		GroundWorkers:     cfg.GroundWorkers,
 		DB:                cfg.DB,
 	})
+	if err != nil {
+		// Open only fails opening a DataDir, and the deprecated Config has
+		// no durable-storage surface, so this path is unreachable.
+		panic(err)
+	}
 	return &System{eng: eng, cfg: cfg, Prog: prog, Ev: ev, DB: eng.DB()}
 }
 

@@ -15,7 +15,7 @@
 //
 //	prog, _ := tuffy.LoadProgramString(src)
 //	ev, _ := tuffy.LoadEvidenceString(prog, evidence)
-//	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+//	eng, _ := tuffy.Open(prog, ev, tuffy.EngineConfig{})
 //	if err := eng.Ground(ctx); err != nil { ... }
 //	res, _ := eng.InferMAP(ctx, tuffy.InferOptions{Seed: 1})
 //	for _, atom := range res.TrueAtoms { fmt.Println(eng.FormatAtom(atom)) }
@@ -126,11 +126,31 @@ type EngineConfig struct {
 	// DB overrides the embedded engine configuration (buffer pool size,
 	// optimizer lesion knobs, disk latency injection).
 	DB db.Config
+
+	// DataDir enables durable storage: the embedded database runs over
+	// page files in DataDir/pages behind a CRC-framed write-ahead log, the
+	// grounded state is snapshotted after Ground and at checkpoints, and
+	// every committed UpdateEvidence is fsynced to the WAL before its epoch
+	// is published. Reopening the same DataDir (with the same program, base
+	// evidence and config) warm-starts the engine serving-ready at the
+	// exact pre-crash epoch, bit-identical to a never-crashed instance.
+	// Empty (the default) keeps everything in memory. See persist.go.
+	DataDir string
+
+	// CheckpointEveryUpdates is the automatic checkpoint cadence when
+	// DataDir is set: after this many committed evidence updates the
+	// grounded state is re-snapshotted and the WAL truncated (0 = default
+	// 16, negative = only explicit Checkpoint calls and Close). Checkpoints
+	// bound recovery replay; between them the WAL carries the deltas.
+	CheckpointEveryUpdates int
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
 	if c.GroundWorkers == 0 {
 		c.GroundWorkers = 1
+	}
+	if c.CheckpointEveryUpdates == 0 {
+		c.CheckpointEveryUpdates = 16
 	}
 	return c
 }
@@ -306,17 +326,37 @@ type Engine struct {
 
 	updating       atomic.Bool
 	updatesApplied atomic.Uint64
+
+	// dur is the durable-storage layer (nil without EngineConfig.DataDir);
+	// its mutable state is guarded by groundMu. See persist.go.
+	dur *durability
 }
 
 // Open creates an Engine over a parsed program and its evidence. Call
 // Ground next (or InferMAP / InferMarginal, which ground on demand).
-func Open(prog *mln.Program, ev *mln.Evidence, cfg EngineConfig) *Engine {
+//
+// With EngineConfig.DataDir set, Open also opens (or creates) the durable
+// store: if the directory holds a snapshot written under the same program,
+// base evidence and config, the engine warm-starts — it comes back
+// serving-ready at the exact epoch the previous process last committed,
+// replaying any evidence deltas the write-ahead log holds past the
+// snapshot, without re-running grounding. A mismatched snapshot (different
+// program or base evidence) is an error, never a silent cold start. Call
+// Close when done to checkpoint and release the files.
+func Open(prog *mln.Program, ev *mln.Evidence, cfg EngineConfig) (*Engine, error) {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, prog: prog, ev: ev, db: db.Open(cfg.DB)}
+	e := &Engine{cfg: cfg, prog: prog, ev: ev}
 	if cfg.MemoEntries >= 0 {
 		e.memo = search.NewComponentMemo(cfg.MemoEntries)
 	}
-	return e
+	if cfg.DataDir == "" {
+		e.db = db.Open(cfg.DB)
+		return e, nil
+	}
+	if err := e.openDurable(); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // LoadProgram parses an MLN program.
@@ -451,10 +491,25 @@ func (e *Engine) ground(ctx context.Context) error {
 		}
 		return err
 	}
+	e.groundTime = time.Since(start)
+	if e.dur != nil && e.inc != nil {
+		// The durability baseline: updates fsync only their deltas, so a
+		// snapshot of the grounded state must exist before any update is
+		// acknowledged. Writing it before the epoch is published keeps
+		// Ground's failure contract — on error the engine is un-grounded
+		// and retryable, and a crash mid-checkpoint reopens cold. The epoch
+		// is not published yet, so the freshly assembled network is handed
+		// to the checkpoint directly.
+		if err := e.checkpointWith(0, false, false, res); err != nil {
+			ts.Drop()
+			e.tables = nil
+			e.inc = nil
+			return fmt.Errorf("tuffy: durable checkpoint after grounding: %w", err)
+		}
+	}
 	ep := &epoch{gen: 0, res: res, db: e.db}
 	ep.refs.Store(1)
 	e.cur.Store(ep)
-	e.groundTime = time.Since(start)
 	return nil
 }
 

@@ -87,7 +87,7 @@ func (e *Engine) rebind(delta mln.Delta) (mln.Delta, error) {
 //
 // Worked example:
 //
-//	eng := tuffy.Open(prog, ev, tuffy.EngineConfig{})
+//	eng, _ := tuffy.Open(prog, ev, tuffy.EngineConfig{})
 //	_ = eng.Ground(ctx)                    // epoch 0
 //	var d mln.Delta
 //	d.Upsert(smokes, []int32{anna}, mln.True)
@@ -102,17 +102,42 @@ func (e *Engine) rebind(delta mln.Delta) (mln.Delta, error) {
 // canceled update returns an error matching ErrCanceled. Updates are
 // serialized with each other and with Ground; queries are never blocked.
 //
+// Durability: with EngineConfig.DataDir set, the delta is appended to the
+// write-ahead log and fsynced before the new epoch is published — once
+// UpdateEvidence returns success, the update survives a crash and is
+// replayed on the next Open. The durable commit happens before the
+// re-ground, so an update that fails after it (e.g. canceled mid-re-ground)
+// is rolled back in memory and scrubbed from the WAL by a checkpoint of the
+// restored state; crash recovery therefore always lands on exactly the pre-
+// or post-update epoch, never in between.
+//
 // UpdateEvidence requires the BottomUp grounder (the incremental path
 // needs per-clause SQL provenance; the top-down baseline has none).
 func (e *Engine) UpdateEvidence(ctx context.Context, delta mln.Delta) (*UpdateResult, error) {
 	e.groundMu.Lock()
 	defer e.groundMu.Unlock()
+	return e.applyUpdate(ctx, delta, true)
+}
+
+// applyUpdate is UpdateEvidence with groundMu held. Recovery replay calls
+// it with durable=false: the deltas being re-applied already sit in the
+// WAL, so logging them again would double them.
+func (e *Engine) applyUpdate(ctx context.Context, delta mln.Delta, durable bool) (*UpdateResult, error) {
 	if e.broken != nil {
 		return nil, fmt.Errorf("tuffy: engine is broken for updates: %w", e.broken)
 	}
 	old := e.cur.Load()
 	if old == nil {
 		return nil, fmt.Errorf("tuffy: UpdateEvidence before Ground")
+	}
+	if e.inc == nil && e.dur != nil && e.dur.pending != nil {
+		// Fast-path warm start: the serving epoch was published straight
+		// from the snapshot; the first update pays for the table and
+		// grounder rebuild here. Failure installs nothing — the update
+		// errors cleanly and a retry materializes again.
+		if err := e.materializePending(); err != nil {
+			return nil, err
+		}
 	}
 	if e.inc == nil {
 		return nil, fmt.Errorf("tuffy: UpdateEvidence requires the BottomUp grounder")
@@ -133,6 +158,25 @@ func (e *Engine) UpdateEvidence(ctx context.Context, delta mln.Delta) (*UpdateRe
 	if err != nil {
 		return nil, err
 	}
+	logged := false
+	if durable && e.dur != nil {
+		// The durable commit point: once the delta frame is fsynced, a
+		// crash anywhere later replays it on the next Open. A failed
+		// append/sync rolls the tables back and, if the frame may have been
+		// buffered, scrubs it with a checkpoint of the restored state.
+		if cerr := e.dur.commitDelta(d); cerr != nil {
+			if rbErr := undo.Rollback(); rbErr != nil {
+				e.broken = fmt.Errorf("rolling back failed update: %v (update error: %w)", rbErr, cerr)
+				return nil, e.broken
+			}
+			if scrubErr := e.scrubWAL(); scrubErr != nil {
+				e.broken = fmt.Errorf("scrubbing WAL after failed commit: %v (update error: %w)", scrubErr, cerr)
+				return nil, e.broken
+			}
+			return nil, fmt.Errorf("tuffy: evidence delta could not be made durable: %w", cerr)
+		}
+		logged = true
+	}
 	res, touchedNew, info, err := e.inc.Reground(ctx, d.Preds())
 	if err != nil {
 		if rbErr := undo.Rollback(); rbErr != nil {
@@ -142,6 +186,15 @@ func (e *Engine) UpdateEvidence(ctx context.Context, delta mln.Delta) (*UpdateRe
 			// state.
 			e.broken = fmt.Errorf("rolling back failed update: %v (update error: %w)", rbErr, err)
 			return nil, e.broken
+		}
+		if logged {
+			// The rolled-back delta is committed in the WAL; a crash now
+			// would resurrect it. Checkpointing the restored state truncates
+			// the orphaned frame, re-aligning disk with memory.
+			if scrubErr := e.scrubWAL(); scrubErr != nil {
+				e.broken = fmt.Errorf("scrubbing WAL after failed update: %v (update error: %w)", scrubErr, err)
+				return nil, e.broken
+			}
 		}
 		if ctx.Err() != nil && errors.Is(err, context.Cause(ctx)) {
 			return nil, search.Canceled(ctx)
@@ -166,6 +219,9 @@ func (e *Engine) UpdateEvidence(ctx context.Context, delta mln.Delta) (*UpdateRe
 		ur.Identical = true
 		ur.UpdateTime = time.Since(start)
 		e.updatesApplied.Add(1)
+		if logged {
+			e.noteCommitted()
+		}
 		return ur, nil
 	}
 
@@ -194,5 +250,8 @@ func (e *Engine) UpdateEvidence(ctx context.Context, delta mln.Delta) (*UpdateRe
 	ur.UpdateTime = time.Since(start)
 	e.updatesApplied.Add(1)
 	old.release()
+	if logged {
+		e.noteCommitted()
+	}
 	return ur, nil
 }

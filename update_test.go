@@ -42,7 +42,7 @@ func mergedEvidence(t *testing.T, base *mln.Evidence, delta mln.Delta) *mln.Evid
 
 func groundedEngine(t *testing.T, prog *mln.Program, ev *mln.Evidence, cfg EngineConfig) *Engine {
 	t.Helper()
-	eng := Open(prog, ev, cfg)
+	eng := mustOpen(t, prog, ev, cfg)
 	if err := eng.Ground(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestUpdateEvidenceRejections(t *testing.T) {
 	ctx := context.Background()
 	ds := rcSmall()
 
-	cold := Open(ds.Prog, ds.Ev.Clone(), EngineConfig{})
+	cold := mustOpen(t, ds.Prog, ds.Ev.Clone(), EngineConfig{})
 	if _, err := cold.UpdateEvidence(ctx, mln.Delta{}); err == nil {
 		t.Fatal("UpdateEvidence before Ground must fail")
 	}
