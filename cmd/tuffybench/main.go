@@ -73,6 +73,7 @@ func main() {
 		{"serve", bench.Serve},
 		{"incground", bench.IncGround},
 		{"recovery", bench.Recovery},
+		{"searchthru", bench.SearchThru},
 	}
 
 	want := strings.ToLower(*exp)

@@ -426,19 +426,24 @@ func (h *handler) reject(w http.ResponseWriter, err error) {
 	writeErr(w, status, err)
 }
 
-// retryAfterSeconds estimates the wait for the whole queue ahead of a
-// retry to drain: queued queries finish at roughly maxInFlight per average
-// query latency. Before any query completes the average defaults to one
-// second; the result is clamped to [1s, 60s] so clients always get a
-// sane, bounded hint.
 func (h *handler) retryAfterSeconds() int64 {
 	m := h.srv.Metrics()
-	avg := m.AvgLatency()
+	return retryAfterHint(m.AvgLatency(), m.Queued+m.InFlight, h.maxInFlight)
+}
+
+// retryAfterHint estimates the wait for the whole queue ahead of a retry
+// to drain: queued queries finish at roughly maxInFlight per average
+// query latency. The average must be the mean of real execution runs
+// only — cache hits and batch-absorbed queries are excluded from
+// Metrics.AvgLatency precisely so this estimate doesn't collapse toward
+// zero under a hit- or batch-heavy mix. Before any query completes the
+// average defaults to one second; the result is clamped to [1s, 60s] so
+// clients always get a sane, bounded hint.
+func retryAfterHint(avg time.Duration, waiting int64, maxInFlight int) int64 {
 	if avg <= 0 {
 		avg = time.Second
 	}
-	waiting := m.Queued + m.InFlight
-	est := avg * time.Duration(waiting+1) / time.Duration(h.maxInFlight)
+	est := avg * time.Duration(waiting+1) / time.Duration(maxInFlight)
 	secs := int64((est + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		name        string
+		avg         time.Duration
+		waiting     int64
+		maxInFlight int
+		want        int64
+	}{
+		// Before any query completes the average defaults to 1s, and the
+		// hint never drops under the 1s floor: a client that retries
+		// immediately would just be rejected again.
+		{"no history", 0, 0, 4, 1},
+		{"fast queries clamp to floor", 10 * time.Millisecond, 2, 4, 1},
+		// Drain estimate: (waiting+1) queries at avg each, maxInFlight at
+		// a time, rounded up to whole seconds.
+		{"mid queue", 2 * time.Second, 7, 4, 4},
+		{"rounds up", time.Second, 4, 4, 2},
+		// Deep queues of slow queries saturate at the 60s ceiling rather
+		// than telling clients to go away for minutes.
+		{"slow deep queue clamps to ceiling", 10 * time.Second, 100, 4, 60},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.avg, c.waiting, c.maxInFlight); got != c.want {
+			t.Errorf("%s: retryAfterHint(%v, %d, %d) = %d, want %d",
+				c.name, c.avg, c.waiting, c.maxInFlight, got, c.want)
+		}
+	}
+}

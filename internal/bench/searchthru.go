@@ -1,0 +1,406 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tuffy"
+	"tuffy/internal/db"
+	"tuffy/internal/db/storage"
+	"tuffy/internal/mln"
+	"tuffy/internal/mrf"
+	"tuffy/internal/partition"
+	"tuffy/internal/search"
+)
+
+// SearchThru measures the three raw-search-throughput fixes as one
+// experiment, each leg against its lesion baseline, with the improvements
+// enforced as CI invariants:
+//
+//   - scan-mix: concurrent sequential scans plus point readers through one
+//     small buffer pool. Declared (scan-resistant) scans must deliver at
+//     least 2x the plain-LRU mix throughput, and the pool's hit/miss
+//     accounting must add up to exactly one count per fetch even while the
+//     scans evict each other.
+//   - schedule: pipelined (balanced) Gauss-Seidel against the class-barrier
+//     schedule on a partition workload with one oversized partition,
+//     I/O-bound like PartParallel. Results must be bit-identical between
+//     both schedules at every worker count; the worker-scaling wall-clock
+//     curve is reported.
+//   - serve-batch: identical tracker-free queries stacked behind a busy
+//     execution slot must collapse into one search pass (Metrics.Batched
+//     counts the absorbed queries) with every answer bit-identical to a
+//     direct Engine call.
+func SearchThru(ctx context.Context, s Scale) (*Table, error) {
+	tab := &Table{
+		Title:  "Raw search throughput: scan resistance, balanced schedule, server batching",
+		Header: []string{"leg", "config", "result", "detail"},
+	}
+	if err := scanMixLeg(tab, s); err != nil {
+		return nil, err
+	}
+	if err := scheduleLeg(ctx, tab, s); err != nil {
+		return nil, err
+	}
+	if err := serveBatchLeg(ctx, tab); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// scanMixLeg runs a fixed scan + point-read mix through an 8-frame pool on
+// a latency-injected disk, with scans declared (scan-resistant placement)
+// and undeclared (the pre-fix plain-LRU behaviour), and enforces the >=2x
+// mix throughput as well as exactly-once fetch accounting.
+//
+// The shape matters: three scanners stream their own files continuously
+// for the whole measured window (no scanner ever re-reads a page another
+// scanner still holds, so no false graduations; three pins plus the
+// reader's leave the 4-page hot set evictable only by policy, never by
+// pin pressure), while one point reader cycles a 4-page hot set starting
+// cold. The measured quantity is the reader's get throughput under that
+// scan pressure: under plain LRU the scanners turn the 8-frame pool over
+// between the reader's revisits, so every point get pays a disk read for
+// the whole run; the scan-resistant pool keeps the probationary scan
+// pages away from the hot set, and after four cold misses the reader runs
+// at memory speed. Scanners loop until the reader finishes, so the churn
+// cannot run out mid-window, and the throughput ratio does not depend on
+// sleep granularity or core count.
+func scanMixLeg(tab *Table, s Scale) error {
+	const (
+		poolFrames = 8
+		bigPages   = 48
+		hotPages   = 4
+		scanners   = 3
+		gets       = 1000
+	)
+	run := func(declared bool) (time.Duration, error) {
+		disk := storage.NewMemDisk()
+		pool := storage.NewBufferPool(disk, poolFrames)
+		rec := make([]byte, 700)
+		fill := func(file int32, pages int) (*storage.HeapFile, error) {
+			h := storage.NewHeapFile(pool, file)
+			for h.NumPages() < int32(pages) {
+				if _, err := h.Insert(rec); err != nil {
+					return nil, err
+				}
+			}
+			return h, nil
+		}
+		bigs := make([]*storage.HeapFile, scanners)
+		for i := range bigs {
+			var err error
+			if bigs[i], err = fill(int32(i+1), bigPages); err != nil {
+				return 0, err
+			}
+		}
+		hot := storage.NewHeapFile(pool, scanners+1)
+		var rids []storage.RecordID // one record per hot page
+		for hot.NumPages() < hotPages {
+			before := hot.NumPages()
+			rid, err := hot.Insert(rec)
+			if err != nil {
+				return 0, err
+			}
+			if hot.NumPages() > before {
+				rids = append(rids, rid)
+			}
+		}
+		if err := pool.FlushAll(); err != nil {
+			return 0, err
+		}
+		// Flush the hot pages out of the pool so both variants start the
+		// measured mix with a cold hot set: one untracked flood pass.
+		err := bigs[0].ScanWith(nil, func(storage.RecordID, []byte) error { return nil })
+		if err != nil {
+			return 0, err
+		}
+		pool.ResetStats()
+		disk.SetLatency(s.DiskLatency)
+
+		var stop atomic.Bool
+		var scanned atomic.Int64
+		var wg sync.WaitGroup
+		errs := make(chan error, scanners)
+		for i := 0; i < scanners; i++ {
+			wg.Add(1)
+			go func(h *storage.HeapFile) {
+				defer wg.Done()
+				for !stop.Load() {
+					var err error
+					if declared {
+						err = h.Scan(func(storage.RecordID, []byte) error { return nil })
+					} else {
+						err = h.ScanWith(nil, func(storage.RecordID, []byte) error { return nil })
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					scanned.Add(bigPages)
+				}
+			}(bigs[i])
+		}
+		// Let the scanners flood the pool before the reader's window opens.
+		for scanned.Load() < 3*poolFrames {
+			time.Sleep(time.Millisecond)
+		}
+		start := time.Now()
+		var readErr error
+		for i := 0; i < gets; i++ {
+			if _, readErr = hot.Get(rids[i%len(rids)]); readErr != nil {
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		stop.Store(true)
+		wg.Wait()
+		close(errs)
+		if readErr != nil {
+			return 0, readErr
+		}
+		for err := range errs {
+			return 0, err
+		}
+		// Exactly-once accounting even under scan-induced eviction: every
+		// fetch of the mix is one hit or one miss, never both or neither
+		// (scan-cursor fetches count in the same totals, classified into
+		// the ScanHits/ScanMisses subsets).
+		fetches := scanned.Load() + gets
+		st := pool.Stats()
+		if st.Hits+st.Misses != fetches {
+			return 0, fmt.Errorf("searchthru: pool counted %d fetches, want %d (hits %d + misses %d)",
+				st.Hits+st.Misses, fetches, st.Hits, st.Misses)
+		}
+		return elapsed, nil
+	}
+
+	baseDur, err := run(false)
+	if err != nil {
+		return err
+	}
+	resDur, err := run(true)
+	if err != nil {
+		return err
+	}
+	baseRate := float64(gets) / baseDur.Seconds()
+	resRate := float64(gets) / resDur.Seconds()
+	speedup := resRate / baseRate
+	if speedup < 2 {
+		return fmt.Errorf("searchthru: scan-resistant point throughput only %.2fx plain LRU (want >= 2x): %v vs %v",
+			speedup, resDur, baseDur)
+	}
+	mix := fmt.Sprintf("%d-frame pool, %d streaming scanners + %d point gets", poolFrames, scanners, gets)
+	tab.Rows = append(tab.Rows,
+		[]string{"scan-mix", "plain LRU (lesion)", fmtDur(baseDur), fmtRate(baseRate) + " gets/s"},
+		[]string{"scan-mix", "scan-resistant", fmtDur(resDur), fmtRate(resRate) + " gets/s"},
+		[]string{"scan-mix", mix, fmt.Sprintf("%.0fx", speedup), ">=2x enforced"},
+	)
+	return nil
+}
+
+// chainBlocksUnevenMRF is chainBlocksMRF with per-block sizes, so one
+// oversized block yields the one-giant-partition shape whose class barrier
+// the balanced schedule removes. beta is sized to the largest block.
+func chainBlocksUnevenMRF(sizes []int) (*mrf.MRF, int) {
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	m := mrf.New(total)
+	add := func(w float64, lits ...mrf.Lit) {
+		if err := m.AddClause(w, lits...); err != nil {
+			panic(err)
+		}
+	}
+	base, beta := 0, 0
+	for b, n := range sizes {
+		for i := 0; i < n; i++ {
+			a := mrf.AtomID(base + i + 1)
+			add(1, a)
+			if i > 0 {
+				prev := mrf.AtomID(base + i)
+				add(2, -prev, a)
+				add(2, prev, -a)
+			}
+		}
+		if b > 0 {
+			add(0.5, mrf.AtomID(base), mrf.AtomID(base+1))
+		}
+		if units := n + n + 4*(n-1) + 4; units > beta {
+			beta = units
+		}
+		base += n
+	}
+	return m, beta
+}
+
+// scheduleLeg compares the balanced pipelined Gauss-Seidel schedule with
+// the class-barrier lesion on an uneven partition workload, disk-resident
+// clauses, enforcing bit-identity and reporting the worker curve.
+func scheduleLeg(ctx context.Context, tab *Table, s Scale) error {
+	sizes := []int{320, 80, 80, 80, 80, 80, 80, 80, 80}
+	m, beta := chainBlocksUnevenMRF(sizes)
+	pt := partition.Algorithm3(m, beta)
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	if pt.NumCut() == 0 || len(pt.Parts) < 3 {
+		return fmt.Errorf("searchthru: uneven workload did not partition (%d parts, %d cut)", len(pt.Parts), pt.NumCut())
+	}
+
+	type key struct {
+		cost  float64
+		flips int64
+	}
+	var want key
+	var wantState []bool
+	first := true
+	workerCounts := []int{1, 2, 4, 8}
+	for _, barrier := range []bool{true, false} {
+		name := "balanced"
+		if barrier {
+			name = "barrier (lesion)"
+		}
+		row := []string{"schedule", name}
+		for _, w := range workerCounts {
+			disk := storage.NewMemDisk()
+			d := db.Open(db.Config{Disk: disk, BufferPoolPages: 8})
+			store, err := search.StorePartitions(d, pt, "thru")
+			if err != nil {
+				return err
+			}
+			if err := d.Pool().FlushAll(); err != nil {
+				return err
+			}
+			disk.SetLatency(20 * s.DiskLatency)
+			start := time.Now()
+			res, err := search.GaussSeidel(ctx, pt, search.GaussSeidelOptions{
+				Base:         search.Options{MaxFlips: 2000, Seed: 7},
+				Rounds:       3,
+				Parallelism:  w,
+				Clauses:      store,
+				ClassBarrier: barrier,
+			})
+			if err != nil {
+				return err
+			}
+			dur := time.Since(start)
+			got := key{res.BestCost, res.Flips}
+			if first {
+				want, wantState, first = got, res.Best, false
+			} else if got != want || !boolsEqual(res.Best, wantState) {
+				return fmt.Errorf("searchthru: %s @%d workers diverges (cost %v flips %d, want %v/%d)",
+					name, w, got.cost, got.flips, want.cost, want.flips)
+			}
+			row = append(row, fmtDur(dur))
+		}
+		tab.Rows = append(tab.Rows, append(row[:2:2],
+			fmt.Sprintf("1w %s / 2w %s / 4w %s / 8w %s", row[2], row[3], row[4], row[5]),
+			"bit-identical enforced"))
+	}
+	return nil
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// serveBatchLeg stacks identical queries behind an occupied execution slot
+// and requires the server to answer all but one of them by absorbing the
+// single leader run, every answer bit-identical to the direct Engine call.
+func serveBatchLeg(ctx context.Context, tab *Table) error {
+	// A contradictory program keeps the violated set non-empty, so the
+	// blocker query reliably spins through its whole flip budget while the
+	// identical followers stack up in the queue.
+	prog, err := tuffy.LoadProgramString(`
+thing = {A, B, C, D, E, F, G, H}
+p(thing)
+1 p(x)
+1 !p(x)
+`)
+	if err != nil {
+		return err
+	}
+	eng, err := tuffy.Open(prog, mln.NewEvidence(prog), tuffy.EngineConfig{MemoEntries: -1})
+	if err != nil {
+		return err
+	}
+	if err := eng.Ground(ctx); err != nil {
+		return err
+	}
+	req := tuffy.Request{Options: tuffy.InferOptions{MaxFlips: 500, Seed: 6}}
+	want, err := eng.InferMAP(ctx, req.Options)
+	if err != nil {
+		return err
+	}
+
+	const followers = 6
+	srv, err := tuffy.Serve(tuffy.ServerConfig{MaxInFlight: 1, MaxQueue: 64, CacheEntries: -1}, eng)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, err := srv.InferMAP(ctx, tuffy.Request{Options: tuffy.InferOptions{MaxFlips: 500_000, Seed: 1}})
+		blockerDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Metrics().InFlight == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := srv.InferMAP(ctx, req)
+			if err != nil {
+				errs <- fmt.Errorf("searchthru: batched query %d: %w", i, err)
+				return
+			}
+			if res.Cost != want.Cost || res.Flips != want.Flips || !boolsEqual(res.State, want.State) {
+				errs <- fmt.Errorf("searchthru: batched query %d diverges from direct engine call", i)
+			}
+		}(i)
+	}
+	for srv.Metrics().Queued < followers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := srv.Metrics().Queued; q != followers {
+		return fmt.Errorf("searchthru: staging failed, %d queued of %d", q, followers)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	if err := <-blockerDone; err != nil {
+		return err
+	}
+	m := srv.Metrics()
+	if m.Batched != followers-1 {
+		return fmt.Errorf("searchthru: Batched = %d, want %d (one leader run for %d identical queries)",
+			m.Batched, followers-1, followers)
+	}
+	tab.Rows = append(tab.Rows, []string{
+		"serve-batch",
+		fmt.Sprintf("%d identical queued, 1 slot", followers),
+		fmt.Sprintf("1 run + %d absorbed", m.Batched),
+		"bit-identical enforced",
+	})
+	return nil
+}

@@ -129,9 +129,9 @@ func Serve(ctx context.Context, s Scale) (*Table, error) {
 				}
 			}
 			total := clients * perClient
-			if m.Completed+m.CacheHits != int64(total) {
-				return nil, fmt.Errorf("serve (%d clients, cache %s): %d completed + %d hits != %d issued",
-					clients, label, m.Completed, m.CacheHits, total)
+			if m.Completed+m.Batched+m.CacheHits != int64(total) {
+				return nil, fmt.Errorf("serve (%d clients, cache %s): %d completed + %d batched + %d hits != %d issued",
+					clients, label, m.Completed, m.Batched, m.CacheHits, total)
 			}
 			if cached && clients >= 4 && m.CacheHits == 0 {
 				return nil, fmt.Errorf("serve (%d clients): cache on but no hits over %d repeat queries", clients, total)

@@ -291,12 +291,34 @@ func (h *HeapFile) UpdateBatch(rids []RecordID, recs [][]byte) ([][]byte, error)
 // Scan calls fn for every live record in file order. The byte slice passed
 // to fn aliases the page buffer and is only valid during the call. Returning
 // a non-nil error stops the scan (ErrStopScan stops without error).
+//
+// A Scan of a file larger than a quarter of the buffer pool declares
+// itself as a sequential scan: pages it fetches land on the pool's scan
+// list and are recycled before any point-read frame, so concurrent big
+// scans cannot evict each other's (or a point reader's) working set. Scans
+// of smaller files keep plain recency placement — a repeatedly re-scanned
+// small table (the violated-clause side table, a partition's clause table)
+// is a hot working set, not a stream, and must stay cacheable.
 func (h *HeapFile) Scan(fn func(rid RecordID, rec []byte) error) error {
+	if int(h.NumPages()) > h.pool.Capacity()/4 {
+		sc := h.pool.BeginScan()
+		defer h.pool.EndScan(sc)
+		return h.ScanWith(sc, fn)
+	}
+	return h.ScanWith(nil, fn)
+}
+
+// ScanWith is Scan through a caller-owned cursor, so one pass's page fetch
+// accounting is observable (and a cursor can be reused across passes to
+// accumulate). A nil cursor runs the scan with plain point fetches — the
+// pre-scan-resistant LRU behaviour, kept as the lesion baseline the
+// searchthru benchmark measures against.
+func (h *HeapFile) ScanWith(sc *ScanCursor, fn func(rid RecordID, rec []byte) error) error {
 	h.scans.Add(1)
 	n := h.pool.disk.NumPages(h.file)
 	for num := int32(0); num < n; num++ {
 		id := PageID{File: h.file, Num: num}
-		pg, err := h.pool.Fetch(id)
+		pg, err := h.pool.FetchScan(id, sc)
 		if err != nil {
 			return err
 		}

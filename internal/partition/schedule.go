@@ -1,0 +1,71 @@
+package partition
+
+// This file derives the balanced (pipelined) schedule for Gauss-Seidel
+// rounds from the coloring. The class-barrier schedule runs one color class
+// at a time, so a class containing one huge partition bounds the class's
+// wall-clock: every worker idles until the giant finishes. But the barrier
+// is stronger than the data flow requires. A partition's conditioned
+// sub-problem reads only its own atoms and the atoms of partitions it
+// shares a cut clause with, so partition p of round t may start as soon as
+//
+//   - every neighbour with a smaller color has merged its round-t result
+//     (Gauss-Seidel order within the round), and
+//   - p itself and every neighbour with a larger color have merged their
+//     round t-1 results (their atoms must hold the previous round's values
+//     and must not change mid-run).
+//
+// Merging still happens in one canonical sequence — classes in ascending
+// color order, ascending partition index within a class, rounds in order —
+// exactly the class-barrier merge order. Every run therefore sees exactly
+// the frozen inputs the sequential sweep would give it, and the merged
+// trajectory (best state, best cost, tracker records, flip totals) is
+// bit-identical to the barrier schedule at every worker count; only the
+// wall-clock schedule of the runs changes. Dispatching ready partitions
+// largest-first (LPT) lets an oversized partition start the moment its
+// dependencies allow while smaller ready partitions fill the other workers.
+type Schedule struct {
+	*Coloring
+	// Neighbors is the partition interaction graph: q is a neighbour of p
+	// iff some cut clause spans both (see InteractionGraph).
+	Neighbors [][]int32
+	// Weight is each partition's size in Algorithm 3 units — the dispatch
+	// priority: among ready partitions, heavier ones start first.
+	Weight []int
+	// Order is the canonical within-round merge order: classes ascending,
+	// partition index ascending within a class. It is the exact order the
+	// class-barrier schedule merges in.
+	Order []int
+}
+
+// BuildSchedule computes the dependency structure for pipelined
+// Gauss-Seidel rounds. It never mutates pt and the result is immutable, so
+// one Schedule can serve concurrent searches of the same Partitioning.
+func (pt *Partitioning) BuildSchedule() *Schedule {
+	s := &Schedule{
+		Coloring:  pt.ColorParts(),
+		Neighbors: pt.InteractionGraph(),
+		Weight:    make([]int, len(pt.Parts)),
+	}
+	for pi, p := range pt.Parts {
+		s.Weight[pi] = p.SizeUnits
+	}
+	for _, class := range s.Classes {
+		s.Order = append(s.Order, class...)
+	}
+	return s
+}
+
+// EarlierDeps returns how many of pi's neighbours carry a smaller color —
+// the partitions whose same-round merges must land before pi may run. In
+// the first round these are pi's only dependencies; in later rounds pi
+// additionally waits for its own and every remaining neighbour's previous-
+// round merge.
+func (s *Schedule) EarlierDeps(pi int) int {
+	n := 0
+	for _, q := range s.Neighbors[pi] {
+		if s.Color[q] < s.Color[pi] {
+			n++
+		}
+	}
+	return n
+}

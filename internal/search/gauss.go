@@ -3,7 +3,9 @@ package search
 import (
 	"context"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tuffy/internal/mrf"
@@ -30,14 +32,22 @@ type GaussSeidelOptions struct {
 	// Rounds is T in the paper's scheme: how many sweeps over the
 	// partitions to run.
 	Rounds int
-	// Parallelism is the number of concurrent partition searches within one
-	// color class (1 = sequential). Partitions that share a cut clause are
-	// never run together, and per-class results merge in partition-ID
-	// order, so the result is bit-identical for every value.
+	// Parallelism is the number of concurrent partition searches (1 =
+	// sequential). Partitions that share a cut clause are never run
+	// together, and results merge in one canonical order, so the result is
+	// bit-identical for every value.
 	Parallelism int
 	// Clauses optionally serves internal clauses per visit (disk-resident
 	// partitions); nil searches the in-RAM copies.
 	Clauses ClauseSource
+	// ClassBarrier forces the legacy lock-step schedule: one color class at
+	// a time with a full barrier between classes. The default (false) is
+	// the balanced pipelined schedule, which starts a partition as soon as
+	// its cut neighbours' merges allow and dispatches ready partitions
+	// largest-first, so one oversized partition no longer serializes its
+	// whole class. Both schedules produce bit-identical results; the
+	// barrier is kept as the lesion baseline for benchmarks.
+	ClassBarrier bool
 }
 
 // gsCut is one cut clause as seen from one partition: the literals over the
@@ -103,17 +113,22 @@ func runClass(class []int, workers int, fn func(pi int)) {
 // partition under the frozen external assignment) — an instance of the
 // Gauss-Seidel method from nonlinear optimization [Bertsekas & Tsitsiklis].
 //
-// Rounds are executed color class by color class over the partition
-// interaction graph: partitions within a class share no cut clause, so
-// running them concurrently under the frozen external assignment computes
-// exactly the sequential projections (Jacobi within a color, Gauss-Seidel
-// across colors). Each class's results merge into the global state in
-// ascending partition order and the global cost is updated incrementally
-// from only the touched clauses, so the best state, best cost and tracker
-// trajectory are identical for every Parallelism value.
+// Rounds are scheduled over the colored partition interaction graph:
+// partitions sharing a cut clause never run together, and every partition
+// starts only once the merges its frozen inputs depend on have landed
+// (Jacobi within a color, Gauss-Seidel across colors — see
+// partition.BuildSchedule for the exact dependency rule). Results merge
+// into the global state in one canonical order — classes ascending,
+// partition index ascending within a class, rounds in order — and the
+// global cost is updated incrementally from only the touched clauses, so
+// the best state, best cost and tracker trajectory are identical for every
+// Parallelism value and for both schedules (balanced and ClassBarrier).
+// The balanced default pipelines across class and round boundaries with
+// largest-first dispatch, so a class's one huge partition overlaps the
+// rest of the sweep instead of serializing it.
 //
-// A canceled context stops the sweep at the next class boundary (partitions
-// mid-run stop early themselves and their best-so-far is merged), returning
+// A canceled context stops dispatching partition runs (partitions mid-run
+// stop early themselves and their best-so-far is merged), returning
 // ErrCanceled with the best global state found before the stop. GaussSeidel
 // never mutates pt, so one Partitioning can serve concurrent searches.
 func GaussSeidel(ctx context.Context, pt *partition.Partitioning, opts GaussSeidelOptions) (*ComponentResult, error) {
@@ -179,7 +194,7 @@ func GaussSeidel(ctx context.Context, pt *partition.Partitioning, opts GaussSeid
 		parts[pi] = g
 	}
 
-	coloring := pt.ColorParts()
+	sched := pt.BuildSchedule()
 
 	// Incremental global cost: violated-hard count plus soft cost, seeded
 	// with one full scan of the initial state and updated per merge from
@@ -316,21 +331,191 @@ func GaussSeidel(ctx context.Context, pt *partition.Partitioning, opts GaussSeid
 			Elapsed:  time.Since(start),
 		}
 	}
-	for round := 0; round < opts.Rounds; round++ {
-		for _, class := range coloring.Classes {
-			round := round
-			runClass(class, opts.Parallelism, func(pi int) { runPart(round, pi) })
-			for _, pi := range class {
-				if err := parts[pi].err; err != nil {
-					return nil, err
+	if opts.ClassBarrier {
+		for round := 0; round < opts.Rounds; round++ {
+			for _, class := range sched.Classes {
+				round := round
+				runClass(class, opts.Parallelism, func(pi int) { runPart(round, pi) })
+				for _, pi := range class {
+					if err := parts[pi].err; err != nil {
+						return nil, err
+					}
+					merge(pi)
+					parts[pi].best = nil // consumed; do not re-merge next round
 				}
-				merge(pi)
-				parts[pi].best = nil // consumed; do not re-merge next round
-			}
-			if ctx.Err() != nil {
-				return result(), Canceled(ctx)
+				if ctx.Err() != nil {
+					return result(), Canceled(ctx)
+				}
 			}
 		}
+		return result(), nil
+	}
+
+	if err := runPipelined(ctx, sched, opts.Rounds, opts.Parallelism, runPart, func(pi int) error {
+		if err := parts[pi].err; err != nil {
+			return err
+		}
+		merge(pi)
+		parts[pi].best = nil // consumed; do not re-merge next round
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return result(), Canceled(ctx)
 	}
 	return result(), nil
+}
+
+// runPipelined executes rounds*P partition runs on up to workers goroutines
+// under the balanced schedule: job (round, pi) is dispatched once the
+// merges its frozen inputs depend on have landed, ready jobs go out
+// largest-first (LPT), and mergeFn is invoked in the canonical sequence —
+// Schedule.Order within a round, rounds in order — on the caller's
+// goroutine only. The dependency rule (see partition.BuildSchedule)
+// guarantees each run reads exactly the global state the sequential sweep
+// would give it while non-neighbouring merges proceed concurrently, so
+// results are bit-identical to the class-barrier schedule for every worker
+// count. A mergeFn error aborts the pipeline after in-flight runs drain
+// (runs not yet started are skipped).
+func runPipelined(ctx context.Context, sched *partition.Schedule, rounds, workers int, runFn func(round, pi int), mergeFn func(pi int) error) error {
+	p := len(sched.Order)
+	if workers > p {
+		workers = p
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	total := rounds * p
+
+	// Merges of round t only release runs of rounds t and t+1, and merges
+	// land strictly in round order at the canonical head, so the live
+	// dependency state never spans more than two adjacent rounds. A rolling
+	// two-round window (indexed by round parity) keeps memory and channel
+	// buffers O(p) however many rounds the sweep runs.
+	//
+	// deps[t%2][pi] = merges that must land before run (t, pi) may start:
+	// first round, the smaller-colored neighbours' same-round merges; later
+	// rounds, additionally the partition's own and every remaining
+	// neighbour's previous-round merge.
+	var deps [2][]int
+	runFlag := [2][]bool{make([]bool, p), make([]bool, p)}
+	deps[0] = make([]int, p)
+	deps[1] = make([]int, p)
+	initRound := func(t int) {
+		w := t % 2
+		for pi := 0; pi < p; pi++ {
+			if t == 0 {
+				deps[w][pi] = sched.EarlierDeps(pi)
+			} else {
+				deps[w][pi] = 1 + len(sched.Neighbors[pi])
+			}
+			runFlag[w][pi] = false
+		}
+	}
+	initRound(0)
+	if rounds > 1 {
+		initRound(1)
+	}
+
+	// At most the two window rounds' jobs are ever dispatched and
+	// unmerged, so 2p-buffered channels never block either side.
+	work := make(chan int, 2*p)
+	done := make(chan int, 2*p)
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				if !abort.Load() {
+					runFn(j/p, j%p)
+				}
+				done <- j
+			}
+		}()
+	}
+	defer func() {
+		close(work)
+		wg.Wait()
+	}()
+
+	// dispatch releases a batch of ready jobs, heaviest partition first so
+	// an oversized partition starts the moment its dependencies clear
+	// (ties break on job order for determinism of the dispatch sequence;
+	// results do not depend on it).
+	dispatch := func(ready []int) {
+		sort.Slice(ready, func(a, b int) bool {
+			wa, wb := sched.Weight[ready[a]%p], sched.Weight[ready[b]%p]
+			if wa != wb {
+				return wa > wb
+			}
+			return ready[a] < ready[b]
+		})
+		for _, j := range ready {
+			work <- j
+		}
+	}
+	initial := make([]int, 0, p)
+	for pi := 0; pi < p; pi++ {
+		if deps[0][pi] == 0 {
+			initial = append(initial, pi)
+		}
+	}
+	dispatch(initial)
+
+	merged, head := 0, 0 // head indexes the canonical merge sequence
+	for merged < total {
+		j := <-done
+		if ctx.Err() != nil {
+			// Cancellation stops dispatching: in-flight runs observe ctx
+			// themselves and return promptly; queued ones are skipped via
+			// abort. The caller reports the globals merged so far.
+			abort.Store(true)
+			return nil
+		}
+		runFlag[(j/p)%2][j%p] = true
+		var released []int
+		for head < total {
+			t := head / p
+			pi := sched.Order[head%p]
+			if !runFlag[t%2][pi] {
+				break
+			}
+			if err := mergeFn(pi); err != nil {
+				abort.Store(true)
+				return err
+			}
+			merged++
+			head++
+			// The landed merge satisfies one dependency of each job that
+			// waits on it.
+			release := func(dj int) {
+				w := (dj / p) % 2
+				deps[w][dj%p]--
+				if deps[w][dj%p] == 0 {
+					released = append(released, dj)
+				}
+			}
+			for _, q := range sched.Neighbors[pi] {
+				if sched.Color[q] > sched.Color[pi] {
+					release(t*p + int(q))
+				} else if t+1 < rounds {
+					release((t+1)*p + int(q))
+				}
+			}
+			if t+1 < rounds {
+				release((t+1)*p + pi)
+			}
+			if head%p == 0 && t+2 < rounds {
+				// Round t is fully merged; recycle its window slot for
+				// round t+2, whose first releases come from round t+1's
+				// merges (all still ahead of the head).
+				initRound(t + 2)
+			}
+		}
+		dispatch(released)
+	}
+	return nil
 }

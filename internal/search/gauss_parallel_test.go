@@ -57,6 +57,49 @@ func TestGaussSeidelParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestGaussSeidelBalancedMatchesBarrier pins the balanced pipelined
+// schedule to the legacy class-barrier schedule: identical best state,
+// cost, flip count, and tracker trajectory at every worker count. The
+// barrier path is the lesion baseline — only wall-clock may differ.
+func TestGaussSeidelBalancedMatchesBarrier(t *testing.T) {
+	m := datagen.Example2(6)
+	pt := partition.Algorithm3(m, 50)
+	if pt.NumCut() == 0 {
+		t.Fatal("workload has no cut clauses")
+	}
+	run := func(barrier bool, parallelism int) (*ComponentResult, []float64) {
+		tr := NewTracker()
+		res, err := GaussSeidel(context.Background(), pt, GaussSeidelOptions{
+			Base:         Options{MaxFlips: 3000, Seed: 11, Tracker: tr},
+			Rounds:       3,
+			Parallelism:  parallelism,
+			ClassBarrier: barrier,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var costs []float64
+		for _, p := range tr.Points() {
+			costs = append(costs, p.Cost)
+		}
+		return res, costs
+	}
+	base, baseCosts := run(true, 1)
+	for _, p := range []int{1, 2, 4, 8} {
+		res, costs := run(false, p)
+		if res.BestCost != base.BestCost || res.Flips != base.Flips {
+			t.Fatalf("balanced @%d workers: cost %v flips %d, barrier %v/%d",
+				p, res.BestCost, res.Flips, base.BestCost, base.Flips)
+		}
+		if !reflect.DeepEqual(res.Best, base.Best) {
+			t.Fatalf("balanced @%d workers: final state differs from barrier", p)
+		}
+		if !reflect.DeepEqual(costs, baseCosts) {
+			t.Fatalf("balanced @%d workers: trajectory differs: %v vs %v", p, costs, baseCosts)
+		}
+	}
+}
+
 func TestGaussSeidelParallelReachesOptimum(t *testing.T) {
 	m := datagen.Example2(5)
 	want := OptimalCost(m)

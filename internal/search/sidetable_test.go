@@ -588,10 +588,16 @@ func TestSideWalkSATSetupFailureLeavesNoOrphans(t *testing.T) {
 	}
 	for _, budget := range []int{1, 5, 20, 60} {
 		fd.FailReadsAfter(budget)
-		_, err := NewSideWalkSAT(context.Background(), d, "clauses", m.NumAtoms, Options{MaxFlips: 5, Seed: 4})
+		w, err := NewSideWalkSAT(context.Background(), d, "clauses", m.NumAtoms, Options{MaxFlips: 5, Seed: 4})
 		fd.FailReadsAfter(-1)
 		if err == nil {
-			break // setup got through on this budget; earlier ones failed
+			// Setup got through on this budget; earlier ones failed. Run
+			// the search so it releases its (legitimate) helper tables
+			// before the orphan checks below.
+			if _, err := w.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			break
 		}
 		checkClean(fmt.Sprintf("read budget %d", budget))
 	}

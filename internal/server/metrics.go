@@ -15,6 +15,7 @@ type Counters struct {
 	RejectedBudget atomic.Int64 // rejected: per-query budget exceeded
 	Expired        atomic.Int64 // abandoned in queue (ctx done before a slot freed)
 	Completed      atomic.Int64 // queries that ran to completion (incl. canceled runs)
+	Batched        atomic.Int64 // queries completed by absorbing a same-key leader's result
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
 
@@ -38,6 +39,7 @@ type Metrics struct {
 	RejectedBudget int64 `json:"rejectedBudget"`
 	Expired        int64 `json:"expiredInQueue"`
 	Completed      int64 `json:"completed"`
+	Batched        int64 `json:"batched"`
 	CacheHits      int64 `json:"cacheHits"`
 	CacheMisses    int64 `json:"cacheMisses"`
 
@@ -62,6 +64,7 @@ func (c *Counters) Snapshot() Metrics {
 		RejectedBudget: c.RejectedBudget.Load(),
 		Expired:        c.Expired.Load(),
 		Completed:      c.Completed.Load(),
+		Batched:        c.Batched.Load(),
 		CacheHits:      c.CacheHits.Load(),
 		CacheMisses:    c.CacheMisses.Load(),
 		Queued:         c.Queued.Load(),
@@ -76,15 +79,19 @@ func (c *Counters) Snapshot() Metrics {
 	}
 }
 
-// AvgQueueWait is the mean admission-to-execution wait per completed query.
+// AvgQueueWait is the mean admission-to-completion wait per query that
+// left the queue with an answer — executed or batch-absorbed.
 func (m Metrics) AvgQueueWait() time.Duration {
-	if m.Completed == 0 {
-		return 0
+	if n := m.Completed + m.Batched; n > 0 {
+		return m.QueueWait / time.Duration(n)
 	}
-	return m.QueueWait / time.Duration(m.Completed)
+	return 0
 }
 
-// AvgLatency is the mean execution time per completed query.
+// AvgLatency is the mean execution time per executed query. Batch-absorbed
+// queries and cache hits never consume an execution slot and are excluded,
+// so the average keeps estimating the cost of a real inference run (the
+// Retry-After heuristic in cmd/tuffyd depends on that).
 func (m Metrics) AvgLatency() time.Duration {
 	if m.Completed == 0 {
 		return 0

@@ -27,12 +27,20 @@ const (
 )
 
 // task is one admitted query waiting for (or holding) an execution slot.
+// A task submitted through SubmitShared additionally carries a batch key
+// and an absorb callback: when another task with the same key finishes
+// first and publishes its result, the queued task is completed with that
+// result instead of ever executing.
 type task struct {
 	run      func()
 	pri      int // lane index, for removal on abandon
 	state    atomic.Int32
 	enqueued time.Time
 	finished chan struct{}
+
+	key       string             // batch key ("" = never batched)
+	runShared func() (any, bool) // leader role: result + publish flag
+	absorb    func(any)          // follower role: receive a leader's result
 }
 
 // SchedulerConfig bounds the scheduler.
@@ -107,13 +115,32 @@ func (s *Scheduler) Config() SchedulerConfig { return s.cfg }
 // A nil return means run was executed; run communicates its own outcome
 // through captured variables.
 func (s *Scheduler) Submit(ctx context.Context, priority int, run func()) error {
-	if priority < 0 {
-		priority = 0
+	return s.submit(ctx, &task{run: run, pri: priority})
+}
+
+// SubmitShared is Submit for queries whose answers are interchangeable
+// when they carry the same non-empty batch key (same canonical options,
+// same epoch): if a worker finishes a same-key task while this one is
+// still queued, the queued task never executes — absorb is invoked with
+// the finished task's result and Submit returns as if it had run. The
+// task's own run returns its result plus a publish flag; only a published
+// result (complete, current-epoch) is handed to queued followers. Absorbed
+// tasks count toward the Batched counter, not Completed, so AvgLatency
+// keeps measuring real executions only.
+func (s *Scheduler) SubmitShared(ctx context.Context, priority int, key string, run func() (any, bool), absorb func(any)) error {
+	return s.submit(ctx, &task{runShared: run, key: key, absorb: absorb, pri: priority})
+}
+
+func (s *Scheduler) submit(ctx context.Context, t *task) error {
+	if t.pri < 0 {
+		t.pri = 0
 	}
-	if priority >= s.cfg.Lanes {
-		priority = s.cfg.Lanes - 1
+	if t.pri >= s.cfg.Lanes {
+		t.pri = s.cfg.Lanes - 1
 	}
-	t := &task{run: run, pri: priority, enqueued: time.Now(), finished: make(chan struct{})}
+	priority := t.pri
+	t.enqueued = time.Now()
+	t.finished = make(chan struct{})
 
 	s.mu.Lock()
 	if s.closed {
@@ -207,11 +234,53 @@ func (s *Scheduler) worker() {
 		s.metrics.QueueWaitNanos.Add(time.Since(t.enqueued).Nanoseconds())
 		s.metrics.InFlight.Add(1)
 		start := time.Now()
-		t.run()
+		var shared any
+		var publish bool
+		if t.runShared != nil {
+			shared, publish = t.runShared()
+		} else {
+			t.run()
+		}
 		s.metrics.LatencyNanos.Add(time.Since(start).Nanoseconds())
 		s.metrics.InFlight.Add(-1)
 		s.metrics.Completed.Add(1)
 		close(t.finished)
+		if publish && t.key != "" {
+			s.absorbKey(t.key, shared)
+		}
+	}
+}
+
+// absorbKey completes every still-queued task carrying the given batch key
+// with the leader's published result: each is claimed (the same CAS that
+// arbitrates against abandonment), removed from its lane, handed the value
+// through its absorb callback, and counted as Batched — it waited like any
+// admitted query but never consumed an execution slot.
+func (s *Scheduler) absorbKey(key string, v any) {
+	var followers []*task
+	s.mu.Lock()
+	for pri, lane := range s.lanes {
+		kept := lane[:0]
+		for _, q := range lane {
+			if q.key == key && q.absorb != nil && q.state.CompareAndSwap(taskQueued, taskClaimed) {
+				followers = append(followers, q)
+				s.queued--
+			} else {
+				kept = append(kept, q)
+			}
+		}
+		for i := len(kept); i < len(lane); i++ {
+			lane[i] = nil
+		}
+		s.lanes[pri] = kept
+	}
+	s.mu.Unlock()
+	for _, q := range followers {
+		s.metrics.Queued.Add(-1)
+		s.metrics.QueueWaitNanos.Add(time.Since(q.enqueued).Nanoseconds())
+		s.metrics.Batched.Add(1)
+		q.absorb(v)
+		close(q.finished)
 	}
 }
 

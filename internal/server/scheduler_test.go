@@ -247,3 +247,128 @@ func TestSchedulerQueueWaitMetric(t *testing.T) {
 		t.Fatalf("derived metrics broken: %+v", snap)
 	}
 }
+
+// A finished SubmitShared task must complete every queued same-key task
+// with its published result — across lanes — while differently-keyed,
+// unkeyed, and unpublished tasks all execute themselves.
+func TestSchedulerBatchAbsorption(t *testing.T) {
+	m := &Counters{}
+	s := NewScheduler(SchedulerConfig{Workers: 1, MaxQueue: 16, Lanes: 2}, m)
+	defer s.Close()
+
+	g := newGate()
+	go s.Submit(context.Background(), 0, g.run) // hold the only worker
+	<-g.entered
+
+	var mu sync.Mutex
+	executed := map[string]int{}
+	absorbed := map[string][]any{}
+	var wg sync.WaitGroup
+	shared := func(pri int, tag, key string, v any, publish bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := s.SubmitShared(context.Background(), pri, key, func() (any, bool) {
+				mu.Lock()
+				executed[tag]++
+				mu.Unlock()
+				return v, publish
+			}, func(got any) {
+				mu.Lock()
+				absorbed[tag] = append(absorbed[tag], got)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Errorf("submit %s: %v", tag, err)
+			}
+		}()
+	}
+	// FIFO order in lane 0: leader first, then a follower; a third
+	// follower waits in lane 1 (absorption must reach every lane). One
+	// different key and one non-publishing pair must each run themselves.
+	shared(0, "leader", "k", 42, true)
+	waitQueued(t, m, 1)
+	shared(0, "f1", "k", -1, true)
+	waitQueued(t, m, 2)
+	shared(1, "f2", "k", -1, true)
+	waitQueued(t, m, 3)
+	shared(0, "other", "x", 7, true)
+	waitQueued(t, m, 4)
+	shared(0, "noPub1", "np", 1, false)
+	waitQueued(t, m, 5)
+	shared(1, "noPub2", "np", 2, false)
+	waitQueued(t, m, 6)
+
+	close(g.release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if executed["leader"] != 1 || executed["f1"] != 0 || executed["f2"] != 0 {
+		t.Fatalf("executions: %v — exactly the leader must run for key k", executed)
+	}
+	if executed["other"] != 1 || executed["noPub1"] != 1 || executed["noPub2"] != 1 {
+		t.Fatalf("executions: %v — unmatched and unpublished tasks must run themselves", executed)
+	}
+	for _, tag := range []string{"f1", "f2"} {
+		if len(absorbed[tag]) != 1 || absorbed[tag][0] != 42 {
+			t.Fatalf("follower %s absorbed %v, want [42]", tag, absorbed[tag])
+		}
+	}
+	if len(absorbed["noPub2"]) != 0 {
+		t.Fatalf("unpublished result leaked to a same-key task: %v", absorbed["noPub2"])
+	}
+	snap := m.Snapshot()
+	if snap.Batched != 2 {
+		t.Fatalf("Batched = %d, want 2", snap.Batched)
+	}
+	if snap.Completed != 5 { // gate + leader + other + noPub1 + noPub2
+		t.Fatalf("Completed = %d, want 5", snap.Completed)
+	}
+	if snap.AvgQueueWait() <= 0 {
+		t.Fatalf("AvgQueueWait must count batched waits: %+v", snap)
+	}
+}
+
+// Abandonment and absorption race through the same claim CAS: a follower
+// whose context expires in the queue is expired, never absorbed, and a
+// later same-key leader must not touch it.
+func TestSchedulerBatchAbandonedNotAbsorbed(t *testing.T) {
+	m := &Counters{}
+	s := NewScheduler(SchedulerConfig{Workers: 1, MaxQueue: 16, Lanes: 1}, m)
+	defer s.Close()
+
+	g := newGate()
+	go s.Submit(context.Background(), 0, g.run)
+	<-g.entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	expired := make(chan error, 1)
+	go func() {
+		expired <- s.SubmitShared(ctx, 0, "k", func() (any, bool) {
+			t.Error("abandoned task executed")
+			return nil, false
+		}, func(any) {
+			t.Error("abandoned task absorbed a result")
+		})
+	}()
+	waitQueued(t, m, 1)
+	cancel()
+	if err := <-expired; !errors.Is(err, ErrExpiredInQueue) {
+		t.Fatalf("expired follower returned %v, want ErrExpiredInQueue", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- s.SubmitShared(context.Background(), 0, "k", func() (any, bool) { return 1, true }, func(any) {})
+	}()
+	waitQueued(t, m, 1)
+	close(g.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Batched != 0 || snap.Expired != 1 {
+		t.Fatalf("batched/expired = %d/%d, want 0/1", snap.Batched, snap.Expired)
+	}
+}

@@ -73,6 +73,18 @@ type ServerConfig struct {
 	// context plumbing every search loop already honors. 0 = none.
 	MaxQueryTime time.Duration
 
+	// DisableBatching turns off batch absorption of compatible queued
+	// queries. By default, when a query finishes and queued queries would
+	// produce the bit-identical answer — same canonical options, admitted
+	// on the same epoch, and carrying no Tracker — those queued queries are
+	// completed with a copy of the finished run's result instead of each
+	// consuming an execution slot (they count in Metrics.Batched). A query
+	// with a Tracker always gets its own run, and an evidence update
+	// between a follower's admission and the leader's finish disqualifies
+	// absorption, so batching never changes an answer — only the number of
+	// search passes behind a burst of identical queries.
+	DisableBatching bool
+
 	// CacheEntries bounds the result cache (0 = default 4096, negative =
 	// caching disabled). Keys carry the epoch that produced the answer, so
 	// a hit is bit-identical to a fresh run on the current epoch; an
@@ -297,9 +309,13 @@ func epochKey(gen uint64, base string) string {
 	return fmt.Sprintf("e%d|%s", gen, base)
 }
 
-// run executes one admitted query through the scheduler on the
-// least-loaded backend, applying the per-query wall-clock deadline.
-func (s *Server) run(ctx context.Context, req Request, exec func(context.Context, *Engine)) error {
+// runShared executes one admitted query through the scheduler on the
+// least-loaded backend, applying the per-query wall-clock deadline. key
+// identifies the answer the query will produce (canonical options +
+// admission epoch), exec returns the result and whether it may be shared
+// with queued same-key queries, and absorb receives another query's shared
+// result if one lands first. An empty key degrades to plain scheduling.
+func (s *Server) runShared(ctx context.Context, req Request, key string, exec func(context.Context, *Engine) (any, bool), absorb func(any)) error {
 	if s.cfg.MaxQueryTime > 0 {
 		// The deadline covers queue wait too: a query that waited its
 		// whole budget expires in the queue instead of starting late.
@@ -307,12 +323,12 @@ func (s *Server) run(ctx context.Context, req Request, exec func(context.Context
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxQueryTime)
 		defer cancel()
 	}
-	return s.sched.Submit(ctx, req.Priority, func() {
+	return s.sched.SubmitShared(ctx, req.Priority, key, func() (any, bool) {
 		b := s.pick()
 		b.load.Add(1)
 		defer b.load.Add(-1)
-		exec(ctx, b.eng)
-	})
+		return exec(ctx, b.eng)
+	}, absorb)
 }
 
 // InferMAP answers one MAP query through the admission layer: budget
@@ -327,26 +343,42 @@ func (s *Server) InferMAP(ctx context.Context, req Request) (*MAPResult, error) 
 		return nil, err
 	}
 	base := cacheKey(false, opts)
+	gen := s.generation()
 	// A query carrying a Tracker needs a real run for the tracker to
 	// observe; it skips the lookup but still fills the cache.
 	if opts.Tracker == nil {
-		if v, ok := s.cache.Get(epochKey(s.generation(), base)); ok {
+		if v, ok := s.cache.Get(epochKey(gen, base)); ok {
 			return copyMAPResult(v.(*MAPResult)), nil
 		}
 	} else {
 		s.counters.CacheMisses.Add(1)
 	}
+	// Tracker-free queries are batchable: the key ties the canonical
+	// options to the admission epoch, so only queries whose answers are
+	// interchangeable ever share one run.
+	var key string
+	if opts.Tracker == nil && !s.cfg.DisableBatching {
+		key = epochKey(gen, base)
+	}
 	var res *MAPResult
 	var runErr error
-	if err := s.run(ctx, req, func(ctx context.Context, eng *Engine) {
+	var absorbed bool
+	if err := s.runShared(ctx, req, key, func(ctx context.Context, eng *Engine) (any, bool) {
 		res, runErr = eng.InferMAP(ctx, opts)
+		// Publish for queued same-key queries only a complete answer that
+		// is still current — an evidence update mid-run means followers
+		// must recompute on the new epoch.
+		return res, runErr == nil && res != nil && res.Epoch == gen && s.generation() == gen
+	}, func(v any) {
+		res, runErr, absorbed = copyMAPResult(v.(*MAPResult)), nil, true
 	}); err != nil {
 		return nil, err
 	}
 	// Only a complete (non-canceled) answer is cached, under the epoch it
 	// was computed on; with the cache disabled the caller keeps the sole
-	// reference, so no defensive copy.
-	if runErr == nil && res != nil && s.cache.Enabled() {
+	// reference, so no defensive copy. An absorbed answer is already a
+	// private copy of a result the leader cached.
+	if !absorbed && runErr == nil && res != nil && s.cache.Enabled() {
 		s.cache.Put(epochKey(res.Epoch, base), res)
 		res = copyMAPResult(res)
 	}
@@ -361,21 +393,30 @@ func (s *Server) InferMarginal(ctx context.Context, req Request) (*MarginalResul
 		return nil, err
 	}
 	base := cacheKey(true, opts)
+	gen := s.generation()
 	if opts.Tracker == nil {
-		if v, ok := s.cache.Get(epochKey(s.generation(), base)); ok {
+		if v, ok := s.cache.Get(epochKey(gen, base)); ok {
 			return copyMarginalResult(v.(*MarginalResult)), nil
 		}
 	} else {
 		s.counters.CacheMisses.Add(1)
 	}
+	var key string
+	if opts.Tracker == nil && !s.cfg.DisableBatching {
+		key = epochKey(gen, base)
+	}
 	var res *MarginalResult
 	var runErr error
-	if err := s.run(ctx, req, func(ctx context.Context, eng *Engine) {
+	var absorbed bool
+	if err := s.runShared(ctx, req, key, func(ctx context.Context, eng *Engine) (any, bool) {
 		res, runErr = eng.InferMarginal(ctx, opts)
+		return res, runErr == nil && res != nil && res.Epoch == gen && s.generation() == gen
+	}, func(v any) {
+		res, runErr, absorbed = copyMarginalResult(v.(*MarginalResult)), nil, true
 	}); err != nil {
 		return nil, err
 	}
-	if runErr == nil && res != nil && s.cache.Enabled() {
+	if !absorbed && runErr == nil && res != nil && s.cache.Enabled() {
 		s.cache.Put(epochKey(res.Epoch, base), res)
 		res = copyMarginalResult(res)
 	}

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"tuffy/internal/search"
 	"tuffy/internal/server"
 )
 
@@ -115,15 +116,18 @@ func TestServerBitIdenticalToDirectEngine(t *testing.T) {
 
 			m := srv.Metrics()
 			total := int64(clients * rounds * (len(reqs) + 1))
-			if m.Completed+m.CacheHits != total {
-				t.Fatalf("completed %d + cache hits %d != %d issued queries", m.Completed, m.CacheHits, total)
+			// Every issued query is answered exactly once: by a real run, by
+			// absorbing a batched leader's run, or from cache.
+			if m.Completed+m.Batched+m.CacheHits != total {
+				t.Fatalf("completed %d + batched %d + cache hits %d != %d issued queries",
+					m.Completed, m.Batched, m.CacheHits, total)
 			}
 			if cacheEntries < 0 {
 				if m.CacheHits != 0 {
 					t.Fatalf("cache disabled but %d hits", m.CacheHits)
 				}
-				if m.Completed != total {
-					t.Fatalf("cache off: completed %d, want %d", m.Completed, total)
+				if m.Completed+m.Batched != total {
+					t.Fatalf("cache off: completed %d + batched %d, want %d", m.Completed, m.Batched, total)
 				}
 			} else if m.CacheHits == 0 {
 				t.Fatal("cache on: repeated identical queries produced no hits")
@@ -405,4 +409,106 @@ func TestServerDoesNotCacheCanceledRuns(t *testing.T) {
 	if hits := srv.Metrics().CacheHits; hits != 0 {
 		t.Fatalf("CacheHits = %d; a canceled run must not be cached", hits)
 	}
+}
+
+// Queued identical queries must be batched into the leader's single
+// search pass, each answer bit-identical to a direct Engine call, while a
+// Tracker or DisableBatching forces every query to run itself.
+func TestServerBatchesIdenticalQueries(t *testing.T) {
+	ctx := context.Background()
+	// Unsatisfiable workload: searches spin to their flip budget, so the
+	// blocker reliably holds the only slot while followers queue. Memo off
+	// so no cross-query sharing short-circuits the runs.
+	eng := contradictionEngine(t, EngineConfig{MemoEntries: -1})
+	if err := eng.Ground(ctx); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Options: InferOptions{MaxFlips: 400, Seed: 6}}
+	want, err := eng.InferMAP(ctx, req.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const followers = 5
+	run := func(t *testing.T, cfg ServerConfig, reqOf func(int) Request) ServerMetrics {
+		srv, err := Serve(cfg, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		blockerDone := make(chan error, 1)
+		go func() {
+			_, err := srv.InferMAP(ctx, Request{Options: InferOptions{MaxFlips: 300_000, Seed: 1}})
+			blockerDone <- err
+		}()
+		// Wait for the blocker to occupy the slot, then stack the
+		// followers in the queue behind it.
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.Metrics().InFlight == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, followers)
+		for i := 0; i < followers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := srv.InferMAP(ctx, reqOf(i))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if mapKey(res) != mapKey(want) {
+					errCh <- fmt.Errorf("follower %d: answer diverges from direct engine call", i)
+				}
+			}(i)
+		}
+		for srv.Metrics().Queued < followers && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if q := srv.Metrics().Queued; q != followers {
+			t.Fatalf("staging failed: %d queued, want %d", q, followers)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+		if err := <-blockerDone; err != nil {
+			t.Fatal(err)
+		}
+		return srv.Metrics()
+	}
+
+	// Cache off isolates batching: the only ways a follower completes are
+	// its own run or absorbing the leader's.
+	base := ServerConfig{MaxInFlight: 1, MaxQueue: 64, CacheEntries: -1}
+
+	t.Run("batched", func(t *testing.T) {
+		m := run(t, base, func(int) Request { return req })
+		if m.Batched != followers-1 {
+			t.Fatalf("Batched = %d, want %d (one leader run, rest absorbed)", m.Batched, followers-1)
+		}
+		if m.Completed != 2 { // blocker + leader
+			t.Fatalf("Completed = %d, want 2", m.Completed)
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		cfg := base
+		cfg.DisableBatching = true
+		m := run(t, cfg, func(int) Request { return req })
+		if m.Batched != 0 || m.Completed != int64(followers)+1 {
+			t.Fatalf("batched/completed = %d/%d, want 0/%d", m.Batched, m.Completed, followers+1)
+		}
+	})
+	t.Run("tracker-never-batched", func(t *testing.T) {
+		m := run(t, base, func(i int) Request {
+			r := req
+			r.Options.Tracker = search.NewTracker()
+			return r
+		})
+		if m.Batched != 0 || m.Completed != int64(followers)+1 {
+			t.Fatalf("batched/completed = %d/%d, want 0/%d", m.Batched, m.Completed, followers+1)
+		}
+	})
 }
