@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 figure3
 // figure4 figure5 figure6 figure8 theorem31 erplus closure groundpar
-// partpar flipbatch serve incground recovery all.
+// partpar flipbatch serve incground recovery searchthru dist all.
 //
 // With -json DIR, each experiment additionally writes its rendered table
 // and timing to DIR/BENCH_<name>.json — the machine-readable artifact the
@@ -33,6 +33,11 @@ import (
 )
 
 func main() {
+	// A re-exec'd dist-experiment worker subprocess serves the wire
+	// protocol and exits; it must not parse flags or run experiments.
+	if bench.MaybeDistWorker() {
+		return
+	}
 	exp := flag.String("exp", "all", "experiment to run (table1..table7, figure3..figure8, theorem31, all)")
 	full := flag.Bool("full", false, "run at larger, paper-closer scale")
 	jsonDir := flag.String("json", "", "also write BENCH_<exp>.json files into this directory")
@@ -74,6 +79,7 @@ func main() {
 		{"incground", bench.IncGround},
 		{"recovery", bench.Recovery},
 		{"searchthru", bench.SearchThru},
+		{"dist", bench.Dist},
 	}
 
 	want := strings.ToLower(*exp)

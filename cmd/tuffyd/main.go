@@ -6,6 +6,20 @@
 //
 //	tuffyd -i prog.mln -e evidence.db -addr :7090
 //
+// Distributed mode splits one query's independent components across
+// worker processes. Start workers with -worker (they speak the binary
+// wire protocol, not HTTP) and point the coordinator at them:
+//
+//	tuffyd -i prog.mln -e evidence.db -worker :7191
+//	tuffyd -i prog.mln -e evidence.db -worker :7192
+//	tuffyd -i prog.mln -e evidence.db -addr :7090 -workers localhost:7191,localhost:7192
+//
+// Workers must be grounded from the same program and evidence — the
+// handshake enforces it by fingerprint. Answers are bit-identical to a
+// single-process run at every worker count; a dead worker degrades
+// capacity (its shards run locally), never an answer, and /healthz stays
+// 200 as long as anything — worker or local engine — can serve.
+//
 // Endpoints:
 //
 //	POST /infer     one query; JSON body, JSON answer
@@ -55,6 +69,7 @@ import (
 
 	"tuffy"
 	"tuffy/internal/mln"
+	"tuffy/internal/remote"
 	"tuffy/internal/search"
 )
 
@@ -75,11 +90,21 @@ func main() {
 		queryTime  = flag.Duration("querytimeout", 0, "per-query wall-clock deadline incl. queue wait (0 = none)")
 		cacheSize  = flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = off)")
 		dataDir    = flag.String("data", "", "durable data directory: WAL + snapshots per replica, persisted result cache; warm-starts on restart (empty = in-memory only)")
+		workerAddr = flag.String("worker", "", "run as a distributed worker: serve the wire protocol on this TCP address instead of HTTP")
+		workers    = flag.String("workers", "", "comma-separated worker addresses to shard decomposable queries across")
 	)
 	flag.Parse()
 	if *progPath == "" || *evPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *workerAddr != "" && *workers != "" {
+		fatalIf(errors.New("-worker and -workers are mutually exclusive: a process is either a worker or a coordinator"))
+	}
+	if *workerAddr != "" {
+		// A worker hosts exactly one engine: shards of one query are its
+		// unit of work, so there is nothing to load-balance locally.
+		*replicas = 1
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -113,6 +138,30 @@ func main() {
 		log.Printf("replica %d grounded in %v", i, time.Since(start).Round(time.Millisecond))
 	}
 
+	if *workerAddr != "" {
+		// Worker mode: serve the framed wire protocol until SIGINT/SIGTERM.
+		// The accept loop closes the listener and live sessions on the
+		// signal; in-flight shards return promptly via context cancellation.
+		ln, err := net.Listen("tcp", *workerAddr)
+		fatalIf(err)
+		log.Printf("tuffyd worker serving on %s (epoch %d)", ln.Addr(), engines[0].Generation())
+		fatalIf(remote.NewWorker(engines[0]).Serve(ctx, ln))
+		if err := engines[0].Close(); err != nil {
+			log.Printf("closing engine: %v", err)
+		}
+		log.Print("worker stopped; bye")
+		return
+	}
+
+	var workerList []string
+	if *workers != "" {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workerList = append(workerList, a)
+			}
+		}
+	}
+
 	srv, err := tuffy.Serve(tuffy.ServerConfig{
 		MaxInFlight:        *inflight,
 		MaxQueue:           *queue,
@@ -123,6 +172,7 @@ func main() {
 		MaxQueryTime:       *queryTime,
 		CacheEntries:       *cacheSize,
 		DataDir:            *dataDir,
+		Workers:            workerList,
 	}, engines...)
 	fatalIf(err)
 
@@ -133,14 +183,26 @@ func main() {
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		ds := engines[0].DurabilityStats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":             true,
+		ws, healthy := workerRows(srv)
+		// Local engines can always serve (worker outages only shrink
+		// capacity), so unhealthy workers never flip /healthz to 503; it
+		// would take having no backend at all, which Serve rejects upfront.
+		ok := len(engines) > 0 || healthy > 0
+		status := http.StatusOK
+		if !ok {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"ok":             ok,
 			"epoch":          srv.Metrics().Epoch,
 			"regrounding":    srv.Updating(),
 			"durable":        ds.Enabled,
 			"warmStart":      ds.WarmStart,
 			"recoveryMillis": ds.RecoveryTime.Milliseconds(),
 			"checkpoints":    ds.Checkpoints,
+			"workersHealthy": healthy,
+			"workersTotal":   len(ws),
+			"workers":        ws,
 		})
 	})
 
@@ -408,11 +470,27 @@ func (h *handler) evidence(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	ws, healthy := workerRows(h.srv)
 	writeJSON(w, http.StatusOK, struct {
 		tuffy.ServerMetrics
-		Memo       search.MemoStats      `json:"memo"`
-		Durability tuffy.DurabilityStats `json:"durability"`
-	}{h.srv.Metrics(), h.fmtEngine.MemoStats(), h.fmtEngine.DurabilityStats()})
+		Memo           search.MemoStats      `json:"memo"`
+		Durability     tuffy.DurabilityStats `json:"durability"`
+		WorkersHealthy int                   `json:"workersHealthy"`
+		WorkersTotal   int                   `json:"workersTotal"`
+		Workers        []tuffy.WorkerStatus  `json:"workers,omitempty"`
+	}{h.srv.Metrics(), h.fmtEngine.MemoStats(), h.fmtEngine.DurabilityStats(), healthy, len(ws), ws})
+}
+
+// workerRows snapshots the remote worker pool for /healthz and /metrics.
+func workerRows(srv *tuffy.Server) ([]tuffy.WorkerStatus, int) {
+	ws := srv.Workers()
+	healthy := 0
+	for _, w := range ws {
+		if w.Healthy {
+			healthy++
+		}
+	}
+	return ws, healthy
 }
 
 // reject writes an admission error; a 429 (queue full) additionally

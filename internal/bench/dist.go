@@ -1,0 +1,367 @@
+package bench
+
+// The distributed-tier experiment: a coordinator sharding MAP and
+// marginal queries over real worker subprocesses (each a re-exec of the
+// tuffybench binary speaking the wire protocol on localhost), measuring
+// the throughput curve at 0/1/2/4 workers and enforcing the tier's two
+// invariants — every sharded answer is bit-identical to the local
+// single-engine run at every worker count, and killing a worker mid-run
+// fails zero queries. The >=1.5x 4-worker-vs-1-worker MAP throughput
+// bound is enforced only on machines with >=4 CPUs: worker processes
+// need their own cores for sharding to buy wall-clock time at all.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"tuffy"
+	"tuffy/internal/datagen"
+	"tuffy/internal/remote"
+)
+
+// distWorkerEnv carries the IE dataset spec ("chains,maxchain,fields,seed")
+// to a worker subprocess; its presence switches the re-exec'd binary into
+// worker mode before flag parsing.
+const distWorkerEnv = "TUFFYBENCH_DIST_WORKER"
+
+// distAddrPrefix prefixes the single line a worker subprocess prints once
+// it is grounded and listening.
+const distAddrPrefix = "TUFFYBENCH_DIST_ADDR "
+
+// MaybeDistWorker turns this process into a dist-experiment worker when
+// distWorkerEnv is set: ground the dataset the spec names, serve the wire
+// protocol on an ephemeral localhost port, print the address, and run
+// until stdin closes (the parent's handle) or the process is killed.
+// Returns true if it ran (the caller should exit); false in a normal
+// tuffybench invocation.
+func MaybeDistWorker() bool {
+	spec := os.Getenv(distWorkerEnv)
+	if spec == "" {
+		return false
+	}
+	var cfg datagen.IEConfig
+	if _, err := fmt.Sscanf(spec, "%d,%d,%d,%d", &cfg.Chains, &cfg.MaxChain, &cfg.Fields, &cfg.Seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: bad spec %q: %v\n", spec, err)
+		os.Exit(1)
+	}
+	ds := datagen.IE(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng, err := tuffy.Open(ds.Prog, ds.Ev, tuffy.EngineConfig{MemoEntries: -1})
+	if err == nil {
+		err = eng.Ground(ctx)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(distAddrPrefix + ln.Addr().String())
+	// The parent holds our stdin; EOF means it is done with us (or died) —
+	// either way, shut the accept loop down and exit cleanly.
+	go func() {
+		io.Copy(io.Discard, os.Stdin)
+		cancel()
+	}()
+	if err := remote.NewWorker(eng).Serve(ctx, ln); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: %v\n", err)
+		os.Exit(1)
+	}
+	return true
+}
+
+// distWorker is one spawned worker subprocess.
+type distWorker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	addr  string
+}
+
+// kill terminates the worker abruptly — the crash the fault-injection
+// phase wants, not a graceful shutdown.
+func (w *distWorker) kill() {
+	w.cmd.Process.Kill()
+	w.cmd.Wait()
+	w.stdin.Close()
+}
+
+func (w *distWorker) stop() {
+	w.stdin.Close() // EOF → graceful shutdown
+	done := make(chan struct{})
+	go func() { w.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		w.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// spawnDistWorker re-execs this binary as a worker and waits for its
+// address line.
+func spawnDistWorker(ctx context.Context, spec string) (*distWorker, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, exe)
+	cmd.Env = append(os.Environ(), distWorkerEnv+"="+spec)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &distWorker{cmd: cmd, stdin: stdin}
+	lines := bufio.NewScanner(stdout)
+	deadline := time.AfterFunc(2*time.Minute, func() { cmd.Process.Kill() })
+	defer deadline.Stop()
+	for lines.Scan() {
+		if s, ok := strings.CutPrefix(lines.Text(), distAddrPrefix); ok {
+			w.addr = s
+			return w, nil
+		}
+	}
+	w.kill()
+	return nil, fmt.Errorf("worker subprocess exited before reporting its address")
+}
+
+// Dist runs the distributed-tier experiment. See the package comment at
+// the top of this file for what it measures and enforces.
+func Dist(ctx context.Context, s Scale) (*Table, error) {
+	ds := datagen.IE(s.IE)
+	// Zero fields ride along; the worker's datagen.IE applies the same
+	// defaults this side's did.
+	spec := fmt.Sprintf("%d,%d,%d,%d", s.IE.Chains, s.IE.MaxChain, s.IE.Fields, s.IE.Seed)
+
+	// The memo would let repeated seeds answer from cache on whichever side
+	// warmed up first, turning the throughput rows into memo-hit noise;
+	// every engine in this experiment runs without one (the handshake's
+	// config fingerprint requires coordinator and workers to agree).
+	eng, err := tuffy.Open(ds.Prog, ds.Ev, tuffy.EngineConfig{MemoEntries: -1})
+	if err != nil {
+		return nil, fmt.Errorf("dist: open %s: %w", ds.Name, err)
+	}
+	if err := eng.Ground(ctx); err != nil {
+		return nil, fmt.Errorf("dist: ground %s: %w", ds.Name, err)
+	}
+
+	// The workload: distinct-seed MAP queries plus one marginal, so every
+	// run exercises both shard kinds. Cache stays off throughout — each
+	// query must run for real for throughput (and identity) to mean
+	// anything.
+	// Flip budget sized so per-query search time dominates the wire
+	// overhead of a shard dispatch by orders of magnitude — the scaling
+	// rows measure search distribution, not codec throughput.
+	const queries = 6
+	const flips = 2_000_000
+	mapOpts := make([]tuffy.InferOptions, queries)
+	for i := range mapOpts {
+		mapOpts[i] = tuffy.InferOptions{MaxFlips: flips, Seed: int64(i + 1)}
+	}
+	margOpts := tuffy.InferOptions{Samples: 30, Seed: 5}
+
+	wantMAP := make([]*tuffy.MAPResult, queries)
+	start := time.Now()
+	for i, o := range mapOpts {
+		r, err := eng.InferMAP(ctx, o)
+		if err != nil {
+			return nil, fmt.Errorf("dist: reference query %d: %w", i, err)
+		}
+		if r.Partitions < 2 {
+			return nil, fmt.Errorf("dist: IE workload should decompose, got %d partitions", r.Partitions)
+		}
+		wantMAP[i] = r
+	}
+	localWall := time.Since(start)
+	wantMarg, err := eng.InferMarginal(ctx, margOpts)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reference marginal: %w", err)
+	}
+
+	sameMAP := func(a, b *tuffy.MAPResult) bool {
+		if a.Cost != b.Cost || a.Flips != b.Flips || len(a.State) != len(b.State) {
+			return false
+		}
+		for i := range a.State {
+			if a.State[i] != b.State[i] {
+				return false
+			}
+		}
+		return true
+	}
+	sameMarg := func(a, b *tuffy.MarginalResult) bool {
+		if len(a.Probs) != len(b.Probs) {
+			return false
+		}
+		for i := range a.Probs {
+			if a.Probs[i].P != b.Probs[i].P {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Spawn the full worker fleet once; each worker-count run serves with a
+	// prefix of the fleet.
+	const fleet = 4
+	var pool []*distWorker
+	defer func() {
+		for _, w := range pool {
+			w.stop()
+		}
+	}()
+	for i := 0; i < fleet; i++ {
+		w, err := spawnDistWorker(ctx, spec)
+		if err != nil {
+			return nil, fmt.Errorf("dist: spawn worker %d: %w", i, err)
+		}
+		pool = append(pool, w)
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("Distributed sharding: %s, %d MAP queries x %d flips + 1 marginal, worker subprocesses on localhost",
+			ds.Name, queries, flips),
+		Header: []string{"workers", "wall", "qps", "speedup vs local", "identical", "killed mid-run", "failures"},
+	}
+	tab.Rows = append(tab.Rows, []string{
+		"0 (local)", fmtDur(localWall), fmtRate(float64(queries) / localWall.Seconds()), "1.00x", "yes", "-", "0",
+	})
+
+	serveWith := func(n int) (*tuffy.Server, error) {
+		addrs := make([]string, 0, n)
+		for _, w := range pool[:n] {
+			addrs = append(addrs, w.addr)
+		}
+		srv, err := tuffy.Serve(tuffy.ServerConfig{
+			CacheEntries:     -1,
+			Workers:          addrs,
+			WorkerProbeEvery: 50 * time.Millisecond,
+		}, eng)
+		if err != nil {
+			return nil, err
+		}
+		// Wait for every worker to enter membership, so the measured run
+		// shards from the first query.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			healthy := 0
+			for _, ws := range srv.Workers() {
+				if ws.Healthy {
+					healthy++
+				}
+			}
+			if healthy == n {
+				return srv, nil
+			}
+			if time.Now().After(deadline) {
+				srv.Close()
+				return nil, fmt.Errorf("only %d/%d workers joined", healthy, n)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	walls := map[int]time.Duration{}
+	for _, n := range []int{1, 2, 4} {
+		srv, err := serveWith(n)
+		if err != nil {
+			return nil, fmt.Errorf("dist (%d workers): %w", n, err)
+		}
+		start := time.Now()
+		for i, o := range mapOpts {
+			r, err := srv.InferMAP(ctx, tuffy.Request{Options: o})
+			if err != nil {
+				srv.Close()
+				return nil, fmt.Errorf("dist (%d workers): query %d: %w", n, i, err)
+			}
+			if !sameMAP(r, wantMAP[i]) {
+				srv.Close()
+				return nil, fmt.Errorf("dist (%d workers): query %d diverges from the local run", n, i)
+			}
+		}
+		wall := time.Since(start)
+		walls[n] = wall
+		marg, err := srv.InferMarginal(ctx, tuffy.Request{Options: margOpts})
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("dist (%d workers): marginal: %w", n, err)
+		}
+		if !sameMarg(marg, wantMarg) {
+			srv.Close()
+			return nil, fmt.Errorf("dist (%d workers): marginal diverges from the local run", n)
+		}
+		srv.Close()
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(n), fmtDur(wall), fmtRate(float64(queries) / wall.Seconds()),
+			fmt.Sprintf("%.2fx", localWall.Seconds()/wall.Seconds()), "yes", "-", "0",
+		})
+	}
+
+	// Fault-injection phase: all four workers serving, one killed (SIGKILL,
+	// not a graceful stop) while queries flow. Zero failures allowed; every
+	// answer still bit-identical.
+	srv, err := serveWith(fleet)
+	if err != nil {
+		return nil, fmt.Errorf("dist (kill phase): %w", err)
+	}
+	failures := 0
+	killed := false
+	killStart := time.Now()
+	for round := 0; round < 2; round++ {
+		for i, o := range mapOpts {
+			if round == 0 && i == 1 {
+				pool[0].kill()
+				killed = true
+			}
+			r, err := srv.InferMAP(ctx, tuffy.Request{Options: o})
+			if err != nil {
+				failures++
+				continue
+			}
+			if !sameMAP(r, wantMAP[i]) {
+				srv.Close()
+				return nil, fmt.Errorf("dist (kill phase): query %d diverges after worker kill", i)
+			}
+		}
+	}
+	killWall := time.Since(killStart)
+	srv.Close()
+	pool = pool[1:] // the killed worker needs no stop()
+	if !killed {
+		return nil, fmt.Errorf("dist: kill phase never killed a worker")
+	}
+	if failures > 0 {
+		return nil, fmt.Errorf("dist: %d queries failed after a worker was killed mid-run; want 0", failures)
+	}
+	tab.Rows = append(tab.Rows, []string{
+		"4 -> 3", fmtDur(killWall), fmtRate(float64(2*queries) / killWall.Seconds()), "-", "yes", "yes", "0",
+	})
+
+	// The scaling bound needs real cores: worker subprocesses pinned to a
+	// single CPU time-share with the coordinator and cannot buy wall-clock.
+	if runtime.NumCPU() >= 4 {
+		if sp := walls[1].Seconds() / walls[4].Seconds(); sp < 1.5 {
+			return nil, fmt.Errorf("dist: 4-worker MAP throughput only %.2fx the 1-worker run; want >= 1.5x", sp)
+		}
+	}
+	return tab, nil
+}

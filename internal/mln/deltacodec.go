@@ -1,0 +1,81 @@
+package mln
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeDelta frames one evidence delta as a compact positional record:
+// predicates by program index, constants as interned ids, three-valued
+// truth — the format the durability WAL logs and the distributed tier
+// fans out to workers. It is valid only between readers that share the
+// exact program (the fingerprint handshake of both layers enforces that).
+// predIdx maps each predicate to its index in the program's Preds slice.
+func EncodeDelta(predIdx map[*Predicate]int32, d Delta) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(d.Ops)))
+	for _, op := range d.Ops {
+		b = binary.LittleEndian.AppendUint32(b, uint32(predIdx[op.Pred]))
+		b = append(b, byte(op.Truth))
+		for _, a := range op.Args {
+			b = binary.LittleEndian.AppendUint32(b, uint32(a))
+		}
+	}
+	return b
+}
+
+// PredIndex builds the predicate-to-index map EncodeDelta keys on.
+func PredIndex(prog *Program) map[*Predicate]int32 {
+	idx := make(map[*Predicate]int32, len(prog.Preds))
+	for i, p := range prog.Preds {
+		idx[p] = int32(i)
+	}
+	return idx
+}
+
+// DecodeDelta is EncodeDelta's inverse against the serving program.
+func DecodeDelta(prog *Program, payload []byte) (Delta, error) {
+	var d Delta
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+		return v, true
+	}
+	n32, ok := u32()
+	if !ok {
+		return d, fmt.Errorf("delta record truncated: short buffer")
+	}
+	n := int(n32)
+	for i := 0; i < n; i++ {
+		pi32, ok := u32()
+		if !ok {
+			return d, fmt.Errorf("delta record truncated: short buffer")
+		}
+		pi := int(pi32)
+		if pi < 0 || pi >= len(prog.Preds) {
+			return d, fmt.Errorf("delta op %d references predicate %d of %d", i, pi, len(prog.Preds))
+		}
+		pred := prog.Preds[pi]
+		if off >= len(payload) {
+			return d, fmt.Errorf("delta record truncated: short buffer")
+		}
+		truth := Truth(payload[off])
+		off++
+		args := make([]int32, pred.Arity())
+		for j := range args {
+			a, ok := u32()
+			if !ok {
+				return d, fmt.Errorf("delta record truncated: short buffer")
+			}
+			args[j] = int32(a)
+		}
+		d.Ops = append(d.Ops, DeltaOp{Pred: pred, Args: args, Truth: truth})
+	}
+	if off != len(payload) {
+		return d, fmt.Errorf("delta record has %d trailing bytes", len(payload)-off)
+	}
+	return d, nil
+}

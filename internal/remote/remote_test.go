@@ -1,0 +1,355 @@
+package remote
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tuffy/internal/wire"
+)
+
+// fakeBackend models the engine contract the pool relies on: epochs
+// advance once per effective delta, and re-applying a delta is a no-op
+// (deltas carry a sequence number; the absolute-truth semantics of real
+// deltas give the same idempotence).
+type fakeBackend struct {
+	fp wire.Hello // fingerprints only; epoch tracked below
+
+	mu         sync.Mutex
+	appliedSeq uint64
+	epoch      uint64
+	updates    uint64
+}
+
+func fingerprints() wire.Hello {
+	return wire.Hello{Version: wire.Version, ProgFP: 11, EvFP: 22, CfgFP: 33}
+}
+
+func seqDelta(seq uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, seq)
+}
+
+func (b *fakeBackend) Identity() wire.Hello {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.fp
+	h.Epoch = b.epoch
+	return h
+}
+
+func (b *fakeBackend) InferShard(ctx context.Context, req wire.ShardRequest) (wire.ShardResult, error) {
+	b.mu.Lock()
+	cur := b.epoch
+	b.mu.Unlock()
+	if req.Epoch != cur {
+		return wire.ShardResult{}, &wire.EpochMismatchError{Have: cur, Want: req.Epoch}
+	}
+	res := wire.ShardResult{Epoch: cur, Marginal: req.Marginal}
+	for _, idx := range req.Indices {
+		c := wire.ShardComp{Index: idx}
+		if req.Marginal {
+			c.Probs = []float64{0, float64(idx) / 10}
+		} else {
+			c.Cost = float64(idx)
+			c.State = []bool{false, idx%2 == 0}
+		}
+		res.Comps = append(res.Comps, c)
+	}
+	return res, nil
+}
+
+func (b *fakeBackend) ApplyDelta(ctx context.Context, delta []byte) (wire.UpdateAck, error) {
+	if len(delta) != 8 {
+		return wire.UpdateAck{}, fmt.Errorf("bad delta")
+	}
+	seq := binary.LittleEndian.Uint64(delta)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	identical := seq <= b.appliedSeq
+	if !identical {
+		b.appliedSeq = seq
+		b.epoch++
+	}
+	b.updates++
+	return wire.UpdateAck{Epoch: b.epoch, Identical: identical, UpdatesApplied: b.updates}, nil
+}
+
+func (b *fakeBackend) UpdatesApplied() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.updates
+}
+
+// startWorker serves a backend on an ephemeral port; the returned stop
+// func shuts the accept loop down and waits for it.
+func startWorker(t *testing.T, b Backend) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveWorker(t, b, ln)
+}
+
+func serveWorker(t *testing.T, b Backend, ln net.Listener) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- NewWorker(b).Serve(ctx, ln) }()
+	var once sync.Once
+	return ln.Addr().String(), func() {
+		once.Do(func() {
+			cancel()
+			if err := <-done; err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		})
+	}
+}
+
+// coordinator is the pool's view of the local engine in these tests.
+type coordinator struct{ epoch atomic.Uint64 }
+
+func (c *coordinator) identity() wire.Hello {
+	h := fingerprints()
+	h.Epoch = c.epoch.Load()
+	return h
+}
+
+func newTestPool(t *testing.T, co *coordinator, addrs ...string) *Pool {
+	t.Helper()
+	p := NewPool(PoolConfig{
+		Addrs:       addrs,
+		Identity:    co.identity,
+		CallTimeout: 5 * time.Second,
+		ProbeEvery:  50 * time.Millisecond,
+	})
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPoolInferAndStatus(t *testing.T) {
+	b1, b2 := &fakeBackend{fp: fingerprints()}, &fakeBackend{fp: fingerprints()}
+	a1, stop1 := startWorker(t, b1)
+	defer stop1()
+	a2, stop2 := startWorker(t, b2)
+	defer stop2()
+
+	co := &coordinator{}
+	p := newTestPool(t, co, a1, a2)
+	p.ProbeNow(context.Background())
+
+	cands := p.Candidates(0)
+	if len(cands) != 2 {
+		t.Fatalf("candidates at epoch 0: %d, want 2", len(cands))
+	}
+	res, err := cands[0].Infer(context.Background(), wire.ShardRequest{Epoch: 0, Indices: []uint32{1, 4}})
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if len(res.Comps) != 2 || res.Comps[0].Cost != 1 || res.Comps[1].State[1] != true {
+		t.Fatalf("shard result: %+v", res)
+	}
+
+	for _, st := range p.Status() {
+		if !st.Healthy || !st.Connected || st.Epoch != 0 || st.LastErr != "" {
+			t.Fatalf("status row: %+v", st)
+		}
+	}
+}
+
+func TestPoolRejectsForeignWorker(t *testing.T) {
+	foreign := &fakeBackend{fp: wire.Hello{Version: wire.Version, ProgFP: 99, EvFP: 22, CfgFP: 33}}
+	addr, stop := startWorker(t, foreign)
+	defer stop()
+
+	co := &coordinator{}
+	p := newTestPool(t, co, addr)
+	p.ProbeNow(context.Background())
+
+	if n := len(p.Candidates(0)); n != 0 {
+		t.Fatalf("foreign worker admitted: %d candidates", n)
+	}
+	st := p.Status()[0]
+	if st.Healthy || st.LastErr == "" {
+		t.Fatalf("status row: %+v", st)
+	}
+}
+
+func TestEpochMismatchIsTypedAndKeepsHealth(t *testing.T) {
+	b := &fakeBackend{fp: fingerprints()}
+	addr, stop := startWorker(t, b)
+	defer stop()
+	co := &coordinator{}
+	p := newTestPool(t, co, addr)
+	p.ProbeNow(context.Background())
+	r := p.Replicas()[0]
+
+	_, err := r.Infer(context.Background(), wire.ShardRequest{Epoch: 7, Indices: []uint32{0}})
+	var em *wire.EpochMismatchError
+	if !errors.As(err, &em) || em.Want != 7 || em.Have != 0 {
+		t.Fatalf("want typed epoch mismatch, got %v", err)
+	}
+	if !r.Healthy() {
+		t.Fatal("worker demoted by a typed answer")
+	}
+}
+
+func TestUpdateFanOutAndRestartCatchUp(t *testing.T) {
+	b1 := &fakeBackend{fp: fingerprints()}
+	a1, stop1 := startWorker(t, b1)
+	defer stop1()
+
+	// Second worker is down from the start: its address is reserved but
+	// nothing listens yet.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := ln2.Addr().String()
+	ln2.Close()
+
+	co := &coordinator{}
+	p := newTestPool(t, co, a1, a2)
+	p.ProbeNow(context.Background())
+
+	// Three updates: the live worker follows along, the dead one misses all.
+	for seq := uint64(1); seq <= 3; seq++ {
+		co.epoch.Add(1)
+		p.Update(context.Background(), seqDelta(seq))
+	}
+	if got := p.Replicas()[0].Epoch(); got != 3 {
+		t.Fatalf("live worker epoch %d, want 3", got)
+	}
+	if got := len(p.Candidates(3)); got != 1 {
+		t.Fatalf("candidates at epoch 3: %d, want 1", got)
+	}
+
+	// The dead worker comes up fresh (epoch 0) on the same address; the
+	// probe replays the journal and it rejoins at the current epoch.
+	b2 := &fakeBackend{fp: fingerprints()}
+	ln2b, err := net.Listen("tcp", a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop2 := serveWorker(t, b2, ln2b)
+	defer stop2()
+	p.ProbeNow(context.Background())
+	if got := b2.Identity().Epoch; got != 3 {
+		t.Fatalf("restarted worker epoch %d after catch-up, want 3", got)
+	}
+	if got := len(p.Candidates(3)); got != 2 {
+		t.Fatalf("candidates after catch-up: %d, want 2", got)
+	}
+	// Replay was idempotent on the live worker's side too: re-probing does
+	// not disturb it.
+	p.ProbeNow(context.Background())
+	if got := b1.UpdatesApplied(); got != 3 {
+		t.Fatalf("live worker applied %d updates, want 3", got)
+	}
+}
+
+func TestDeadWorkerDegradesAndRevives(t *testing.T) {
+	b := &fakeBackend{fp: fingerprints()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := serveWorker(t, b, ln)
+	co := &coordinator{}
+	p := newTestPool(t, co, addr)
+	p.ProbeNow(context.Background())
+	r := p.Replicas()[0]
+	if !r.Healthy() {
+		t.Fatal("worker not healthy after probe")
+	}
+
+	stop() // kill the worker: in-flight and future calls must fail typed, not hang
+	_, err = r.Infer(context.Background(), wire.ShardRequest{Epoch: 0, Indices: []uint32{0}})
+	if err == nil {
+		t.Fatal("Infer succeeded against a dead worker")
+	}
+	if r.Healthy() {
+		t.Fatal("dead worker still marked healthy")
+	}
+	if n := len(p.Candidates(0)); n != 0 {
+		t.Fatalf("dead worker still a candidate: %d", n)
+	}
+
+	// Revive on the same address; the probe loop brings it back.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop2 := serveWorker(t, b, ln2)
+	defer stop2()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(p.Candidates(0)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("revived worker never rejoined")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPoolRace exercises the client pool's concurrency: parallel shards,
+// pings, status reads and updates against live workers (run under -race).
+func TestPoolRace(t *testing.T) {
+	b1, b2 := &fakeBackend{fp: fingerprints()}, &fakeBackend{fp: fingerprints()}
+	a1, stop1 := startWorker(t, b1)
+	defer stop1()
+	a2, stop2 := startWorker(t, b2)
+	defer stop2()
+	co := &coordinator{}
+	p := newTestPool(t, co, a1, a2)
+	p.ProbeNow(context.Background())
+
+	var wg sync.WaitGroup
+	var updMu sync.Mutex
+	seq := uint64(0)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				switch i % 4 {
+				case 0:
+					r := p.Replicas()[j%2]
+					epoch := r.Epoch()
+					if _, err := r.Infer(context.Background(), wire.ShardRequest{Epoch: epoch, Indices: []uint32{uint32(j)}}); err != nil {
+						var em *wire.EpochMismatchError
+						if !errors.As(err, &em) {
+							t.Errorf("Infer: %v", err)
+						}
+					}
+				case 1:
+					p.Replicas()[j%2].Ping(context.Background())
+				case 2:
+					p.Status()
+					p.Candidates(co.epoch.Load())
+				case 3:
+					// Updates are single-writer in the serving layer; model that.
+					updMu.Lock()
+					seq++
+					co.epoch.Add(1)
+					p.Update(context.Background(), seqDelta(seq))
+					updMu.Unlock()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.ProbeNow(context.Background())
+	want := co.epoch.Load()
+	for _, r := range p.Replicas() {
+		if !r.Healthy() || r.Epoch() != want {
+			t.Fatalf("replica %s: healthy=%v epoch=%d want %d", r.Addr(), r.Healthy(), r.Epoch(), want)
+		}
+	}
+}

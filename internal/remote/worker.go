@@ -1,0 +1,85 @@
+// Package remote is the process topology of the distributed inference
+// tier: a Worker hosts a grounded engine behind the wire protocol
+// (cmd/tuffyd -worker), and a coordinator-side Pool of Replicas dials
+// workers, health-gates membership, fans evidence updates out, and keeps
+// lagging workers caught up from a journal of applied deltas. The package
+// is engine-agnostic — it moves wire messages between processes; the
+// Backend interface (implemented by the tuffy Engine) supplies identity,
+// shard execution and delta application.
+package remote
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+
+	"tuffy/internal/wire"
+)
+
+// Backend is the engine-side surface a Worker hosts and a coordinator
+// shards over. tuffy.Engine implements it via its shard entry points.
+type Backend interface {
+	// Identity reports the program/evidence/config fingerprints and the
+	// current epoch, the handshake both sides validate.
+	Identity() wire.Hello
+	// InferShard runs the requested component group on the requested
+	// epoch, or fails with a typed wire error (epoch/plan mismatch).
+	InferShard(ctx context.Context, req wire.ShardRequest) (wire.ShardResult, error)
+	// ApplyDelta applies one encoded evidence delta (mln.EncodeDelta
+	// format). Deltas set absolute truth values, so re-applying one is a
+	// no-op — the property the pool's catch-up replay relies on.
+	ApplyDelta(ctx context.Context, delta []byte) (wire.UpdateAck, error)
+	// UpdatesApplied counts successfully applied deltas.
+	UpdatesApplied() uint64
+}
+
+// Worker serves one Backend over the wire protocol.
+type Worker struct {
+	b        Backend
+	inFlight atomic.Int64
+	served   atomic.Int64
+}
+
+// NewWorker wraps a backend.
+func NewWorker(b Backend) *Worker { return &Worker{b: b} }
+
+// Serve runs the accept loop until ctx is done (cmd/tuffyd wires SIGINT/
+// SIGTERM into the ctx).
+func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
+	return wire.Serve(ctx, ln, w)
+}
+
+// Handshake validates the coordinator's identity against the backend's.
+func (w *Worker) Handshake(peer wire.Hello) (wire.Hello, error) {
+	us := w.b.Identity()
+	if err := us.Check(peer); err != nil {
+		return wire.Hello{}, err
+	}
+	return us, nil
+}
+
+// Infer runs one shard request.
+func (w *Worker) Infer(ctx context.Context, req wire.ShardRequest) (wire.ShardResult, error) {
+	w.inFlight.Add(1)
+	defer w.inFlight.Add(-1)
+	res, err := w.b.InferShard(ctx, req)
+	if err == nil {
+		w.served.Add(1)
+	}
+	return res, err
+}
+
+// Update applies one evidence delta.
+func (w *Worker) Update(ctx context.Context, req wire.UpdateRequest) (wire.UpdateAck, error) {
+	return w.b.ApplyDelta(ctx, req.Delta)
+}
+
+// Stats answers a health probe.
+func (w *Worker) Stats() wire.StatsReply {
+	return wire.StatsReply{
+		Epoch:          w.b.Identity().Epoch,
+		UpdatesApplied: w.b.UpdatesApplied(),
+		InFlight:       w.inFlight.Load(),
+		Served:         w.served.Load(),
+	}
+}

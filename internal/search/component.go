@@ -87,27 +87,6 @@ func ComponentAware(ctx context.Context, parent *mrf.MRF, comps []*mrf.Component
 		opts.Base.Tracker.Record(trackedCost)
 	}
 
-	// Weighted round-robin budget: flips proportional to component size.
-	// With a memo the denominator is the power-of-two ceiling of the total:
-	// still within 2x of the proportional share, but insensitive to the
-	// small atom-count drift evidence updates cause, so untouched
-	// components keep their budgets (and so their memo entries) across
-	// epochs.
-	denom := int64(totalAtoms)
-	if opts.Memo != nil {
-		denom = pow2Ceil(denom)
-	}
-	budget := func(c *mrf.Component) int64 {
-		if denom == 0 {
-			return 0
-		}
-		b := opts.Base.MaxFlips * int64(c.Size()) / denom
-		if b < 1 {
-			b = 1
-		}
-		return b
-	}
-
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Parallelism; w++ {
@@ -119,36 +98,9 @@ func ComponentAware(ctx context.Context, parent *mrf.MRF, comps []*mrf.Component
 					continue // drain the queue; baseline stands
 				}
 				comp := comps[idx]
-				o := opts.Base
-				o.MaxFlips = budget(comp)
-				o.Tracker = nil // per-component costs are not global costs
-				var fp string
-				if opts.Memo != nil {
-					// Content-hash seed: stable across epochs for untouched
-					// components (and shared by isomorphic ones), unlike the
-					// index-based stream, which shifts when earlier
-					// components appear or vanish.
-					fp = opts.Memo.Fingerprint(comp.MRF)
-					o.Seed = opts.Base.Seed + seedOffset(fp)
-					if opts.Base.Tracker == nil {
-						if e, ok := opts.Memo.lookup(fp, o); ok {
-							mu.Lock()
-							res.Flips += e.flips
-							res.PerComponent[idx] = e.bestCost
-							comp.ProjectState(e.best, global)
-							mu.Unlock()
-							continue
-						}
-					}
-				} else {
-					o.Seed = opts.Base.Seed + int64(idx)*7919
-				}
-				r := WalkSAT(ctx, comp.MRF, o)
+				r := RunComponent(ctx, comp, idx, int64(totalAtoms), opts.Base, opts.Memo)
 				if r.Best == nil {
 					continue // canceled before the first state was recorded
-				}
-				if opts.Memo != nil && opts.Base.Tracker == nil && ctx.Err() == nil {
-					opts.Memo.store(fp, o, r)
 				}
 				mu.Lock()
 				res.Flips += r.Flips
@@ -186,6 +138,72 @@ dispatch:
 	}
 	return res, nil
 }
+
+// RunComponent runs one component of a component-aware search: it derives
+// the component's effective options from the parent-level base options —
+// the weighted-round-robin flip budget (proportional to component size;
+// with a memo the denominator is the power-of-two ceiling of totalAtoms,
+// still within 2x of the proportional share but insensitive to the small
+// atom-count drift evidence updates cause, so untouched components keep
+// their budgets and memo entries across epochs) and the per-component
+// seed (content-hash offset with a memo, index-based without) — then
+// consults the memo and runs WalkSAT on a miss.
+//
+// This derivation is the contract of bit-identical distribution: the
+// outcome is a pure function of (component content, idx, totalAtoms,
+// defaulted base options, memo-enabledness), with no dependence on
+// parallelism, scheduling, or which process runs it. ComponentAware's
+// worker loop and the remote worker's shard execution both call exactly
+// this function, so sharding components across processes cannot change
+// any answer. base must already be defaulted (Options.withDefaults);
+// totalAtoms is the component-atom total of the parent decomposition.
+//
+// A memo hit returns the stored outcome without a run; the returned Best
+// is shared with the memo and must not be mutated. A base.Tracker, when
+// set, disables memo reads and writes (tracked queries run for real) but
+// leaves the derivation untouched. A nil Best reports a run canceled
+// before its first state was recorded.
+func RunComponent(ctx context.Context, comp *mrf.Component, idx int, totalAtoms int64, base Options, memo *ComponentMemo) *Result {
+	denom := totalAtoms
+	if memo != nil {
+		denom = pow2Ceil(denom)
+	}
+	o := base
+	o.MaxFlips = 0
+	if denom != 0 {
+		o.MaxFlips = base.MaxFlips * int64(comp.Size()) / denom
+		if o.MaxFlips < 1 {
+			o.MaxFlips = 1
+		}
+	}
+	o.Tracker = nil // per-component costs are not global costs
+	var fp string
+	if memo != nil {
+		// Content-hash seed: stable across epochs for untouched components
+		// (and shared by isomorphic ones), unlike the index-based stream,
+		// which shifts when earlier components appear or vanish.
+		fp = memo.Fingerprint(comp.MRF)
+		o.Seed = base.Seed + seedOffset(fp)
+		if base.Tracker == nil {
+			if e, ok := memo.lookup(fp, o); ok {
+				return &Result{Best: e.best, BestCost: e.bestCost, Flips: e.flips, HitFlips: -1}
+			}
+		}
+	} else {
+		o.Seed = base.Seed + int64(idx)*7919
+	}
+	r := WalkSAT(ctx, comp.MRF, o)
+	if r.Best != nil && memo != nil && base.Tracker == nil && ctx.Err() == nil {
+		memo.store(fp, o, r)
+	}
+	return r
+}
+
+// DefaultedOptions exposes Options.withDefaults for callers outside the
+// package that must reproduce the exact effective options of a query —
+// the remote worker derives per-shard options from the same canonical
+// form the coordinator used.
+func DefaultedOptions(o Options) Options { return o.withDefaults() }
 
 // Monolithic runs plain WalkSAT on the whole MRF (the Tuffy-p / Alchemy
 // behaviour) and returns a ComponentResult for uniform comparison. On

@@ -153,9 +153,7 @@ func MCSATComponents(ctx context.Context, parent *mrf.MRF, comps []*mrf.Componen
 					continue // drain; cancellation is reported below
 				}
 				comp := comps[idx]
-				o := opts
-				o.Seed = opts.Seed + int64(idx)*6151
-				local, err := MCSAT(ctx, comp.MRF, o)
+				local, err := RunComponentMCSAT(ctx, comp, idx, opts)
 				mu.Lock()
 				if err != nil && !errors.Is(err, ErrCanceled) && firstErr == nil {
 					firstErr = err
@@ -186,6 +184,19 @@ dispatch:
 		return probs, Canceled(ctx)
 	}
 	return probs, nil
+}
+
+// RunComponentMCSAT samples one component of a component-factorized
+// marginal query, deriving the component's chain seed from the parent
+// seed and the component's canonical index. Like search.RunComponent it
+// is the distribution contract: MCSATComponents and the remote worker's
+// marginal shard execution call exactly this function, so the sampled
+// chain for a component is identical wherever it runs. The returned
+// slice is the component-local 1-based marginal vector.
+func RunComponentMCSAT(ctx context.Context, comp *mrf.Component, idx int, opts MCSATOptions) ([]float64, error) {
+	o := opts
+	o.Seed = opts.Seed + int64(idx)*6151
+	return MCSAT(ctx, comp.MRF, o)
 }
 
 func hasHard(m *mrf.MRF) bool {

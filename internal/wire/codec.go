@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+// enc is a little-endian payload builder. Messages are flat field
+// sequences; no reflection, no framing inside the payload.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) {
+	e.b = append(e.b, byte(v), byte(v>>8))
+}
+func (e *enc) u32(v uint32) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *enc) u64(v uint64) {
+	e.u32(uint32(v))
+	e.u32(uint32(v >> 32))
+}
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// bytes writes a length-prefixed byte string.
+func (e *enc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+func (e *enc) str(v string) { e.bytes([]byte(v)) }
+
+// bits writes a 1-based bool slice (index 0 unused) as a count plus a
+// packed bitset — the encoding of a component's best state.
+func (e *enc) bits(v []bool) {
+	n := 0
+	if len(v) > 0 {
+		n = len(v) - 1
+	}
+	e.u32(uint32(n))
+	var cur byte
+	for i := 1; i <= n; i++ {
+		if v[i] {
+			cur |= 1 << ((i - 1) % 8)
+		}
+		if (i-1)%8 == 7 || i == n {
+			e.b = append(e.b, cur)
+			cur = 0
+		}
+	}
+}
+
+// floats writes a 1-based float64 slice (index 0 unused) — a component's
+// marginal vector.
+func (e *enc) floats(v []float64) {
+	n := 0
+	if len(v) > 0 {
+		n = len(v) - 1
+	}
+	e.u32(uint32(n))
+	for i := 1; i <= n; i++ {
+		e.f64(v[i])
+	}
+}
+
+// dec is the matching reader. The first failed read latches err; callers
+// check it once at the end, so decoders read straight through without
+// per-field error plumbing. Every length is validated against the
+// remaining payload before allocation.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrBadPayload, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *dec) u8() byte {
+	if v := d.take(1); v != nil {
+		return v[0]
+	}
+	return 0
+}
+
+func (d *dec) u16() uint16 {
+	if v := d.take(2); v != nil {
+		return uint16(v[0]) | uint16(v[1])<<8
+	}
+	return 0
+}
+
+func (d *dec) u32() uint32 {
+	if v := d.take(4); v != nil {
+		return de32(v)
+	}
+	return 0
+}
+
+func (d *dec) u64() uint64 {
+	lo := d.u32()
+	hi := d.u32()
+	return uint64(lo) | uint64(hi)<<32
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) bool() bool   { return d.u8() != 0 }
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	v := d.take(n)
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, v)
+	return out
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func (d *dec) bits() []bool {
+	n := int(d.u32())
+	packed := d.take((n + 7) / 8)
+	if packed == nil && n > 0 {
+		return nil
+	}
+	out := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		out[i] = packed[(i-1)/8]&(1<<((i-1)%8)) != 0
+	}
+	return out
+}
+
+func (d *dec) floats() []float64 {
+	n := int(d.u32())
+	if d.err != nil || d.off+8*n > len(d.b) {
+		d.fail("float vector of %d entries overruns payload", n)
+		return nil
+	}
+	out := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// finish reports the latched error, also rejecting trailing garbage.
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(d.b)-d.off)
+	}
+	return nil
+}

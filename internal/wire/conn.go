@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// Conn wraps one TCP connection with buffered framed I/O. It is not safe
+// for concurrent use — the protocol is strictly request/response per
+// connection, and the client pool hands each connection to one call at a
+// time.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReaderSize(nc, 32<<10), w: bufio.NewWriterSize(nc, 32<<10)}
+}
+
+// Write frames and flushes one message.
+func (c *Conn) Write(typ byte, payload []byte) error {
+	if err := WriteFrame(c.w, typ, payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Read reads the next frame.
+func (c *Conn) Read() (byte, []byte, error) {
+	return ReadFrame(c.r)
+}
+
+// SetDeadline bounds the next I/O operations; zero clears it.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }

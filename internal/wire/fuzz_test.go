@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrame holds the protocol's core robustness line: arbitrary bytes fed
+// to the frame reader and every message decoder must never panic and never
+// return anything but a typed error. Seed corpus covers valid frames of
+// each message type plus classic corruptions.
+func FuzzFrame(f *testing.F) {
+	seed := func(typ byte, payload []byte) {
+		frame, err := AppendFrame(nil, typ, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	seed(TypeHello, Hello{Version: Version, ProgFP: 1, EvFP: 2, CfgFP: 3, Epoch: 4}.Encode())
+	seed(TypeInfer, ShardRequest{Epoch: 1, NumAtoms: 10, NumComps: 3, Seed: 7, MaxFlips: 100, Indices: []uint32{0, 2}}.Encode())
+	seed(TypeInferReply, ShardResult{Epoch: 1, Comps: []ShardComp{{Index: 0, Cost: 1, Flips: 3, State: []bool{false, true, false}}}}.Encode())
+	seed(TypeInferReply, ShardResult{Epoch: 1, Marginal: true, Comps: []ShardComp{{Index: 0, Probs: []float64{0, 0.5}}}}.Encode())
+	seed(TypeUpdate, UpdateRequest{DeadlineMillis: 10, Delta: []byte{9, 9}}.Encode())
+	seed(TypeUpdateAck, UpdateAck{Epoch: 2, Identical: true, UpdatesApplied: 3}.Encode())
+	seed(TypePong, StatsReply{Epoch: 1, InFlight: 2, Served: 3}.Encode())
+	seed(TypeError, EncodeError(&EpochMismatchError{Have: 1, Want: 2}))
+	seed(TypeError, EncodeError(&PlanMismatchError{Detail: "x"}))
+	f.Add([]byte{})
+	f.Add([]byte{0x54})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// Declared length far beyond the actual bytes.
+	f.Add([]byte{0x54, 0xF1, 3, 0, 0xFF, 0xFF, 0xFF, 0x00, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, ErrBadMagic) ||
+					errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrChecksum) ||
+					errors.Is(err, ErrTruncated) {
+					return
+				}
+				t.Fatalf("untyped frame error: %v", err)
+			}
+			// A structurally valid frame: its payload must decode cleanly or
+			// with the typed payload error, for every decoder.
+			check := func(e error) {
+				if e != nil && !errors.Is(e, ErrBadPayload) {
+					t.Fatalf("untyped payload error for type %d: %v", typ, e)
+				}
+			}
+			_, e := DecodeHello(payload)
+			check(e)
+			_, e = DecodeShardRequest(payload)
+			check(e)
+			_, e = DecodeShardResult(payload)
+			check(e)
+			_, e = DecodeUpdateRequest(payload)
+			check(e)
+			_, e = DecodeUpdateAck(payload)
+			check(e)
+			_, e = DecodeStatsReply(payload)
+			check(e)
+			if err := DecodeRemoteError(payload); err == nil {
+				t.Fatal("DecodeRemoteError returned nil")
+			}
+		}
+	})
+}

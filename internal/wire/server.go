@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler is the worker-side service behind a listener: the remote package
+// implements it over a grounded Engine.
+type Handler interface {
+	// Handshake validates the client's identity and returns this side's own
+	// Hello for the ack. A non-nil error rejects the session (the error is
+	// sent as a TypeError frame and the connection closed).
+	Handshake(peer Hello) (Hello, error)
+	// Infer runs a shard request. ctx carries the propagated deadline and
+	// is canceled when the server shuts down.
+	Infer(ctx context.Context, req ShardRequest) (ShardResult, error)
+	// Update applies an evidence delta.
+	Update(ctx context.Context, req UpdateRequest) (UpdateAck, error)
+	// Stats answers a ping.
+	Stats() StatsReply
+}
+
+// Serve runs the accept loop on ln until ctx is done, handling each
+// connection as a strict request/response session that must open with a
+// valid handshake. Active sessions are closed (not drained) on shutdown —
+// the coordinator treats a dropped connection as a retryable failure, so
+// cutting sessions is safe and keeps shutdown prompt for signal handlers.
+// Serve returns nil after a ctx-driven shutdown.
+func Serve(ctx context.Context, ln net.Listener, h Handler) error {
+	var (
+		mu    sync.Mutex
+		conns = map[*Conn]struct{}{}
+	)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-sctx.Done():
+		case <-stop:
+		}
+		ln.Close()
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if sctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		c := NewConn(nc)
+		mu.Lock()
+		conns[c] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveConn(sctx, c, h)
+			mu.Lock()
+			delete(conns, c)
+			mu.Unlock()
+			c.Close()
+		}()
+	}
+}
+
+// handshakeTimeout bounds how long a fresh connection may sit before
+// completing its handshake.
+const handshakeTimeout = 10 * time.Second
+
+func serveConn(ctx context.Context, c *Conn, h Handler) {
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	typ, payload, err := c.Read()
+	if err != nil || typ != TypeHello {
+		return
+	}
+	peer, err := DecodeHello(payload)
+	if err != nil {
+		c.Write(TypeError, EncodeError(err))
+		return
+	}
+	ack, err := h.Handshake(peer)
+	if err != nil {
+		c.Write(TypeError, EncodeError(err))
+		return
+	}
+	if err := c.Write(TypeHelloAck, ack.Encode()); err != nil {
+		return
+	}
+	c.SetDeadline(time.Time{})
+
+	for {
+		typ, payload, err := c.Read()
+		if err != nil {
+			return // EOF between requests is the normal session end
+		}
+		rtyp, reply := dispatch(ctx, h, typ, payload)
+		if err := c.Write(rtyp, reply); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one request and encodes its reply frame.
+func dispatch(ctx context.Context, h Handler, typ byte, payload []byte) (byte, []byte) {
+	fail := func(err error) (byte, []byte) { return TypeError, EncodeError(err) }
+	switch typ {
+	case TypeInfer:
+		req, err := DecodeShardRequest(payload)
+		if err != nil {
+			return fail(err)
+		}
+		rctx, cancel := withDeadline(ctx, req.DeadlineMillis)
+		res, err := h.Infer(rctx, req)
+		cancel()
+		if err != nil {
+			return fail(mapCancel(err))
+		}
+		return TypeInferReply, res.Encode()
+	case TypeUpdate:
+		req, err := DecodeUpdateRequest(payload)
+		if err != nil {
+			return fail(err)
+		}
+		rctx, cancel := withDeadline(ctx, req.DeadlineMillis)
+		ack, err := h.Update(rctx, req)
+		cancel()
+		if err != nil {
+			return fail(mapCancel(err))
+		}
+		return TypeUpdateAck, ack.Encode()
+	case TypePing:
+		return TypePong, h.Stats().Encode()
+	default:
+		return fail(fmt.Errorf("%w: unexpected frame type %d", ErrBadPayload, typ))
+	}
+}
+
+func withDeadline(ctx context.Context, millis uint32) (context.Context, context.CancelFunc) {
+	if millis == 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, time.Duration(millis)*time.Millisecond)
+}
+
+// mapCancel folds context cancellation into the wire-typed cancel error so
+// the client can tell "worker gave up under its deadline" from "worker
+// broke".
+func mapCancel(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrRemoteCanceled, err)
+	}
+	return err
+}
+
+// ---- client side of one session ----
+
+// Dial connects, performs the handshake with our identity, and validates
+// the worker's ack against it. The returned error distinguishes transient
+// dial/IO failures (retryable by the pool) from identity mismatches
+// (permanent for this worker).
+func Dial(ctx context.Context, addr string, us Hello) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewConn(nc)
+	if dl, ok := ctx.Deadline(); ok {
+		c.SetDeadline(dl)
+	} else {
+		c.SetDeadline(time.Now().Add(handshakeTimeout))
+	}
+	if err := c.Write(TypeHello, us.Encode()); err != nil {
+		c.Close()
+		return nil, err
+	}
+	typ, payload, err := c.Read()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if typ == TypeError {
+		c.Close()
+		return nil, DecodeRemoteError(payload)
+	}
+	if typ != TypeHelloAck {
+		c.Close()
+		return nil, fmt.Errorf("%w: unexpected frame type %d in handshake", ErrBadPayload, typ)
+	}
+	ack, err := DecodeHello(payload)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := us.Check(ack); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Roundtrip sends one request frame and reads its reply, translating
+// TypeError frames into their typed errors. A wantType mismatch or any
+// I/O failure poisons the connection (the caller must discard it).
+func (c *Conn) Roundtrip(ctx context.Context, typ byte, payload []byte, wantType byte) ([]byte, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		c.SetDeadline(dl)
+		defer c.SetDeadline(time.Time{})
+	}
+	if err := c.Write(typ, payload); err != nil {
+		return nil, err
+	}
+	rtyp, reply, err := c.Read()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = fmt.Errorf("%w: connection closed awaiting reply", ErrTruncated)
+		}
+		return nil, err
+	}
+	if rtyp == TypeError {
+		return nil, DecodeRemoteError(reply)
+	}
+	if rtyp != wantType {
+		return nil, fmt.Errorf("%w: unexpected frame type %d (want %d)", ErrBadPayload, rtyp, wantType)
+	}
+	return reply, nil
+}

@@ -228,10 +228,7 @@ func (e *Engine) openDurable() error {
 		every:    e.cfg.CheckpointEveryUpdates,
 		progFP:   fingerprintProgram(e.prog, e.cfg),
 		baseEvFP: fingerprintEvidence(e.prog, e.ev),
-		predIdx:  make(map[*mln.Predicate]int32, len(e.prog.Preds)),
-	}
-	for i, p := range e.prog.Preds {
-		d.predIdx[p] = int32(i)
+		predIdx:  mln.PredIndex(e.prog),
 	}
 	dcfg := e.cfg.DB
 	if dcfg.Disk == nil {
@@ -861,49 +858,15 @@ func readStats(r *dec) grounding.Stats {
 
 // ---- delta record encoding ----
 
-// encodeDelta frames one evidence delta as a TypeDelta payload: predicates
-// by program index, constants as interned ids, three-valued truth.
+// encodeDelta frames one evidence delta as a TypeDelta payload. The format
+// (mln.EncodeDelta) is shared with the distributed tier's update fan-out.
 func encodeDelta(predIdx map[*mln.Predicate]int32, d mln.Delta) []byte {
-	var w enc
-	w.u32(uint32(len(d.Ops)))
-	for _, op := range d.Ops {
-		w.u32(uint32(predIdx[op.Pred]))
-		w.u8(byte(op.Truth))
-		for _, a := range op.Args {
-			w.u32(uint32(a))
-		}
-	}
-	return w.b
+	return mln.EncodeDelta(predIdx, d)
 }
 
 // decodeDelta is encodeDelta's inverse against the serving program.
 func decodeDelta(prog *mln.Program, payload []byte) (mln.Delta, error) {
-	r := dec{b: payload}
-	var d mln.Delta
-	n := int(r.u32())
-	for i := 0; i < n && r.err == nil; i++ {
-		pi := int(r.u32())
-		if r.err == nil && (pi < 0 || pi >= len(prog.Preds)) {
-			return d, fmt.Errorf("delta op %d references predicate %d of %d", i, pi, len(prog.Preds))
-		}
-		if r.err != nil {
-			break
-		}
-		pred := prog.Preds[pi]
-		truth := mln.Truth(r.u8())
-		args := make([]int32, pred.Arity())
-		for j := range args {
-			args[j] = int32(r.u32())
-		}
-		d.Ops = append(d.Ops, mln.DeltaOp{Pred: pred, Args: args, Truth: truth})
-	}
-	if r.err != nil {
-		return d, fmt.Errorf("delta record truncated: %w", r.err)
-	}
-	if r.off != len(payload) {
-		return d, fmt.Errorf("delta record has %d trailing bytes", len(payload)-r.off)
-	}
-	return d, nil
+	return mln.DecodeDelta(prog, payload)
 }
 
 // ---- fingerprints ----

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"tuffy/internal/mln"
+	"tuffy/internal/remote"
 	"tuffy/internal/search"
 	"tuffy/internal/server"
 )
@@ -103,6 +104,19 @@ type ServerConfig struct {
 	// is a cache, never a source of truth. Typically set to the same
 	// directory as EngineConfig.DataDir.
 	DataDir string
+
+	// Workers lists remote worker addresses (host:port, each a
+	// `tuffyd -worker` process grounded from the same program and evidence).
+	// When set, queries that decompose into independent components are
+	// sharded across the workers and the local engines and merged
+	// bit-identically to a single-engine run; queries that do not decompose,
+	// and all queries when no worker is live, run locally as usual. Empty =
+	// single-process serving, completely unchanged.
+	Workers []string
+	// WorkerProbeEvery is the worker health-probe cadence (default 250ms).
+	WorkerProbeEvery time.Duration
+	// WorkerCallTimeout caps one remote shard or update call (default 30s).
+	WorkerCallTimeout time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -154,6 +168,12 @@ type Server struct {
 	cache    *server.Cache
 	counters *server.Counters
 
+	// pool manages the remote workers of the distributed tier (nil when
+	// ServerConfig.Workers is empty); predIdx is the delta wire encoding's
+	// predicate numbering, fixed at Serve time.
+	pool    *remote.Pool
+	predIdx map[*mln.Predicate]int32
+
 	// updateMu serializes UpdateEvidence across backends so replicas move
 	// through the same epoch sequence in lockstep.
 	updateMu sync.Mutex
@@ -195,7 +215,38 @@ func Serve(cfg ServerConfig, engines ...*Engine) (*Server, error) {
 	if cfg.DataDir != "" && s.cache.Enabled() {
 		s.loadCache()
 	}
+	if len(cfg.Workers) > 0 {
+		// The first backend's identity is representative: Serve already
+		// requires all backends to share program and evidence, and they move
+		// through epochs in lockstep.
+		s.predIdx = mln.PredIndex(engines[0].prog)
+		s.pool = remote.NewPool(remote.PoolConfig{
+			Addrs:       cfg.Workers,
+			Identity:    engines[0].Identity,
+			CallTimeout: cfg.WorkerCallTimeout,
+			ProbeEvery:  cfg.WorkerProbeEvery,
+		})
+		// One synchronous probe round so workers that are already up are in
+		// membership before the first query; ones that are not stay out until
+		// the probe loop sees them.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s.pool.ProbeNow(ctx)
+		cancel()
+	}
 	return s, nil
+}
+
+// WorkerStatus is one remote worker's health row, re-exported for
+// /healthz and /metrics.
+type WorkerStatus = remote.WorkerStatus
+
+// Workers snapshots the remote worker pool's per-worker rows (nil when no
+// workers are configured).
+func (s *Server) Workers() []WorkerStatus {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Status()
 }
 
 // generation is the epoch the server currently serves. Backends move
@@ -224,6 +275,9 @@ func (s *Server) Metrics() ServerMetrics { return s.counters.Snapshot() }
 // itself cannot fail.
 func (s *Server) Close() error {
 	s.sched.Close()
+	if s.pool != nil {
+		s.pool.Close()
+	}
 	if s.cfg.DataDir == "" || !s.cache.Enabled() {
 		return nil
 	}
@@ -364,7 +418,7 @@ func (s *Server) InferMAP(ctx context.Context, req Request) (*MAPResult, error) 
 	var runErr error
 	var absorbed bool
 	if err := s.runShared(ctx, req, key, func(ctx context.Context, eng *Engine) (any, bool) {
-		res, runErr = eng.InferMAP(ctx, opts)
+		res, runErr = s.inferMAPOn(ctx, eng, opts)
 		// Publish for queued same-key queries only a complete answer that
 		// is still current — an evidence update mid-run means followers
 		// must recompute on the new epoch.
@@ -409,7 +463,7 @@ func (s *Server) InferMarginal(ctx context.Context, req Request) (*MarginalResul
 	var runErr error
 	var absorbed bool
 	if err := s.runShared(ctx, req, key, func(ctx context.Context, eng *Engine) (any, bool) {
-		res, runErr = eng.InferMarginal(ctx, opts)
+		res, runErr = s.inferMarginalOn(ctx, eng, opts)
 		return res, runErr == nil && res != nil && res.Epoch == gen && s.generation() == gen
 	}, func(v any) {
 		res, runErr, absorbed = copyMarginalResult(v.(*MarginalResult)), nil, true
@@ -454,6 +508,14 @@ func (s *Server) UpdateEvidence(ctx context.Context, delta mln.Delta) (*UpdateRe
 		if first == nil {
 			first = ur
 		}
+	}
+	// Fan the delta out to the remote workers (still under updateMu, so the
+	// pool's catch-up journal records deltas in application order). Worker
+	// failures never fail the update — the local backends have committed;
+	// a worker that missed the delta is demoted and caught up by the pool's
+	// probe loop, and queries just stop sharding to it meanwhile.
+	if s.pool != nil && !first.Identical {
+		s.pool.Update(ctx, mln.EncodeDelta(s.predIdx, delta))
 	}
 	// Drop the entries whose epoch tag is no longer served. An identical
 	// (no-op) update keeps the epoch, so everything current is retained.

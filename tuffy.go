@@ -330,6 +330,12 @@ type Engine struct {
 	// dur is the durable-storage layer (nil without EngineConfig.DataDir);
 	// its mutable state is guarded by groundMu. See persist.go.
 	dur *durability
+
+	// idProgFP/idEvFP/idCfgFP are the identity fingerprints the distributed
+	// tier's handshake exchanges, captured at Open over the base evidence
+	// (updates mutate e.ev in place, so they cannot be derived later). See
+	// shard.go.
+	idProgFP, idEvFP, idCfgFP uint64
 }
 
 // Open creates an Engine over a parsed program and its evidence. Call
@@ -349,6 +355,11 @@ func Open(prog *mln.Program, ev *mln.Evidence, cfg EngineConfig) (*Engine, error
 	if cfg.MemoEntries >= 0 {
 		e.memo = search.NewComponentMemo(cfg.MemoEntries)
 	}
+	e.idProgFP = fingerprintProgram(prog, cfg)
+	if ev != nil {
+		e.idEvFP = fingerprintEvidence(prog, ev)
+	}
+	e.idCfgFP = fingerprintShardConfig(cfg)
 	if cfg.DataDir == "" {
 		e.db = db.Open(cfg.DB)
 		return e, nil
