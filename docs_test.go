@@ -1,0 +1,61 @@
+package tuffy
+
+// Documentation link check: every relative markdown link in README.md and
+// docs/ must resolve to a file in the repository. CI runs this as a
+// dedicated docs-link step, so a doc reorganization that leaves dangling
+// references fails the build instead of rotting silently.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style and
+// autolinks are out of scope; the repository's docs use inline links only.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// docFiles returns the markdown files whose links are checked: the
+// top-level *.md files plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, sub...)
+}
+
+// TestDocRelativeLinks fails on any relative link whose target does not
+// exist on disk. External links (scheme-prefixed) and pure in-page anchors
+// are skipped; a fragment on a relative link is stripped before the check.
+func TestDocRelativeLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // in-page anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead relative link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

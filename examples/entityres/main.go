@@ -52,7 +52,7 @@ func main() {
 		fmt.Println("  dense graphs pay for partitioning (the paper's Fig. 6 ER panel)")
 	} else {
 		fmt.Println("  on this synthetic ER the conditioned subproblems are easier, so")
-		fmt.Println("  Gauss-Seidel wins despite the cut — see EXPERIMENTS.md for discussion")
+		fmt.Println("  Gauss-Seidel wins despite the cut — see docs/BENCHMARKS.md for discussion")
 	}
 
 	// Report the merged groups found by the whole-component run.

@@ -1,8 +1,8 @@
 // Package bench contains the experiment drivers that regenerate every table
 // and figure of the Tuffy paper's evaluation (Section 4 and appendices).
 // Each driver is used both by cmd/tuffybench (human-readable output) and by
-// the root bench_test.go (go test -bench). DESIGN.md section 3 maps each
-// experiment to its driver; EXPERIMENTS.md records paper-vs-measured.
+// the root bench_test.go (go test -bench). docs/BENCHMARKS.md maps each
+// experiment to what it measures and the invariants it enforces.
 package bench
 
 import (

@@ -67,8 +67,7 @@ func ERPlus(ctx context.Context, s Scale) (*Table, error) {
 }
 
 // ClosureAblation measures the effect of the lazy-inference active closure
-// (Appendix A.3) on grounding output size — a design choice DESIGN.md
-// calls out for ablation.
+// (Appendix A.3) on grounding output size.
 func ClosureAblation(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: active closure (Appendix A.3)",

@@ -3,6 +3,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
+	"runtime"
 	"time"
 
 	"tuffy/internal/datagen"
@@ -14,67 +16,141 @@ import (
 	"tuffy/internal/search"
 )
 
+// mrfFingerprint hashes the grounded MRF — clause weights and literal
+// sequences in order, fixed cost, atom count — so two grounding runs can be
+// compared for bit-identity without holding both MRFs.
+func mrfFingerprint(m *mrf.MRF) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(m.NumAtoms))
+	mix(math.Float64bits(m.FixedCost))
+	for _, c := range m.Clauses {
+		mix(math.Float64bits(c.Weight))
+		for _, l := range c.Lits {
+			mix(uint64(int64(l)))
+		}
+		mix(^uint64(0)) // clause separator
+	}
+	return h
+}
+
+// groundOnce builds fresh tables for ds on its own engine and grounds it,
+// returning wall-clock and the MRF fingerprint. With ioBound the engine runs
+// a latency-injected disk behind a buffer pool smaller than the hot set;
+// otherwise it is a plain in-memory engine and grounding is CPU-bound.
+func groundOnce(ctx context.Context, s Scale, ds *datagen.Dataset, ioBound bool, opts grounding.Options) (time.Duration, uint64, error) {
+	cfg := db.Config{}
+	if ioBound {
+		disk := storage.NewMemDisk()
+		disk.SetLatency(4 * s.DiskLatency)
+		cfg = db.Config{Disk: disk, BufferPoolPages: 8}
+	}
+	d := db.Open(cfg)
+	// BuildTables flushes the pool after loading, so grounding-time
+	// evictions are clean page drops, not latency-charged write-backs.
+	ts, err := grounding.BuildTables(d, ds.Prog, ds.Ev)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s tables: %w", ds.Name, err)
+	}
+	start := time.Now()
+	res, err := grounding.GroundBottomUp(ctx, ts, opts)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s grounding (%d workers): %w", ds.Name, opts.Workers, err)
+	}
+	return time.Since(start), mrfFingerprint(res.MRF), nil
+}
+
 // GroundParallel reports bottom-up grounding wall-clock at 1, 2, 4 and 8
-// workers on the datagen workloads. The engine runs with a latency-injected
-// disk and a buffer pool smaller than the hot set, so grounding is I/O-bound
-// the way it is against a real RDBMS — which is exactly the regime where the
-// parallel grounding pipeline overlaps per-clause query I/O. ER is omitted:
-// its cubic transitivity rule is one query that dominates the whole phase,
-// so per-clause parallelism cannot help it (Amdahl).
+// workers on the datagen workloads, and the hash-range planner lesion at 4
+// workers (grounding.Options.ClauseLevelOnly: whole-clause tasks only).
 //
-// The MRF is verified to be identical at every worker count.
+// IE and RC run with a latency-injected disk and a buffer pool smaller than
+// the hot set, so grounding is I/O-bound the way it is against a real RDBMS
+// — the regime where clause-level parallelism overlaps per-clause query
+// I/O. ER runs CPU-bound (no injected latency): its cubic transitivity rule
+// compiles to ONE query that dominates the whole phase, so whole-clause
+// scheduling cannot speed it up (Amdahl) — the "vs lesion@4" column shows
+// what intra-clause hash-range splitting buys on exactly that workload.
+//
+// The MRF fingerprint is verified identical at every worker count and with
+// the lesion on.
 func GroundParallel(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
-		Title:  "Grounding parallelism: wall-clock vs workers (I/O-bound engine)",
-		Header: []string{"dataset", "1 worker", "2 workers", "4 workers", "8 workers", "speedup@4"},
+		Title:  "Grounding parallelism: wall-clock vs workers (IE/RC I/O-bound, ER CPU-bound)",
+		Header: []string{"dataset", "1 worker", "2 workers", "4 workers", "8 workers", "lesion@4", "speedup@4", "vs lesion@4"},
 	}
 	workerCounts := []int{1, 2, 4, 8}
 	// IE and RC, as in the paper's own parallelism experiment (Table 7). RC
 	// is doubled so its largest relation exceeds the buffer pool and the
 	// 1-worker baseline pays real I/O too — the comparison stays apples to
-	// apples across worker counts.
+	// apples across worker counts. ER is doubled so the transitivity join is
+	// deep enough that per-range work dwarfs scheduling overhead.
 	rc := s.RC
 	rc.Papers *= 2
 	rc.Authors *= 2
-	gens := []func() *datagen.Dataset{
-		func() *datagen.Dataset { return datagen.IE(s.IE) },
-		func() *datagen.Dataset { return datagen.RC(rc) },
+	er := s.ER
+	er.Records *= 2
+	er.Groups *= 2
+	specs := []struct {
+		gen     func() *datagen.Dataset
+		ioBound bool
+	}{
+		{func() *datagen.Dataset { return datagen.IE(s.IE) }, true},
+		{func() *datagen.Dataset { return datagen.RC(rc) }, true},
+		{func() *datagen.Dataset { return datagen.ER(er) }, false},
 	}
-	for _, gen := range gens {
+	for _, spec := range specs {
 		var durs []time.Duration
 		var name string
-		baseClauses, baseAtoms := -1, -1
+		var baseFP uint64
+		haveFP := false
+		check := func(fp uint64, what string) error {
+			if !haveFP {
+				baseFP, haveFP = fp, true
+			} else if fp != baseFP {
+				return fmt.Errorf("%s: %s grounding differs (fingerprint %x vs %x)", name, what, fp, baseFP)
+			}
+			return nil
+		}
 		for _, w := range workerCounts {
-			ds := gen()
+			ds := spec.gen()
 			name = ds.Name
-			disk := storage.NewMemDisk()
-			disk.SetLatency(4 * s.DiskLatency)
-			d := db.Open(db.Config{Disk: disk, BufferPoolPages: 8})
-			// BuildTables flushes the pool after loading, so grounding-time
-			// evictions are clean page drops, not latency-charged write-backs.
-			ts, err := grounding.BuildTables(d, ds.Prog, ds.Ev)
+			dur, fp, err := groundOnce(ctx, s, ds, spec.ioBound, grounding.Options{Workers: w})
 			if err != nil {
-				return nil, fmt.Errorf("%s tables: %w", ds.Name, err)
+				return nil, err
 			}
-			start := time.Now()
-			res, err := grounding.GroundBottomUp(ctx, ts, grounding.Options{Workers: w})
-			if err != nil {
-				return nil, fmt.Errorf("%s grounding (%d workers): %w", ds.Name, w, err)
+			durs = append(durs, dur)
+			if err := check(fp, fmt.Sprintf("%d-worker", w)); err != nil {
+				return nil, err
 			}
-			durs = append(durs, time.Since(start))
-			if baseClauses < 0 {
-				baseClauses, baseAtoms = res.Stats.NumClauses, res.Stats.NumUsedAtoms
-			} else if res.Stats.NumClauses != baseClauses || res.Stats.NumUsedAtoms != baseAtoms {
-				return nil, fmt.Errorf("%s: %d-worker grounding differs (%d/%d clauses, %d/%d atoms)",
-					ds.Name, w, res.Stats.NumClauses, baseClauses, res.Stats.NumUsedAtoms, baseAtoms)
-			}
+		}
+		lesionDur, fp, err := groundOnce(ctx, s, spec.gen(), spec.ioBound,
+			grounding.Options{Workers: 4, ClauseLevelOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := check(fp, "lesioned"); err != nil {
+			return nil, err
 		}
 		row := []string{name}
 		for _, dur := range durs {
 			row = append(row, fmtDur(dur))
 		}
+		row = append(row, fmtDur(lesionDur))
 		row = append(row, fmt.Sprintf("%.1fx", float64(durs[0])/float64(durs[2])))
+		row = append(row, fmt.Sprintf("%.1fx", float64(lesionDur)/float64(durs[2])))
 		t.Rows = append(t.Rows, row)
+		// Invariant (CI bench-smoke): on ER — one cubic clause dominating the
+		// phase — the hash-range planner must beat the clause-level lesion by
+		// ≥1.3x at 4 workers. Splitting can only pay where ranges actually run
+		// concurrently, so the check is gated on hosts with ≥4 CPUs.
+		if !spec.ioBound && runtime.NumCPU() >= 4 && float64(lesionDur) < 1.3*float64(durs[2]) {
+			return nil, fmt.Errorf("groundpar invariant: %s hash-range planner only %.2fx vs clause-level lesion at 4 workers (want >=1.3x)",
+				name, float64(lesionDur)/float64(durs[2]))
+		}
 	}
 	return t, nil
 }

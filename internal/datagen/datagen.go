@@ -1,6 +1,6 @@
 // Package datagen generates the synthetic workloads the benchmark harness
 // uses in place of the paper's datasets (LP, IE, RC, ER are not
-// redistributable; see DESIGN.md "Substitutions"). Each generator matches
+// redistributable; see docs/BENCHMARKS.md). Each generator matches
 // the structural statistics the paper's phenomena depend on: RC is sparse
 // with hundreds of connected components, IE is thousands of tiny cliques,
 // ER is one dense component with a cubic transitivity rule, LP is one

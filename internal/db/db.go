@@ -205,6 +205,42 @@ func (t *Table) DistinctCount(col int) int64 {
 // NewScan implements plan.TableMeta.
 func (t *Table) NewScan() exec.Iterator { return exec.NewSeqScan(t.heap, t.sch) }
 
+// Blocks implements plan.BlockMeta: the table's allocated page count, the
+// B(t) the optimizer's cost nodes charge a sequential scan.
+func (t *Table) Blocks() int64 { return int64(t.heap.NumPages()) }
+
+// HasEqIndex implements plan.IndexMeta: reports whether a single-column
+// hash index exists on the column position.
+func (t *Table) HasEqIndex(col int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.hashIdx[colsKey([]int{col})]
+	return ok
+}
+
+// NewIndexScan implements plan.IndexMeta: an iterator over the rows whose
+// column equals val, via the hash index, emitted in heap order so the row
+// order matches a filtered sequential scan.
+func (t *Table) NewIndexScan(col int, val tuple.Value) exec.Iterator {
+	t.mu.RLock()
+	idx, ok := t.hashIdx[colsKey([]int{col})]
+	t.mu.RUnlock()
+	if !ok {
+		// The index was dropped between planning and execution; degrade to
+		// a full scan (correct, just slower).
+		return t.NewScan()
+	}
+	rids := idx.Lookup(tuple.EncodeKey(tuple.Row{val}, []int{0}))
+	return exec.NewRIDScan(t.heap, t.sch, rids)
+}
+
+// NewRangeScan implements plan.RangeMeta: a sequential scan restricted to
+// the rows whose column hashes into residue rem modulo mod, with the
+// restriction applied inside the heap-file scan callback.
+func (t *Table) NewRangeScan(col int, mod, rem uint32) exec.Iterator {
+	return exec.NewRangeScan(t.heap, t.sch, col, mod, rem)
+}
+
 // Heap exposes the underlying heap file (used by the in-database search).
 func (t *Table) Heap() *storage.HeapFile { return t.heap }
 
@@ -529,6 +565,39 @@ func (db *DB) runSelect(sel *plan.SelectStmt) (*Rows, error) {
 		return nil, err
 	}
 	return &Rows{Schema: it.Schema(), Data: rows}, nil
+}
+
+// QueryRanged parses, plans and executes a SELECT with hash-range scan
+// restrictions attached to the named range variables (there is no SQL
+// syntax for them). Running the same SQL once per residue 0..Mod-1 yields
+// disjoint results whose union is exactly the unrestricted query — the
+// partitioned-grounding contract.
+func (db *DB) QueryRanged(sql string, ranges []plan.HashRange) (*Rows, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*plan.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("db: QueryRanged expects SELECT")
+	}
+	sel.Ranges = append(sel.Ranges, ranges...)
+	return db.runSelect(sel)
+}
+
+// EstimateQuery runs the optimizer on a SELECT without executing it and
+// returns its Explain: join order, access paths and root cost estimates.
+func (db *DB) EstimateQuery(sql string) (*plan.Explain, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*plan.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("db: EstimateQuery expects SELECT")
+	}
+	p := plan.NewPlanner(db, db.PlanOptions())
+	return p.EstimateSelect(sel)
 }
 
 // QueryIter plans a SELECT and returns the iterator without materializing;

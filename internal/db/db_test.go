@@ -518,3 +518,65 @@ func TestUpdateManyMaintainsDistinctStatsWithoutIndex(t *testing.T) {
 		t.Fatalf("DistinctCount = %d, want 2 (1 and 99 both seen)", got)
 	}
 }
+
+// QueryRanged must split a query into disjoint parts whose union equals the
+// unrestricted result (the intra-clause parallel grounder's contract), on
+// real heap storage — including the index-equipped path.
+func TestQueryRangedPartition(t *testing.T) {
+	d := Open(Config{})
+	tab, err := d.CreateTable("t", tuple.NewSchema(tuple.Col("k", tuple.TInt), tuple.Col("v", tuple.TInt)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []tuple.Row
+	for i := int64(0); i < 200; i++ {
+		rows = append(rows, tuple.Row{tuple.I64(i % 31), tuple.I64(i)})
+	}
+	if err := tab.InsertMany(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.BuildHashIndex([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT k, v FROM t ORDER BY v"
+	full := mustQuery(t, d, sql)
+	const mod = 4
+	seen := make(map[int64]int)
+	total := 0
+	for rem := uint32(0); rem < mod; rem++ {
+		part, err := d.QueryRanged(sql, []plan.HashRange{{Table: "t", Col: "k", Mod: mod, Rem: rem}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range part.Data {
+			seen[r[1].I]++
+			total++
+		}
+	}
+	if total != len(full.Data) {
+		t.Fatalf("ranges produced %d rows, full query %d", total, len(full.Data))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("v=%d appeared in %d ranges", v, n)
+		}
+	}
+}
+
+// EstimateQuery returns the optimizer's Explain without executing; the
+// grounding scheduler keys its split decisions on EstRows+EstBlocks.
+func TestEstimateQuery(t *testing.T) {
+	d := Open(Config{})
+	mustExec(t, d, "CREATE TABLE t (k BIGINT, v BIGINT)")
+	mustExec(t, d, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+	ex, err := d.EstimateQuery("SELECT k FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.EstRows < 1 || ex.EstBlocks < 1 {
+		t.Fatalf("estimates = %+v", ex)
+	}
+	if len(ex.JoinOrder) != 1 || ex.Access["t"] == "" {
+		t.Fatalf("explain = %+v", ex)
+	}
+}

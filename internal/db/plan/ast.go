@@ -1,10 +1,18 @@
 // Package plan turns parsed SQL statements into executable operator trees.
 // It implements the relational-optimizer features the Tuffy paper credits
 // for its grounding speed-up (Section 4.2 and Appendix C.2): predicate
-// pushdown, cost-based join ordering, and join-algorithm selection between
-// hash, sort-merge and nested-loop joins. The paper's lesion study (Table 6)
-// is reproduced through the Options knobs: ForceJoinOrder pins the FROM
-// order, NestedLoopOnly disables hash/merge joins.
+// pushdown, cost-based join ordering, join-algorithm selection between
+// hash, sort-merge and nested-loop joins, and index-versus-scan access-path
+// choice. Decisions are made by comparing Plan cost nodes — the classic
+// BlocksAccessed/RecordsOutput/DistinctValues interface — fed by the
+// catalog's per-table row and distinct statistics; EstimateSelect exposes
+// the resulting Explain (join order, access paths, root estimates) without
+// executing anything. A SelectStmt may also carry HashRange restrictions
+// that partition one query into disjoint hash ranges of a column, which is
+// how the grounder fans a single clause's join out across workers. The
+// paper's lesion study (Table 6) is reproduced through the Options knobs:
+// ForceJoinOrder pins the FROM order, NestedLoopOnly disables hash/merge
+// joins.
 package plan
 
 import (
@@ -90,6 +98,10 @@ type SelectStmt struct {
 	GroupBy  []Operand
 	OrderBy  []Operand
 	Limit    int64 // -1 = no limit
+	// Ranges restricts FROM items to hash ranges of a column. There is no
+	// SQL syntax for it; callers partitioning a query (db.QueryRanged)
+	// attach restrictions out of band.
+	Ranges []HashRange
 }
 
 // InsertStmt inserts literal rows or a SELECT result.

@@ -65,25 +65,44 @@ type relation struct {
 	meta    TableMeta
 	sch     tuple.Schema // alias-qualified column names
 	filters []Cond
-	card    float64 // estimated cardinality after filters
+	ranges  []HashRange
+	access  *accessPlan // chosen access path (cost node)
+	eqVal   tuple.Value // index lookup constant when access.eqCol >= 0
+	card    float64     // estimated cardinality after filters and ranges
 }
 
 // Plan compiles a SELECT into an iterator tree. The result's schema has the
 // projection aliases as column names.
 func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
+	it, _, err := p.PlanExplain(stmt)
+	return it, err
+}
+
+// EstimateSelect runs the optimizer without executing anything and returns
+// its Explain: the chosen join order, access path per range variable, and
+// the root Plan node's cost estimates. The grounding scheduler uses it to
+// find a query's dominant cost; tests use it to pin optimizer choices.
+func (p *Planner) EstimateSelect(stmt *SelectStmt) (*Explain, error) {
+	_, ex, err := p.PlanExplain(stmt)
+	return ex, err
+}
+
+// PlanExplain compiles a SELECT into an iterator tree and also reports the
+// optimizer's choices.
+func (p *Planner) PlanExplain(stmt *SelectStmt) (exec.Iterator, *Explain, error) {
 	if len(stmt.From) == 0 {
-		return nil, fmt.Errorf("plan: SELECT requires FROM")
+		return nil, nil, fmt.Errorf("plan: SELECT requires FROM")
 	}
 	rels := make([]*relation, len(stmt.From))
 	seen := map[string]bool{}
 	for i, f := range stmt.From {
 		meta, ok := p.Cat.TableMeta(f.Table)
 		if !ok {
-			return nil, fmt.Errorf("plan: unknown table %q", f.Table)
+			return nil, nil, fmt.Errorf("plan: unknown table %q", f.Table)
 		}
 		name := f.Name()
 		if seen[strings.ToLower(name)] {
-			return nil, fmt.Errorf("plan: duplicate range variable %q", name)
+			return nil, nil, fmt.Errorf("plan: duplicate range variable %q", name)
 		}
 		seen[strings.ToLower(name)] = true
 		base := meta.Schema()
@@ -94,16 +113,37 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 		rels[i] = &relation{item: f, meta: meta, sch: tuple.Schema{Cols: cols}}
 	}
 
+	// Attach hash-range restrictions to their range variables.
+	for _, hr := range stmt.Ranges {
+		attached := false
+		for _, r := range rels {
+			if strings.EqualFold(hr.Table, r.item.Name()) {
+				if r.meta.Schema().ColIndex(hr.Col) < 0 {
+					return nil, nil, fmt.Errorf("plan: hash range on unknown column %s.%s", hr.Table, hr.Col)
+				}
+				if hr.Mod == 0 || hr.Rem >= hr.Mod {
+					return nil, nil, fmt.Errorf("plan: hash range %d mod %d invalid", hr.Rem, hr.Mod)
+				}
+				r.ranges = append(r.ranges, hr)
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			return nil, nil, fmt.Errorf("plan: hash range on unknown range variable %q", hr.Table)
+		}
+	}
+
 	// Split WHERE into single-relation filters and join conditions.
 	var joinConds []Cond
 	for _, c := range stmt.Where {
 		lRel, err := p.condRelation(rels, c.L)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rRel, err := p.condRelation(rels, c.R)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch {
 		case lRel == nil && rRel == nil:
@@ -119,13 +159,20 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 	}
 
 	for _, r := range rels {
-		r.card = p.estimateFiltered(r)
+		p.chooseAccess(r)
 	}
 
-	order, err := p.joinOrder(rels, joinConds)
+	order, rootCost, err := p.joinOrder(rels, joinConds)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	ex := &Explain{Access: make(map[string]string, len(order))}
+	for _, r := range order {
+		ex.JoinOrder = append(ex.JoinOrder, r.item.Name())
+		ex.Access[r.item.Name()] = r.access.describe()
+	}
+	ex.EstRows = rootCost.RecordsOutput()
+	ex.EstBlocks = rootCost.BlocksAccessed()
 
 	// With pushdown disabled, single-relation filters are held back and
 	// applied above the join instead (same semantics, worse plan — the
@@ -150,14 +197,14 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 	// Build the left-deep tree following order.
 	cur, err := p.scanWithFilters(order[0])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	curSch := cur.Schema()
 	remaining := append([]Cond(nil), joinConds...)
 	for _, r := range order[1:] {
 		right, err := p.scanWithFilters(r)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nextSch := curSch.Concat(right.Schema())
 		// Find applicable join conditions: both sides resolvable, one in
@@ -200,7 +247,7 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 	}
 	if len(remaining) > 0 {
 		// Conditions referencing unknown columns.
-		return nil, fmt.Errorf("plan: unresolved condition %v", remaining[0])
+		return nil, nil, fmt.Errorf("plan: unresolved condition %v", remaining[0])
 	}
 	if len(heldBack) > 0 {
 		var preds []exec.Expr
@@ -208,7 +255,7 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 			le, lok := resolveOperand(c.L, curSch)
 			re, rok := resolveOperand(c.R, curSch)
 			if !lok || !rok {
-				return nil, fmt.Errorf("plan: cannot resolve held-back filter %v", c)
+				return nil, nil, fmt.Errorf("plan: cannot resolve held-back filter %v", c)
 			}
 			preds = append(preds, exec.Cmp{Op: c.Op, L: le, R: re})
 		}
@@ -231,13 +278,13 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 	if hasAgg || len(stmt.GroupBy) > 0 {
 		it, sch, err := p.buildAggregate(cur, curSch, stmt)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cur, curSch = it, sch
 	} else {
 		it, sch, err := p.buildProject(cur, curSch, stmt.Proj)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cur, curSch = it, sch
 	}
@@ -253,7 +300,7 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 				idx = curSch.ColIndex(o.Col)
 			}
 			if idx < 0 {
-				return nil, fmt.Errorf("plan: ORDER BY column %s not in output", o)
+				return nil, nil, fmt.Errorf("plan: ORDER BY column %s not in output", o)
 			}
 			cols = append(cols, idx)
 		}
@@ -262,7 +309,7 @@ func (p *Planner) Plan(stmt *SelectStmt) (exec.Iterator, error) {
 	if stmt.Limit >= 0 {
 		cur = exec.NewLimit(cur, stmt.Limit)
 	}
-	return cur, nil
+	return cur, ex, nil
 }
 
 func qualName(o Operand) string {
@@ -331,21 +378,123 @@ func colIndex(e exec.Expr) (int, bool) {
 	return 0, false
 }
 
-// scanWithFilters builds the scan for one relation, renaming columns to
-// alias-qualified form and applying pushed-down filters.
-func (p *Planner) scanWithFilters(r *relation) (exec.Iterator, error) {
-	var it exec.Iterator = &renameIter{Iterator: r.meta.NewScan(), sch: r.sch}
-	if p.Opts.DisablePushdown || len(r.filters) == 0 {
-		return it, nil
+// chooseAccess picks the relation's access path by comparing Plan-node
+// costs: an index point-lookup reads about 1 + R(t)/V(t,c) pages, a
+// sequential scan reads B(t); the index wins exactly when the former is
+// smaller. A hash-range restriction divides the output cardinality by Mod
+// (the scan still touches every page). DisablePushdown forfeits both the
+// filter pushdown and the index path (an unpushed filter cannot drive a
+// lookup), which is what makes the lesion a pure full-scan baseline.
+func (p *Planner) chooseAccess(r *relation) {
+	rangeDiv := int64(1)
+	for _, hr := range r.ranges {
+		rangeDiv *= int64(hr.Mod)
 	}
-	var preds []exec.Expr
-	for _, c := range r.filters {
-		le, lok := resolveOperand(c.L, r.sch)
-		re, rok := resolveOperand(c.R, r.sch)
-		if !lok || !rok {
-			return nil, fmt.Errorf("plan: cannot resolve filter %v on %s", c, r.item.Name())
+	rows := int64(p.estimateFiltered(r)) / rangeDiv
+	if rows < 1 {
+		rows = 1
+	}
+	ap := &accessPlan{
+		alias:    r.item.Name(),
+		meta:     r.meta,
+		rows:     rows,
+		blocks:   tableBlocks(r.meta),
+		eqCol:    -1,
+		rangeDiv: rangeDiv,
+	}
+	if im, ok := r.meta.(IndexMeta); ok && !p.Opts.DisablePushdown {
+		base := r.meta.Schema()
+		for _, c := range r.filters {
+			col, val, isEq := eqConstFilter(c)
+			if !isEq {
+				continue
+			}
+			idx := base.ColIndex(col)
+			if idx < 0 || !im.HasEqIndex(idx) {
+				continue
+			}
+			v := r.meta.DistinctCount(idx)
+			if v < 1 {
+				v = 1
+			}
+			matched := r.meta.RowCount() / v
+			if matched < 1 {
+				matched = 1
+			}
+			if idxBlocks := 1 + matched; idxBlocks < ap.blocks {
+				ap.blocks = idxBlocks
+				ap.eqCol = idx
+				r.eqVal = val
+			}
 		}
-		preds = append(preds, exec.Cmp{Op: c.Op, L: le, R: re})
+	}
+	r.access = ap
+	r.card = float64(ap.rows)
+}
+
+// eqConstFilter matches a column-equals-constant condition.
+func eqConstFilter(c Cond) (col string, val tuple.Value, ok bool) {
+	if c.Op != exec.CmpEq {
+		return "", tuple.Value{}, false
+	}
+	switch {
+	case c.L.IsCol && !c.R.IsCol:
+		return c.L.Col, c.R.Val, true
+	case c.R.IsCol && !c.L.IsCol:
+		return c.R.Col, c.L.Val, true
+	}
+	return "", tuple.Value{}, false
+}
+
+// scanWithFilters builds the executable access path chosen by chooseAccess:
+// index lookup, hash-range scan or sequential scan, renamed to
+// alias-qualified columns, with pushed-down filters (and any hash-range
+// restriction the scan itself could not absorb) applied on top.
+func (p *Planner) scanWithFilters(r *relation) (exec.Iterator, error) {
+	base := r.meta.Schema()
+	var inner exec.Iterator
+	rangePushed := false
+	switch {
+	case r.access != nil && r.access.eqCol >= 0:
+		inner = r.meta.(IndexMeta).NewIndexScan(r.access.eqCol, r.eqVal)
+	case len(r.ranges) == 1:
+		if rm, ok := r.meta.(RangeMeta); ok {
+			hr := r.ranges[0]
+			inner = rm.NewRangeScan(base.ColIndex(hr.Col), hr.Mod, hr.Rem)
+			rangePushed = true
+		}
+	}
+	if inner == nil {
+		inner = r.meta.NewScan()
+	}
+	var it exec.Iterator = &renameIter{Iterator: inner, sch: r.sch}
+
+	var preds []exec.Expr
+	// Hash-range restrictions are part of the statement's contract (they
+	// define the partition), so unlike filters they apply even with
+	// DisablePushdown set.
+	for i, hr := range r.ranges {
+		if i == 0 && rangePushed {
+			continue
+		}
+		idx := base.ColIndex(hr.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: hash range on unknown column %s.%s", hr.Table, hr.Col)
+		}
+		preds = append(preds, exec.HashInRange{Idx: idx, Mod: hr.Mod, Rem: hr.Rem})
+	}
+	if !p.Opts.DisablePushdown {
+		for _, c := range r.filters {
+			le, lok := resolveOperand(c.L, r.sch)
+			re, rok := resolveOperand(c.R, r.sch)
+			if !lok || !rok {
+				return nil, fmt.Errorf("plan: cannot resolve filter %v on %s", c, r.item.Name())
+			}
+			preds = append(preds, exec.Cmp{Op: c.Op, L: le, R: re})
+		}
+	}
+	if len(preds) == 0 {
+		return it, nil
 	}
 	var pred exec.Expr
 	if len(preds) == 1 {
@@ -398,19 +547,16 @@ func (p *Planner) estimateFiltered(r *relation) float64 {
 	return card
 }
 
-// joinOrder picks the join order. ForceJoinOrder keeps FROM order; otherwise
-// a greedy heuristic starts from the smallest filtered relation and extends
-// with the relation that minimizes the estimated intermediate size,
-// preferring relations connected by an equi-join edge (avoiding cartesian
-// products until forced).
-func (p *Planner) joinOrder(rels []*relation, joinConds []Cond) ([]*relation, error) {
-	if p.Opts.ForceJoinOrder || len(rels) <= 1 {
-		return rels, nil
-	}
-	// Build the join graph: edges between relations constrained by a
-	// condition, with the distinct counts of the join columns.
-	type edge struct{ a, b int }
-	connected := map[edge][]Cond{}
+// joinEdge is one WHERE condition connecting two distinct relations,
+// resolved to alias-qualified column names for Plan-node cost lookups.
+type joinEdge struct {
+	a, b   int // relation indexes, a < b
+	isEq   bool
+	lq, rq string // qualified columns of an equality edge
+}
+
+// joinEdges resolves the join conditions to relation-index edges.
+func (p *Planner) joinEdges(rels []*relation, joinConds []Cond) ([]joinEdge, error) {
 	relIdx := func(r *relation) int {
 		for i := range rels {
 			if rels[i] == r {
@@ -419,6 +565,7 @@ func (p *Planner) joinOrder(rels []*relation, joinConds []Cond) ([]*relation, er
 		}
 		return -1
 	}
+	var edges []joinEdge
 	for _, c := range joinConds {
 		lr, err := p.condRelation(rels, c.L)
 		if err != nil {
@@ -431,95 +578,108 @@ func (p *Planner) joinOrder(rels []*relation, joinConds []Cond) ([]*relation, er
 		if lr == nil || rr == nil || lr == rr {
 			continue
 		}
-		a, b := relIdx(lr), relIdx(rr)
-		if a > b {
-			a, b = b, a
+		e := joinEdge{a: relIdx(lr), b: relIdx(rr)}
+		if c.Op == exec.CmpEq && c.L.IsCol && c.R.IsCol {
+			e.isEq = true
+			e.lq = lr.item.Name() + "." + c.L.Col
+			e.rq = rr.item.Name() + "." + c.R.Col
 		}
-		connected[edge{a, b}] = append(connected[edge{a, b}], c)
+		if e.a > e.b {
+			e.a, e.b = e.b, e.a
+		}
+		edges = append(edges, e)
+	}
+	return edges, nil
+}
+
+// stepCost costs joining candidate i onto the current Plan node using the
+// edges that connect it to the joined set, and reports whether any did.
+func stepCost(cur Plan, cand *relation, i int, inSet map[int]bool, edges []joinEdge) (Plan, bool) {
+	var eqPairs [][2]string
+	nonEq := 0
+	conn := false
+	for _, e := range edges {
+		var other int
+		switch {
+		case e.a == i && inSet[e.b]:
+			other = e.b
+		case e.b == i && inSet[e.a]:
+			other = e.a
+		default:
+			continue
+		}
+		_ = other
+		conn = true
+		if e.isEq {
+			eqPairs = append(eqPairs, [2]string{e.lq, e.rq})
+		} else {
+			nonEq++
+		}
+	}
+	return newJoinCostPlan(cur, cand.access, eqPairs, nonEq), conn
+}
+
+// joinOrder picks the join order by comparing Plan-node costs.
+// ForceJoinOrder keeps FROM order (the Table 6 lesion) but still costs it
+// for Explain; otherwise a greedy search starts from the access path with
+// the fewest estimated records and extends with the relation whose join
+// step has the smallest RecordsOutput, preferring relations connected by a
+// join edge (avoiding cartesian products until forced). It returns the
+// order and the root cost node of the resulting left-deep tree.
+func (p *Planner) joinOrder(rels []*relation, joinConds []Cond) ([]*relation, Plan, error) {
+	edges, err := p.joinEdges(rels, joinConds)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.Opts.ForceJoinOrder || len(rels) <= 1 {
+		var cur Plan = rels[0].access
+		inSet := map[int]bool{0: true}
+		for i := 1; i < len(rels); i++ {
+			cur, _ = stepCost(cur, rels[i], i, inSet, edges)
+			inSet[i] = true
+		}
+		return rels, cur, nil
 	}
 
 	used := make([]bool, len(rels))
-	// Start from the smallest relation.
+	// Start from the cheapest access path.
 	start := 0
 	for i, r := range rels {
-		if r.card < rels[start].card {
+		if r.access.RecordsOutput() < rels[start].access.RecordsOutput() {
 			start = i
 		}
 	}
 	order := []*relation{rels[start]}
 	used[start] = true
-	curCard := rels[start].card
+	var cur Plan = rels[start].access
 	inSet := map[int]bool{start: true}
 
 	for len(order) < len(rels) {
-		bestIdx, bestCard := -1, math.Inf(1)
+		bestIdx := -1
+		bestCard := int64(math.MaxInt64)
+		var bestPlan Plan
 		bestConnected := false
 		for i, r := range rels {
 			if used[i] {
 				continue
 			}
-			// Estimate join size with the current set.
-			conn := false
-			est := curCard * r.card
-			for e, conds := range connected {
-				var other int
-				switch {
-				case e.a == i && inSet[e.b]:
-					other = e.b
-				case e.b == i && inSet[e.a]:
-					other = e.a
-				default:
-					continue
-				}
-				_ = other
-				conn = true
-				for _, c := range conds {
-					if c.Op != exec.CmpEq {
-						est /= 3
-						continue
-					}
-					d := p.joinColDistinct(rels, c)
-					if d > 1 {
-						est /= float64(d)
-					}
-				}
-			}
+			cand, conn := stepCost(cur, r, i, inSet, edges)
+			est := cand.RecordsOutput()
 			// Prefer connected joins; among candidates minimize est size.
 			if conn && !bestConnected {
-				bestIdx, bestCard, bestConnected = i, est, true
+				bestIdx, bestCard, bestPlan, bestConnected = i, est, cand, true
 				continue
 			}
 			if conn == bestConnected && est < bestCard {
-				bestIdx, bestCard = i, est
+				bestIdx, bestCard, bestPlan = i, est, cand
 			}
 		}
 		order = append(order, rels[bestIdx])
 		used[bestIdx] = true
 		inSet[bestIdx] = true
-		curCard = math.Max(bestCard, 1)
+		cur = bestPlan
 	}
-	return order, nil
-}
-
-// joinColDistinct returns max distinct count across the two join columns of
-// an equality condition.
-func (p *Planner) joinColDistinct(rels []*relation, c Cond) int64 {
-	var d int64 = 1
-	for _, op := range []Operand{c.L, c.R} {
-		if !op.IsCol {
-			continue
-		}
-		r, err := p.condRelation(rels, op)
-		if err != nil || r == nil {
-			continue
-		}
-		if idx := r.meta.Schema().ColIndex(op.Col); idx >= 0 {
-			if dd := r.meta.DistinctCount(idx); dd > d {
-				d = dd
-			}
-		}
-	}
-	return d
+	return order, cur, nil
 }
 
 // physicalJoin picks the join operator per Options.

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"tuffy/internal/db/plan"
 	"tuffy/internal/mln"
 )
 
@@ -17,11 +19,18 @@ type Options struct {
 	// after evidence pruning, as Tuffy and Alchemy both do. Atoms outside
 	// the closure are pinned false and their clauses dropped.
 	UseClosure bool
-	// Workers is the number of concurrent clause-grounding workers for the
+	// Workers is the number of concurrent grounding workers for the
 	// bottom-up strategy; values below 2 ground sequentially. The grounding
-	// result is identical for every worker count: per-clause outputs are
-	// merged in clause-ID order before MRF atom renumbering.
+	// result is identical for every worker count: task outputs are merged
+	// in clause-ID-then-range order before MRF atom renumbering.
 	Workers int
+	// ClauseLevelOnly disables intra-clause hash-range parallelism (the
+	// lesion): the worker pool schedules whole clauses only, so the
+	// parallel speedup caps at the most expensive clause's query. With it
+	// unset, a clause whose estimated cost exceeds a fair share of the
+	// total is partitioned into Workers hash ranges of a join variable and
+	// the ranges ground concurrently.
+	ClauseLevelOnly bool
 }
 
 // rawClause is a ground clause before MRF atom renumbering: parallel slices
@@ -60,8 +69,17 @@ func GroundBottomUp(ctx context.Context, ts *TableSet, opts Options) (*Result, e
 // selected clause (sel[i] reports whether clause i runs; nil selects all),
 // writing raw groundings and stats into perClause/perStats by clause ID.
 // Unselected slots are left untouched, which is how the incremental grounder
-// reuses cached raws. Worker scheduling never changes the output: each slot
-// is written by exactly one goroutine and identified by clause ID.
+// reuses cached raws.
+//
+// With more than one worker the scheduler runs clause×range tasks: each
+// clause whose estimated query cost exceeds a fair share of the total is
+// partitioned into Workers hash ranges of a join variable (see planSplits),
+// so a single dominant clause no longer serializes the phase. Task
+// scheduling never changes the output: each (clause, range) slot is written
+// by exactly one goroutine, each task canonicalizes its own output, and the
+// per-clause results are stably key-merged in range order (mergeCanon) —
+// making the result bit-identical to the sequential path for every worker
+// count and split decision.
 func groundSelectedSQL(ctx context.Context, ts *TableSet, opts Options, perClause [][]rawClause, perStats []Stats, sel []bool) error {
 	clauses := ts.Prog.Clauses
 	run := make([]int, 0, len(clauses))
@@ -70,56 +88,176 @@ func groundSelectedSQL(ctx context.Context, ts *TableSet, opts Options, perClaus
 			run = append(run, i)
 		}
 	}
-	perErr := make([]error, len(clauses))
 
 	workers := opts.Workers
-	if workers > len(run) {
+	if opts.ClauseLevelOnly && workers > len(run) {
 		workers = len(run)
 	}
-	if workers <= 1 {
+	if workers <= 1 || len(run) == 0 {
+		perErr := make([]error, len(clauses))
 		for _, i := range run {
 			if err := context.Cause(ctx); ctx.Err() != nil {
 				return err
 			}
 			perClause[i], perErr[i] = groundClauseSQL(ts, clauses[i], &perStats[i])
 			if perErr[i] != nil {
-				break // fail fast; the first-in-order error is reported below
+				return fmt.Errorf("grounding clause %d (%s): %w", clauses[i].ID, clauses[i].Source, perErr[i])
 			}
 		}
-	} else {
-		var next atomic.Int64
-		var failed atomic.Bool
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					n := int(next.Add(1)) - 1
-					if n >= len(run) || failed.Load() || ctx.Err() != nil {
-						return
-					}
-					i := run[n]
-					perClause[i], perErr[i] = groundClauseSQL(ts, clauses[i], &perStats[i])
-					if perErr[i] != nil {
-						failed.Store(true) // fail fast, like the sequential path
-					}
-				}
-			}()
-		}
-		wg.Wait()
+		return nil
 	}
-	if err := context.Cause(ctx); ctx.Err() != nil {
-		return err
-	}
-	// Report the first error in clause order so failures are deterministic
-	// across worker counts.
-	for i, err := range perErr {
+
+	// Compile every selected clause once, up front: the scheduler costs the
+	// compiled queries to pick splits, and range tasks share a compilation.
+	comps := make([]*Compiled, len(clauses))
+	for _, i := range run {
+		comp, err := CompileClauseSQL(ts, clauses[i])
 		if err != nil {
 			return fmt.Errorf("grounding clause %d (%s): %w", clauses[i].ID, clauses[i].Source, err)
 		}
+		comps[i] = comp
+	}
+	splits := map[int]int{}
+	if !opts.ClauseLevelOnly {
+		splits = planSplits(ts, comps, run, workers)
+	}
+
+	type task struct{ clause, rng int } // rng < 0: whole clause
+	var tasks []task
+	partRaws := make([][][]rawClause, len(clauses))
+	partKeys := make([][][]string, len(clauses))
+	partErr := make([][]error, len(clauses))
+	partStats := make([][]Stats, len(clauses))
+	for _, i := range run {
+		w := 1
+		if splits[i] > 1 {
+			w = splits[i]
+			for r := 0; r < w; r++ {
+				tasks = append(tasks, task{i, r})
+			}
+		} else {
+			tasks = append(tasks, task{i, -1})
+		}
+		partRaws[i] = make([][]rawClause, w)
+		partKeys[i] = make([][]string, w)
+		partErr[i] = make([]error, w)
+		partStats[i] = make([]Stats, w)
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(tasks) || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				t := tasks[n]
+				i, slot := t.clause, t.rng
+				var rng *clauseRange
+				if slot < 0 {
+					slot = 0
+				} else {
+					rng = &clauseRange{
+						v:   comps[i].SplitVars[0],
+						mod: uint32(splits[i]),
+						rem: uint32(t.rng),
+					}
+				}
+				raws, err := groundCompiled(ts, clauses[i], comps[i], rng, &partStats[i][slot])
+				if err != nil {
+					partErr[i][slot] = err
+					failed.Store(true) // fail fast, like the sequential path
+					continue
+				}
+				// Canonicalize inside the task: key building dominates the
+				// cost of large clauses, and per-range canon parallelizes it.
+				partRaws[i][slot], partKeys[i][slot] = canonRawsKeys(ts, raws)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := context.Cause(ctx); ctx.Err() != nil {
+		return err
+	}
+	// Report the first error in clause-then-range order so failures are
+	// deterministic across worker counts and schedules.
+	for _, i := range run {
+		for _, err := range partErr[i] {
+			if err != nil {
+				return fmt.Errorf("grounding clause %d (%s): %w", clauses[i].ID, clauses[i].Source, err)
+			}
+		}
+	}
+	// Stably merge each clause's canonical range outputs by key (ties to the
+	// earlier range): the result is exactly canonRaws of the unsplit query's
+	// multiset, so everything downstream is bit-identical to it.
+	for _, i := range run {
+		if len(partRaws[i]) == 1 {
+			perClause[i] = partRaws[i][0]
+		} else {
+			perClause[i] = mergeCanon(partRaws[i], partKeys[i])
+		}
+		perStats[i] = Stats{}
+		for _, st := range partStats[i] {
+			perStats[i].JoinRowsVisited += st.JoinRowsVisited
+			if st.PeakBytes > perStats[i].PeakBytes {
+				perStats[i].PeakBytes = st.PeakBytes
+			}
+		}
 	}
 	return nil
+}
+
+// planSplits decides how many hash ranges each clause's grounding query
+// fans out into. Costs come from the optimizer's own estimates
+// (EstRows+EstBlocks of the chosen plan); a clause splits into `workers`
+// ranges exactly when (a) its cost is at least twice everything else
+// combined — the single dominant clause (e.g. ER's cubic transitivity
+// rule) whose tail no whole-clause schedule can hide behind other work:
+// at a 2/3 share the best whole-clause speedup is already capped at 1.5x
+// no matter how many workers run — (b) it has a universal join variable
+// to partition by, and (c) its estimated join
+// output dwarfs the page reads the split duplicates: every range task
+// re-scans the same base-table pages and filters, so k ranges cost
+// ~k·EstBlocks extra I/O against an EstRows·(k-1)/k division of row work,
+// which pays exactly when EstRows > k·EstBlocks. Clauses below the
+// dominance margin stay whole: the scheduler already overlaps them with
+// the rest of the clause list, and splitting them only multiplies
+// physical reads.
+func planSplits(ts *TableSet, comps []*Compiled, run []int, workers int) map[int]int {
+	splits := make(map[int]int)
+	costs := make(map[int]float64, len(run))
+	rows := make(map[int]float64, len(run))
+	blocks := make(map[int]float64, len(run))
+	total := 0.0
+	for _, i := range run {
+		if comps[i].Skip {
+			continue
+		}
+		est, err := ts.DB.EstimateQuery(comps[i].SQL)
+		if err != nil {
+			continue // cost unknown: never split, always correct
+		}
+		rows[i] = float64(est.EstRows)
+		blocks[i] = float64(est.EstBlocks)
+		costs[i] = rows[i] + blocks[i]
+		total += costs[i]
+	}
+	if total <= 0 {
+		return splits
+	}
+	for _, i := range run {
+		if len(comps[i].SplitVars) > 0 && costs[i] > 2*(total-costs[i]) &&
+			rows[i] > float64(workers)*blocks[i] {
+			splits[i] = workers
+		}
+	}
+	return splits
 }
 
 // assembleResult merges per-clause raw groundings in clause-ID order, applies
@@ -154,6 +292,11 @@ func assembleResult(ts *TableSet, perClause [][]rawClause, perStats []Stats, opt
 	return ca.finish(stats)
 }
 
+// ColRef names one alias.column of a compiled grounding query.
+type ColRef struct {
+	Alias, Col string
+}
+
 // Compiled describes the SQL compilation of one first-order clause.
 type Compiled struct {
 	SQL string
@@ -168,6 +311,16 @@ type Compiled struct {
 	// Skip means the clause is statically satisfied (e.g. "c = c") and
 	// grounds to nothing.
 	Skip bool
+	// VarCols maps each clause variable to every alias.column of a table
+	// literal binding it. A hash-range split restricts all of them, so
+	// every scan of the variable prunes before the join.
+	VarCols map[string][]ColRef
+	// SplitVars lists the variables a hash-range split may partition on —
+	// universally quantified and bound by at least one universal table
+	// literal (so the existential fallback query binds them too) — ordered
+	// by binding count (descending, ties by name) so SplitVars[0] is the
+	// most join-restricting choice.
+	SplitVars []string
 }
 
 // PostClosedCheck rebuilds the arguments of a closed positive literal from a
@@ -227,6 +380,8 @@ func CompileClauseSQL(ts *TableSet, c *mln.Clause) (*Compiled, error) {
 	// varCol maps each variable to the first table column binding it.
 	type colRef struct{ alias, col string }
 	varCol := make(map[string]colRef)
+	out.VarCols = make(map[string][]ColRef)
+	uBound := make(map[string]bool) // bound by a universal table literal
 	var conds []string
 	for _, tl := range tlits {
 		for i, a := range tl.lit.Args {
@@ -234,6 +389,10 @@ func CompileClauseSQL(ts *TableSet, c *mln.Clause) (*Compiled, error) {
 			if !a.IsVar {
 				conds = append(conds, fmt.Sprintf("%s.%s = %d", tl.alias, col, a.Const))
 				continue
+			}
+			out.VarCols[a.Var] = append(out.VarCols[a.Var], ColRef{tl.alias, col})
+			if !tl.exist {
+				uBound[a.Var] = true
 			}
 			if first, ok := varCol[a.Var]; ok {
 				conds = append(conds, fmt.Sprintf("%s.%s = %s.%s", first.alias, first.col, tl.alias, col))
@@ -255,6 +414,24 @@ func CompileClauseSQL(ts *TableSet, c *mln.Clause) (*Compiled, error) {
 			conds = append(conds, fmt.Sprintf("%s.truth <> %d", tl.alias, TruthTrue))
 		}
 	}
+
+	// Split candidates: universal variables bound by a universal table
+	// literal. The existential fallback recompiles ULits(+PostClosed) alone,
+	// so only such variables are guaranteed bound there too; existential
+	// variables are excluded because splitting them would scatter one
+	// universal binding's witness group across ranges.
+	for v := range uBound {
+		if !exist[v] {
+			out.SplitVars = append(out.SplitVars, v)
+		}
+	}
+	sort.Slice(out.SplitVars, func(i, j int) bool {
+		a, b := out.SplitVars[i], out.SplitVars[j]
+		if la, lb := len(out.VarCols[a]), len(out.VarCols[b]); la != lb {
+			return la > lb
+		}
+		return a < b
+	})
 
 	// Built-in (in)equalities become join conditions with flipped operator:
 	// groundings where the builtin literal is TRUE are satisfied (pruned),
@@ -392,16 +569,64 @@ func (c *Compiled) pcWidth() int {
 	return n
 }
 
+// clauseRange identifies one hash range of a clause's grounding work:
+// groundings where split variable v's value hashes to rem modulo mod.
+type clauseRange struct {
+	v        string
+	mod, rem uint32
+}
+
+// rangeRestrictions translates a clause range into hash-range restrictions on
+// every table column binding the split variable. The join conditions equate
+// those columns, so restricting all of them leaves the query's semantics
+// unchanged while letting every scan prune to ~1/mod of its table before the
+// join. A nil range restricts nothing.
+func rangeRestrictions(comp *Compiled, rng *clauseRange) ([]plan.HashRange, error) {
+	if rng == nil {
+		return nil, nil
+	}
+	refs := comp.VarCols[rng.v]
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("split variable %s unbound in compiled query %q", rng.v, comp.SQL)
+	}
+	out := make([]plan.HashRange, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, plan.HashRange{Table: r.Alias, Col: r.Col, Mod: rng.mod, Rem: rng.rem})
+	}
+	return out, nil
+}
+
 // groundClauseSQL compiles, executes and folds one clause's groundings.
 func groundClauseSQL(ts *TableSet, c *mln.Clause, stats *Stats) ([]rawClause, error) {
 	comp, err := CompileClauseSQL(ts, c)
 	if err != nil {
 		return nil, err
 	}
+	out, err := groundCompiled(ts, c, comp, nil, stats)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical order (see canon.go): makes the folded groundings — and
+	// therefore the MRF built from them — independent of aid numbering and
+	// SQL row order, which is what lets an incremental re-ground reproduce a
+	// fresh Ground bit for bit.
+	return canonRaws(ts, out), nil
+}
+
+// groundCompiled executes a compiled clause query — optionally restricted to
+// one hash range of its split variable — and folds the rows into raw ground
+// clauses. The output is NOT canonicalized: range outputs of one clause must
+// be concatenated in range order first and canonicalized together, so the
+// result matches an unsplit run bit for bit.
+func groundCompiled(ts *TableSet, c *mln.Clause, comp *Compiled, rng *clauseRange, stats *Stats) ([]rawClause, error) {
 	if comp.Skip {
 		return nil, nil
 	}
-	rows, err := ts.DB.Query(comp.SQL)
+	restr, err := rangeRestrictions(comp, rng)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := ts.DB.QueryRanged(comp.SQL, restr)
 	if err != nil {
 		return nil, fmt.Errorf("executing %q: %w", comp.SQL, err)
 	}
@@ -490,23 +715,23 @@ func groundClauseSQL(ts *TableSet, c *mln.Clause, stats *Stats) ([]rawClause, er
 	}
 	if len(comp.ELits) > 0 {
 		flush()
-		extra, err := existentialFallback(ts, c, comp, witnessed, stats)
+		extra, err := existentialFallback(ts, c, comp, rng, witnessed, stats)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, extra...)
 	}
-	// Canonical order (see canon.go): makes the folded groundings — and
-	// therefore the MRF built from them — independent of aid numbering and
-	// SQL row order, which is what lets an incremental re-ground reproduce a
-	// fresh Ground bit for bit.
-	return canonRaws(ts, out), nil
+	return out, nil
 }
 
 // existentialFallback grounds the universal part alone to catch bindings
 // with no existential witness at all (inner joins drop them), for which the
-// clause reduces to its universal literals.
-func existentialFallback(ts *TableSet, c *mln.Clause, comp *Compiled, witnessed map[string]bool, stats *Stats) ([]rawClause, error) {
+// clause reduces to its universal literals. Under a hash-range split the
+// fallback query carries the same restriction, re-derived from its own
+// recompilation (aliases renumber), so each binding surfaces in exactly one
+// range — and its witnesses, which share the split variable's value, are
+// grounded by the same range's main query.
+func existentialFallback(ts *TableSet, c *mln.Clause, comp *Compiled, rng *clauseRange, witnessed map[string]bool, stats *Stats) ([]rawClause, error) {
 	if len(comp.ULits) == 0 {
 		return nil, nil
 	}
@@ -522,7 +747,11 @@ func existentialFallback(ts *TableSet, c *mln.Clause, comp *Compiled, witnessed 
 	if uComp.Skip {
 		return nil, nil
 	}
-	uRows, err := ts.DB.Query(uComp.SQL)
+	restr, err := rangeRestrictions(uComp, rng)
+	if err != nil {
+		return nil, fmt.Errorf("existential fallback: %w", err)
+	}
+	uRows, err := ts.DB.QueryRanged(uComp.SQL, restr)
 	if err != nil {
 		return nil, err
 	}

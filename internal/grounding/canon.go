@@ -96,8 +96,17 @@ func sortRawLits(ts *TableSet, r *rawClause) {
 // (which the accumulator later merges by summing weights) keep a
 // deterministic relative order.
 func canonRaws(ts *TableSet, raws []rawClause) []rawClause {
+	out, _ := canonRawsKeys(ts, raws)
+	return out
+}
+
+// canonRawsKeys is canonRaws returning the per-grounding sort keys alongside,
+// so partitioned grounding can canonicalize each hash range in parallel and
+// then stably merge the sorted ranges by key (mergeCanon) instead of paying
+// one serial key-building pass over the whole clause.
+func canonRawsKeys(ts *TableSet, raws []rawClause) ([]rawClause, []string) {
 	if len(raws) == 0 {
-		return raws
+		return raws, nil
 	}
 	keys := make([]string, len(raws))
 	for i := range raws {
@@ -115,8 +124,38 @@ func canonRaws(ts *TableSet, raws []rawClause) []rawClause {
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
 	out := make([]rawClause, len(raws))
+	outKeys := make([]string, len(raws))
 	for i, j := range idx {
 		out[i] = raws[j]
+		outKeys[i] = keys[j]
+	}
+	return out, outKeys
+}
+
+// mergeCanon stably merges per-range canonical groundings by key, ties going
+// to the earlier range. A stable sort of a concatenation equals the stable
+// merge of its stably-sorted parts, so the result is bit-for-bit what
+// canonRaws would return on the ranges' concatenation — without rebuilding a
+// single key.
+func mergeCanon(parts [][]rawClause, keys [][]string) []rawClause {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]rawClause, 0, total)
+	heads := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for r := range parts {
+			if heads[r] >= len(parts[r]) {
+				continue
+			}
+			if best < 0 || keys[r][heads[r]] < keys[best][heads[best]] {
+				best = r
+			}
+		}
+		out = append(out, parts[best][heads[best]])
+		heads[best]++
 	}
 	return out
 }

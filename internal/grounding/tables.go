@@ -5,6 +5,16 @@
 // grounder that enumerates variable bindings with nested loops. Both apply
 // the same evidence-pruning rules (Appendix A.3) and produce identical
 // MRFs, so Table 2 / Figure 3 comparisons measure strategy, not semantics.
+//
+// The bottom-up grounder parallelizes with Options.Workers: clauses ground
+// concurrently, and a clause whose optimizer-estimated cost dominates the
+// workload is further split into hash ranges of a join variable so one
+// heavy clause cannot serialize the phase (Options.ClauseLevelOnly is the
+// lesion that turns the splitting off). Every schedule merges task outputs
+// in clause-then-range order and canonicalizes once per clause, so the MRF
+// is bit-identical across worker counts and split decisions. The
+// Incremental wrapper reuses the same machinery to re-ground only the
+// clauses an evidence delta touches.
 package grounding
 
 import (
@@ -95,6 +105,39 @@ func BuildTables(d *db.DB, prog *mln.Program, ev *mln.Evidence) (*TableSet, erro
 			}
 		} else {
 			if err := ts.loadOpen(pred, t); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	// Index the argument columns that clause literals bind to constants
+	// (e.g. cat(p, "net")): the compiled grounding queries filter on them
+	// with equality, and the optimizer's access-path choice (plan.IndexMeta)
+	// can then take a hash-index point lookup over a full scan when the
+	// cost model says it wins.
+	constCols := make(map[*mln.Predicate]map[int]bool)
+	for _, c := range prog.Clauses {
+		for _, l := range c.Lits {
+			if l.IsBuiltinEq() {
+				continue
+			}
+			for i, a := range l.Args {
+				if a.IsVar {
+					continue
+				}
+				if constCols[l.Pred] == nil {
+					constCols[l.Pred] = make(map[int]bool)
+				}
+				constCols[l.Pred][i] = true
+			}
+		}
+	}
+	for pred, cols := range constCols {
+		t := ts.tables[pred]
+		if t == nil {
+			continue
+		}
+		for argIdx := range cols {
+			if _, err := t.BuildHashIndex([]int{argIdx + 1}); err != nil {
 				return fail(err)
 			}
 		}

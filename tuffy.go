@@ -102,8 +102,14 @@ var ErrCanceled = search.ErrCanceled
 // The zero value is the paper's default Tuffy: bottom-up grounding,
 // component partitioning, single-threaded grounding.
 type EngineConfig struct {
-	Grounder   GrounderKind
-	UseClosure bool // lazy-inference active closure (Appendix A.3)
+	// Grounder selects the grounding strategy: BottomUp (the paper's
+	// SQL-per-clause grounder, the default) or TopDown (the Alchemy-style
+	// nested-loop grounder kept for the Table 2 comparison).
+	Grounder GrounderKind
+
+	// UseClosure applies the lazy-inference active closure (Appendix A.3)
+	// after evidence pruning, dropping clauses outside the closure.
+	UseClosure bool
 
 	// MemoryBudgetBytes controls partitioning: 0 keeps whole connected
 	// components (Section 3.3); a positive budget further splits components
@@ -111,10 +117,19 @@ type EngineConfig struct {
 	// with Gauss-Seidel when clauses are cut.
 	MemoryBudgetBytes int64
 
-	// GroundWorkers is the number of concurrent clause-grounding workers
-	// for the bottom-up grounder (default 1). Results are identical for
-	// every worker count; see grounding.Options.Workers.
+	// GroundWorkers is the number of concurrent grounding workers for the
+	// bottom-up grounder (default 1). The scheduler fans out clause×range
+	// tasks: a clause whose optimizer-estimated cost dominates the workload
+	// is split into GroundWorkers hash ranges of a join variable, so even a
+	// single heavy clause parallelizes. Results are bit-identical for every
+	// worker count; see grounding.Options.Workers.
 	GroundWorkers int
+
+	// GroundClauseLevelOnly restricts the parallel grounder to whole-clause
+	// tasks (the lesion for the hash-range planner): speedup then caps at
+	// the heaviest clause's query. Off by default; see
+	// grounding.Options.ClauseLevelOnly.
+	GroundClauseLevelOnly bool
 
 	// MemoEntries bounds the component-granular result memo shared by every
 	// MAP query (0 = default 8192, negative = disabled). The memo keys
@@ -477,7 +492,11 @@ func (e *Engine) ground(ctx context.Context) error {
 		return err
 	}
 	e.tables = ts
-	opts := grounding.Options{UseClosure: e.cfg.UseClosure, Workers: e.cfg.GroundWorkers}
+	opts := grounding.Options{
+		UseClosure:      e.cfg.UseClosure,
+		Workers:         e.cfg.GroundWorkers,
+		ClauseLevelOnly: e.cfg.GroundClauseLevelOnly,
+	}
 	var res *grounding.Result
 	switch e.cfg.Grounder {
 	case TopDown:
